@@ -1,0 +1,26 @@
+# Convenience targets for the repro repository.
+
+.PHONY: install test bench validate table1 casestudy examples all
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+validate:
+	python -m repro.eval.validation --quick
+
+table1:
+	python -c "from repro.eval.cli import main_table1; main_table1([])"
+
+casestudy:
+	python -c "from repro.eval.cli import main_casestudy; main_casestudy([])"
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+all: install test bench validate examples

@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Rows are
+printed through :func:`emit` so running with ``-s`` (or reading captured
+output) shows the same rows/series the paper reports, with the published
+value alongside for drift inspection.
+"""
+
+from __future__ import annotations
+
+#: Allowed drift per storage cell, in 9 kb memory blocks.  Most cells match
+#: the published Table 1 exactly; a few differ by 1-4 blocks from rounding
+#: details the paper does not specify (EXPERIMENTS.md lists every cell).
+PAPER_TOLERANCE_BLOCKS = 5
+
+#: Relative tolerance for op-count comparisons against the published
+#: numbers: accounting conventions (what counts as "one operation") are not
+#: specified by the paper, so only the order of magnitude is checked.
+OPS_REL_TOLERANCE = 4.0
+
+
+def emit(*lines: str) -> None:
+    """Print benchmark report rows (visible with pytest -s)."""
+    for line in lines:
+        print(line)

@@ -1,0 +1,89 @@
+"""Sections 2 and 5.1: the LoG case study (Fig. 2 and the δP|N table).
+
+Regenerates, with exact-match assertions, every number the paper walks
+through: α = (5,1), the z set, N_f = 13, the Fig. 2(b) bank indices, the
+δP|N sweep row, the N_max = 10 choices (fast fold → 7 banks x 2 rounds;
+same-size sweep → N_c ∈ {7, 9}), and the Section 2 motivational op- and
+overhead-comparison anchors (640 vs 5450 elements).
+"""
+
+from repro.eval import (
+    PAPER_CASESTUDY_SWEEP,
+    PAPER_LOG_BANKS,
+    PAPER_MOTIVATION,
+    run_case_study,
+)
+
+from _bench_util import emit
+
+
+def test_case_study(benchmark):
+    study = benchmark(run_case_study)
+
+    emit(f"[casestudy] alpha = {study.alpha} (paper (5, 1))")
+    assert study.alpha == (5, 1)
+
+    assert sorted(study.z_values) == [
+        14, 18, 19, 20, 22, 23, 24, 25, 26, 28, 29, 30, 34,
+    ]
+
+    emit(f"[casestudy] N_f = {study.n_f} (paper 13)")
+    assert study.n_f == 13
+
+    emit(f"[casestudy] Fig.2(b) banks = {study.bank_indices}")
+    assert study.bank_indices == PAPER_LOG_BANKS
+
+    emit(f"[casestudy] deltaP|N+1 = {study.sweep_row} (paper {PAPER_CASESTUDY_SWEEP})")
+    assert study.sweep_row == PAPER_CASESTUDY_SWEEP
+
+    emit(
+        f"[casestudy] Nmax=10: fast Nc={study.fast_nc} x{study.fast_rounds} rounds, "
+        f"same-size Nc={study.same_size_nc} of {study.same_size_candidates}"
+    )
+    assert (study.fast_nc, study.fast_rounds) == (7, 2)
+    assert study.same_size_candidates == (7, 9)
+
+    emit(
+        f"[casestudy] overhead ours/ltb = "
+        f"{study.ours_overhead_elements}/{study.ltb_overhead_elements} elements "
+        f"(paper 640/5450)"
+    )
+    assert study.ours_overhead_elements == PAPER_MOTIVATION["ours_overhead_elements"]
+    assert study.ltb_overhead_elements == PAPER_MOTIVATION["ltb_overhead_elements"]
+
+    emit(
+        f"[casestudy] ops ours/ltb = "
+        f"{study.ours_operations}/{study.ltb_operations} (paper 92/1053)"
+    )
+    assert study.ltb_operations / study.ours_operations > 3
+
+
+def test_fig2b_grid_rendering(benchmark):
+    """Fig. 2(b) as a picture: the 13-bank assignment over the array."""
+    from repro.core import partition
+    from repro.patterns import log_pattern
+    from repro.viz import render_bank_grid
+
+    solution = partition(log_pattern())
+    art = benchmark(render_bank_grid, solution, 7, 9, log_pattern().translated((1, 2)))
+    emit("[casestudy] Fig.2(b):")
+    emit(art)
+    assert art.count("[") == 13  # the highlighted window has 13 cells
+
+    # and those 13 highlighted cells show 13 distinct bank glyphs
+    import re
+
+    glyphs = re.findall(r"\[(.)\]", art)
+    assert len(set(glyphs)) == 13
+
+
+def test_fig2c_seven_bank_solution(benchmark):
+    """Fig. 2(c): the same-size 7-bank solution under N_max = 10 — at most
+    2 of the 13 LoG elements share any bank."""
+    from repro.core import partition
+    from repro.patterns import log_pattern
+
+    solution = benchmark(partition, log_pattern(), 10)
+    assert solution.n_banks == 7
+    banks = solution.bank_indices()
+    assert max(banks.count(b) for b in set(banks)) == 2

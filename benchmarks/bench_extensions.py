@@ -1,0 +1,94 @@
+"""Extension benches: wide banks, packed tails, unrolling, energy.
+
+These cover the paper's briefly-mentioned extensions (bank bandwidth B,
+the zero-overhead tail option of §4.4.2) and natural ablation series the
+paper motivates but does not tabulate.
+"""
+
+import pytest
+
+from repro.core import (
+    BankMapping,
+    packed_mapping,
+    partition,
+    widen_solution,
+)
+from repro.eval.sweeps import (
+    bandwidth_vs_ports,
+    energy_vs_scheme,
+    throughput_vs_unroll,
+)
+from repro.patterns import log_pattern
+from repro.sim import simulate_sweep
+
+from _bench_util import emit
+
+
+def test_wide_bank_fold_series(benchmark):
+    """Section 3 / case-study closing remark: bandwidth B folds N_f banks
+    into ceil(N_f / B)."""
+    rows = benchmark(bandwidth_vs_ports, log_pattern(), [1, 2, 3, 4, 7, 13])
+    for bandwidth, banks, ports in rows:
+        emit(f"[ext/wide] B={bandwidth}: {banks} banks x {ports} ports")
+    assert rows[1][1] == 7   # the paper's 13 -> 7 example
+    assert rows[-1][1] == 1  # a 13-ported single bank degenerates correctly
+
+
+def test_wide_banks_still_single_cycle(benchmark):
+    wide = widen_solution(partition(log_pattern()), 2)
+    mapping = BankMapping(solution=wide, shape=(10, 20))
+    report = benchmark(simulate_sweep, mapping)
+    assert report.worst_cycles == 1
+
+
+def test_packed_vs_padded_overhead(benchmark):
+    """§4.4.2's two tail options, measured on awkward shapes."""
+    solution = partition(log_pattern())
+    shapes = [(64, 60), (64, 61), (64, 70), (64, 75)]
+
+    def compare():
+        rows = []
+        for shape in shapes:
+            padded = BankMapping(solution=solution, shape=shape)
+            packed = packed_mapping(solution, shape)
+            rows.append((shape, padded.overhead_elements, packed.overhead_elements))
+        return rows
+
+    rows = benchmark(compare)
+    for shape, padded, packed in rows:
+        emit(f"[ext/packed] {shape}: padded={padded} packed={packed} elements")
+        assert packed == 0
+        assert padded >= 0
+
+
+def test_packed_mapping_simulates(benchmark):
+    mapping = packed_mapping(partition(log_pattern()), (10, 20))
+    report = benchmark(simulate_sweep, mapping)
+    assert report.worst_cycles == 1
+
+
+def test_unroll_throughput_series(benchmark):
+    """Throughput scaling with unroll factor — linear until the bank cap."""
+    rows = benchmark(throughput_vs_unroll, log_pattern(), [1, 2, 3, 4])
+    previous = 0.0
+    for factor, banks, ii, throughput in rows:
+        emit(
+            f"[ext/unroll] x{factor}: {banks} banks, II={ii}, "
+            f"{throughput:.1f} elements/cycle"
+        )
+        assert throughput > previous
+        previous = throughput
+
+
+def test_energy_architecture_comparison(benchmark):
+    """Section 1's qualitative argument, quantified by the energy model."""
+    rows = benchmark(energy_vs_scheme, log_pattern(), (64, 65), 2000)
+    totals = {}
+    for name, dynamic, leakage, total in rows:
+        totals[name] = total
+        emit(
+            f"[ext/energy] {name:10s} dynamic={dynamic:12.1f} "
+            f"leakage={leakage:12.1f} total={total:12.1f}"
+        )
+    assert totals["banked"] < totals["multiport"]
+    assert totals["banked"] < totals["duplicate"]

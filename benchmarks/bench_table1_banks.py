@@ -1,0 +1,65 @@
+"""Table 1, 'Bank number' column: minimum banks, ours vs LTB.
+
+Regenerates the first column of the paper's Table 1 for all seven
+benchmarks and benchmarks the *search* that produces it (our constant-time
+construction + Algorithm 1 vs LTB's exhaustive vector enumeration).
+"""
+
+import pytest
+
+from repro.baselines import ltb_partition
+from repro.core import partition
+from repro.patterns import EXPECTED_BANKS, all_benchmarks
+
+from _bench_util import emit
+
+BENCHES = all_benchmarks()
+
+
+@pytest.mark.parametrize("name, pattern", BENCHES, ids=[n for n, _ in BENCHES])
+def test_bank_number_ours(benchmark, name, pattern):
+    solution = benchmark(partition, pattern)
+    expected_ours, expected_ltb = EXPECTED_BANKS[name]
+    assert solution.n_banks == expected_ours
+    emit(
+        f"[table1/banks] {name:9s} ours={solution.n_banks:3d} "
+        f"(paper {expected_ours}) ltb_paper={expected_ltb}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name, pattern",
+    [(n, p) for n, p in BENCHES if n != "sobel3d"],
+    ids=[n for n, _ in BENCHES if n != "sobel3d"],
+)
+def test_bank_number_ltb(benchmark, name, pattern):
+    result = benchmark(ltb_partition, pattern)
+    assert result.solution.n_banks == EXPECTED_BANKS[name][1]
+
+
+def test_bank_number_ltb_sobel3d(benchmark):
+    """Separate, single-round bench: the 3-D exhaustive search is ~10^6 ops."""
+    name, pattern = "sobel3d", dict(BENCHES)["sobel3d"]
+    result = benchmark.pedantic(ltb_partition, args=(pattern,), rounds=1, iterations=1)
+    assert result.solution.n_banks == EXPECTED_BANKS[name][1]
+
+
+def test_bank_gap_summary(benchmark):
+    """Ours equals LTB on the five Fig. 3 patterns; +1 / +3 on the extras."""
+
+    def compute_gaps():
+        return {name: partition(pattern).n_banks for name, pattern in BENCHES}
+
+    ours_banks = benchmark(compute_gaps)
+    gaps = {}
+    for name, _ in BENCHES:
+        ltb = EXPECTED_BANKS[name][1]
+        gaps[name] = ours_banks[name] - ltb
+        emit(
+            f"[table1/banks] {name:9s} ours={ours_banks[name]:3d} "
+            f"ltb={ltb:3d} gap={gaps[name]}"
+        )
+    assert gaps == {
+        "log": 0, "canny": 0, "prewitt": 0, "se": 0, "sobel3d": 0,
+        "median": 1, "gaussian": 3,
+    }

@@ -1,0 +1,30 @@
+"""The complete Table 1, regenerated through the evaluation harness.
+
+The per-column benches (`bench_table1_*.py`) isolate each metric; this one
+runs the same end-to-end harness as the ``repro-table1`` CLI — all seven
+rows, all four metric groups — and asserts the paper's three footer
+averages land in range.  Its captured output *is* the reproduced table.
+"""
+
+from repro.eval import build_table, render_table1
+
+from _bench_util import emit
+
+
+def test_full_table1(benchmark):
+    table = benchmark.pedantic(
+        build_table, kwargs={"time_repetitions": 5}, rounds=1, iterations=1
+    )
+    emit(render_table1(table))
+
+    # Bank counts: every row exact.
+    from repro.eval import PAPER_TABLE1
+
+    for row in table.rows:
+        assert row.ours.n_banks == PAPER_TABLE1[row.benchmark]["ours"].n_banks
+        assert row.ltb.n_banks == PAPER_TABLE1[row.benchmark]["ltb"].n_banks
+
+    # Footer averages: same ballpark and direction as the paper.
+    assert 20.0 <= table.average_storage_improvement <= 45.0   # paper 31.1
+    assert table.average_operations_improvement >= 80.0        # paper 93.7
+    assert table.average_time_improvement >= 60.0              # paper 96.9

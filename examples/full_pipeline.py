@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""End-to-end accelerator datapath: banked reads, banked writes, one clock.
+
+Models the complete LoG edge-detection datapath the paper's Fig. 1(b)
+implies: the input frame X and the output frame Y each live in their own
+banked memory behind a shared clock; every iteration issues its 13 reads
+and 1 write as transactions and the true cycle count is measured.  The
+chosen partitioning is then serialized to JSON — the artifact a real HLS
+flow would hand to downstream build steps — and reloaded to show the
+round trip.
+
+Run:  python examples/full_pipeline.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import BankMapping, partition
+from repro.io import load_solution, save_solution, solution_to_dict
+from repro.patterns import log_pattern
+from repro.workloads import box_image, run_full_pipeline
+
+
+def main() -> None:
+    image = box_image(20, 21)
+    print(f"frame: {image.shape}, operator: LoG (13 parallel reads + 1 write)")
+    print()
+
+    report = run_full_pipeline(image, "log")
+    print(f"read banks:  {report.read_banks}")
+    print(f"write banks: {report.write_banks}")
+    print(f"iterations:  {report.iterations}")
+    print(f"cycles:      {report.total_cycles} "
+          f"({report.cycles_per_iteration:.1f} per iteration: 1 read + 1 write)")
+    print(f"bit-exact against the golden model: {report.matches_golden}")
+    print()
+
+    # The same run with the paper's N_max = 10 constraint on the read side.
+    constrained = run_full_pipeline(image, "log", n_max=10)
+    print(f"with N_max = 10: {constrained.read_banks} read banks, "
+          f"{constrained.cycles_per_iteration:.1f} cycles/iteration, "
+          f"golden={constrained.matches_golden}")
+    print()
+
+    # Persist the partitioning decision like a real tool would.
+    solution = partition(log_pattern())
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "log_partitioning.json"
+        save_solution(solution, path)
+        restored = load_solution(path)
+        print(f"solution serialized to JSON ({path.stat().st_size} bytes) "
+              f"and reloaded: banks={restored.n_banks}, "
+              f"alpha={restored.transform.alpha}")
+        print()
+        print("payload:")
+        print(json.dumps(solution_to_dict(solution), indent=2)[:400] + " ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Program-level banking: one array, several kernels, one physical layout.
+
+A smoothing pass and a detection pass both read the same frame X.  The
+array gets exactly one banking, so the partitioner must serve the *union*
+of both access patterns.  This example schedules the two-kernel program,
+shows the joint solution, and contrasts it with what each kernel would
+have chosen alone.
+
+Run:  python examples/program_flow.py
+"""
+
+from repro.core import partition
+from repro.hls import parse_program, schedule_program
+from repro.viz import render_pattern
+
+PROGRAM = """
+array X[256][256];
+for (i = 2; i <= 253; i++)
+  for (j = 2; j <= 253; j++)
+    S[i][j] = X[i][j-1] + 2*X[i][j] + X[i][j+1];
+
+for (i = 2; i <= 253; i++)
+  for (j = 2; j <= 253; j++)
+    E[i][j] = X[i-2][j] + X[i-1][j] - 4*X[i][j] + X[i+1][j] + X[i+2][j];
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    print(f"program: {len(program.nests)} kernels sharing array X")
+    print()
+
+    patterns = program.patterns_of("X")
+    for index, pattern in enumerate(patterns):
+        alone = partition(pattern)
+        print(f"kernel {index}: {pattern.size} taps, alone it would take "
+              f"{alone.n_banks} banks")
+        print(render_pattern(pattern.normalized()))
+        print()
+
+    schedule = schedule_program(program)
+    joint = schedule.solution_for("X")
+    union = joint.pattern
+    print(f"union pattern ({union.size} taps) drives the shared banking:")
+    print(render_pattern(union.normalized()))
+    print()
+    print(f"joint solution: {joint.n_banks} banks, alpha = {joint.transform.alpha}")
+    print(f"per-kernel achieved II: {schedule.kernel_iis}")
+    print(f"whole-program cycles: {schedule.total_cycles}")
+    print()
+    print("Both kernels run at II = 1 on one physical layout.  A private")
+    print("optimum need not transfer: the smoothing kernel's own 3-bank")
+    print("solution maps the detection kernel's whole column to one bank.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Visualize the Section 4.4 storage reorganization (paper Fig. 2(d)(e)).
+
+Shows, for a small array, where every element lands after partitioning:
+the per-cell bank indices, then each bank's internal layout with padding
+slots marked — the text rendition of the paper's reorganization figure.
+
+Run:  python examples/storage_layout.py
+"""
+
+from repro.core import BankMapping, partition
+from repro.patterns import log_pattern, se_pattern
+from repro.viz import render_bank_grid, render_bank_layout
+
+
+def show(pattern, shape, n_max=None, label="") -> None:
+    solution = partition(pattern, n_max=n_max)
+    mapping = BankMapping(solution=solution, shape=shape)
+    mapping.verify_bijective()
+    print(f"=== {label}: {solution.n_banks} banks over {shape}, "
+          f"overhead {mapping.overhead_elements} elements ===")
+    print("bank index per element:")
+    print(render_bank_grid(solution, *shape))
+    print()
+    print("per-bank layout ((row,col) stored at each slot, (--) = padding):")
+    print(render_bank_layout(mapping, max_width=100))
+    print()
+
+
+def main() -> None:
+    # The 5-point cross: 5 banks over an 6x7 array (7 % 5 != 0 -> padding).
+    show(se_pattern(), (6, 7), label="SE cross, padded case")
+
+    # Divisible case: zero overhead, every slot used.
+    show(se_pattern(), (6, 10), label="SE cross, zero-overhead case")
+
+    # The paper's 7-bank LoG solution under N_max = 10 (Fig. 2(c)(d)(e)).
+    show(log_pattern(), (6, 14), n_max=10, label="LoG under N_max=10")
+
+
+if __name__ == "__main__":
+    main()

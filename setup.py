@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in pyproject.toml.  This file exists
+so that environments without the `wheel` package (where PEP 660 editable
+installs fail) can still do `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,91 @@
+"""repro — Efficient memory partitioning for parallel data access.
+
+A production-quality reproduction of *Efficient Memory Partitioning for
+Parallel Data Access in Multidimensional Arrays* (Meng, Yin, Ouyang, Liu,
+Wei — DAC 2015).
+
+Quickstart
+----------
+>>> from repro import Pattern, partition, BankMapping
+>>> stencil = Pattern([(0, 1), (1, 0), (1, 1), (1, 2), (2, 1)], name="cross")
+>>> solution = partition(stencil)          # constant-time transform + Algorithm 1
+>>> solution.n_banks
+5
+>>> mapping = BankMapping(solution=solution, shape=(64, 64))
+>>> mapping.overhead_elements               # only the last dimension pads
+64
+
+Subpackages
+-----------
+``repro.core``
+    The paper's algorithms: pattern algebra, the Section 4.1 linear
+    transform, Algorithm 1, bank-limit schemes, intra-bank mapping,
+    the Problem 1 multi-objective solver.
+``repro.baselines``
+    LTB (Wang et al., DAC 2013) and naive cyclic/block/duplication schemes.
+``repro.patterns``
+    The seven Table 1 benchmark patterns plus generators.
+``repro.hw``
+    M9K block-RAM model, banked memory fabric, resource estimation.
+``repro.sim``
+    Cycle-level simulation and functional (golden-model) verification.
+``repro.hls``
+    Mini loop-nest front-end: parse → extract pattern → schedule → codegen.
+``repro.eval``
+    Harnesses regenerating Table 1 and the Sections 2/5.1 case study.
+``repro.viz``
+    ASCII rendering of patterns and bank assignments (Figs 2–3).
+``repro.workloads``
+    Synthetic images and end-to-end edge-detection pipelines.
+"""
+
+from .core import (
+    BankMapping,
+    LinearTransform,
+    Objective,
+    OpCounter,
+    PartitionSolution,
+    Pattern,
+    SolverResult,
+    derive_alpha,
+    minimize_nf,
+    partition,
+    solve,
+)
+from .errors import (
+    DimensionMismatchError,
+    HardwareModelError,
+    HLSError,
+    InfeasibleConstraintError,
+    MappingError,
+    PartitioningError,
+    PatternError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BankMapping",
+    "LinearTransform",
+    "Objective",
+    "OpCounter",
+    "PartitionSolution",
+    "Pattern",
+    "SolverResult",
+    "derive_alpha",
+    "minimize_nf",
+    "partition",
+    "solve",
+    "DimensionMismatchError",
+    "HardwareModelError",
+    "HLSError",
+    "InfeasibleConstraintError",
+    "MappingError",
+    "PartitioningError",
+    "PatternError",
+    "ReproError",
+    "SimulationError",
+    "__version__",
+]

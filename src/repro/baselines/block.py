@@ -1,0 +1,71 @@
+"""Naive block partitioning baseline.
+
+Block banking splits one dimension into ``N`` contiguous chunks:
+``bank = x_d // ⌈w_d / N⌉``.  For stencil patterns (small spatial windows)
+block banking is pathological — at most two banks are ever touched by a
+window that straddles a chunk boundary, and for interior offsets the whole
+pattern lands in a *single* bank, i.e. ``δP = m − 1``.  It exists here to
+anchor the low end of the banking design space in benchmark plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.conflict import delta_ii as measure_delta_ii
+from ..core.conflict import offset_window
+from ..core.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class BlockScheme:
+    """Block banking of dimension ``dim`` of an array of shape ``shape``.
+
+    Attributes
+    ----------
+    dim:
+        Partitioned dimension.
+    n_banks:
+        Number of contiguous chunks.
+    shape:
+        Full array shape (needed to size the chunks).
+    """
+
+    dim: int
+    n_banks: int
+    shape: tuple
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dim < len(self.shape):
+            raise ValueError(f"dim {self.dim} out of range for shape {self.shape}")
+        if self.n_banks < 1:
+            raise ValueError(f"n_banks must be positive, got {self.n_banks}")
+
+    @property
+    def chunk(self) -> int:
+        """Elements of dimension ``dim`` per bank."""
+        return math.ceil(self.shape[self.dim] / self.n_banks)
+
+    def bank_of(self, element: Sequence[int]) -> int:
+        coordinate = int(element[self.dim])
+        # Clamp: pattern evaluation near the array edge may step outside.
+        coordinate = min(max(coordinate, 0), self.shape[self.dim] - 1)
+        return coordinate // self.chunk
+
+    def worst_delta_ii(self, pattern: Pattern) -> int:
+        """``δP`` measured over a window covering a chunk boundary."""
+        radius = max(max(pattern.extents), self.chunk + 1)
+        radius = min(radius, self.shape[self.dim] - 1)
+        window = offset_window(pattern.ndim, radius)
+        return measure_delta_ii(pattern, self.bank_of, window)
+
+    def overhead_elements(self) -> int:
+        """Padding from rounding the chunked dimension up."""
+        pad = self.chunk * self.n_banks - self.shape[self.dim]
+        others = 1
+        for j, w in enumerate(self.shape):
+            if j != self.dim:
+                others *= w
+        return pad * others

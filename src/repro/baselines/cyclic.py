@@ -1,0 +1,95 @@
+"""Naive cyclic partitioning baseline.
+
+Cyclic (interleaved) banking along a single dimension is the scheme most
+HLS tools offer out of the box (e.g. ``#pragma HLS array_partition cyclic``).
+Bank index is ``x_d % N`` for a chosen dimension ``d``; in-bank offset keeps
+the other coordinates and divides ``x_d`` by ``N``.
+
+Cyclic banking is conflict-free only for patterns whose footprint along
+``d`` hits each residue class at most once — a 1-D window of width ``≤ N``.
+General 2-D stencils (two taps sharing a column, like every pattern in the
+paper) conflict for every single-dimension choice, which is exactly the
+motivation for linear-transform banking.  This module quantifies that gap
+for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.conflict import profile_at
+from ..core.partition import PartitionSolution
+from ..core.pattern import Pattern
+from ..core.transform import LinearTransform
+
+
+@dataclass(frozen=True)
+class CyclicScheme:
+    """Cyclic banking along one dimension.
+
+    Attributes
+    ----------
+    dim:
+        The partitioned dimension.
+    n_banks:
+        Number of banks ``N``.
+    ndim:
+        Array dimensionality.
+    """
+
+    dim: int
+    n_banks: int
+    ndim: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dim < self.ndim:
+            raise ValueError(f"dim {self.dim} out of range for {self.ndim} dimensions")
+        if self.n_banks < 1:
+            raise ValueError(f"n_banks must be positive, got {self.n_banks}")
+
+    def bank_of(self, element: Sequence[int]) -> int:
+        return int(element[self.dim]) % self.n_banks
+
+    def as_solution(self, pattern: Pattern) -> PartitionSolution:
+        """Wrap as a standard solution record with the *measured* ``δP``."""
+        alpha = tuple(1 if j == self.dim else 0 for j in range(self.ndim))
+        profile = profile_at(pattern, self.bank_of)
+        return PartitionSolution(
+            pattern=pattern,
+            transform=LinearTransform(alpha=alpha),
+            n_banks=self.n_banks,
+            n_unconstrained=self.n_banks,
+            delta_ii=profile.worst - 1,
+            scheme="cyclic",
+            algorithm="cyclic",
+        )
+
+    def overhead_elements(self, shape: Sequence[int]) -> int:
+        """Pad the partitioned dimension to a multiple of ``N``."""
+        pad = math.ceil(shape[self.dim] / self.n_banks) * self.n_banks - shape[self.dim]
+        others = 1
+        for j, w in enumerate(shape):
+            if j != self.dim:
+                others *= w
+        return pad * others
+
+
+def best_cyclic(pattern: Pattern, n_banks: int) -> CyclicScheme:
+    """The single-dimension cyclic scheme with the fewest conflicts."""
+    best: CyclicScheme | None = None
+    best_worst = None
+    for dim in range(pattern.ndim):
+        scheme = CyclicScheme(dim=dim, n_banks=n_banks, ndim=pattern.ndim)
+        worst = profile_at(pattern, scheme.bank_of).worst
+        if best_worst is None or worst < best_worst:
+            best, best_worst = scheme, worst
+    assert best is not None
+    return best
+
+
+def cyclic_delta_ii(pattern: Pattern, n_banks: int) -> int:
+    """``δP`` of the best single-dimension cyclic scheme."""
+    scheme = best_cyclic(pattern, n_banks)
+    return profile_at(pattern, scheme.bank_of).worst - 1

@@ -1,0 +1,71 @@
+"""Array-duplication baseline (paper introduction, ref [4]).
+
+The simplest way to serve ``m`` parallel reads is to keep ``m`` full copies
+of the array, one per reader.  It trivially achieves ``δP = 0`` for *any*
+pattern and needs no address transformation at all — but its storage
+overhead is ``(m − 1) · W``, which is why the paper dismisses it.  The model
+below quantifies that trade for the benchmark harness, including the write
+cost (every store must be broadcast to all copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.pattern import Pattern
+
+
+@dataclass(frozen=True)
+class DuplicationScheme:
+    """Full duplication: one array copy per parallel read port.
+
+    Attributes
+    ----------
+    copies:
+        Number of copies (= pattern size for full parallelism).
+    shape:
+        Array shape.
+    """
+
+    copies: int
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.copies < 1:
+            raise ValueError(f"copies must be positive, got {self.copies}")
+        if not self.shape or any(w <= 0 for w in self.shape):
+            raise ValueError(f"shape must be positive, got {self.shape}")
+
+    @property
+    def original_elements(self) -> int:
+        total = 1
+        for w in self.shape:
+            total *= w
+        return total
+
+    @property
+    def overhead_elements(self) -> int:
+        """``(copies − 1) · W`` extra elements."""
+        return (self.copies - 1) * self.original_elements
+
+    @property
+    def delta_ii(self) -> int:
+        """Always 0 for reads: each reader owns a private copy."""
+        return 0
+
+    @property
+    def write_amplification(self) -> int:
+        """Each store is replicated to every copy."""
+        return self.copies
+
+    def bank_of(self, reader: int, element: Sequence[int]) -> int:
+        """Reader ``i`` always reads copy ``i`` (the 'bank' is the copy)."""
+        if not 0 <= reader < self.copies:
+            raise ValueError(f"reader {reader} out of range [0, {self.copies})")
+        return reader
+
+
+def duplication_for(pattern: Pattern, shape: Sequence[int]) -> DuplicationScheme:
+    """A duplication scheme sized for full parallel access of ``pattern``."""
+    return DuplicationScheme(copies=pattern.size, shape=tuple(int(w) for w in shape))

@@ -1,0 +1,112 @@
+"""Line-buffer baseline: reuse instead of banking.
+
+For *sliding-window* stencils, HLS flows often avoid banking entirely:
+keep the last ``h − 1`` image rows in FIFOs plus an ``h × w`` register
+window, read **one new pixel per cycle**, and serve all ``m`` taps from
+registers.  This is the classic line-buffer architecture (cf. the
+partitioning-vs-reuse discussion in the paper's refs [2], [3]).
+
+It is the right comparison point because its strengths and weaknesses
+mirror banking's:
+
+* storage: ``(h−1)·W_cols + h·w`` elements of buffering — independent of
+  the bank count, usually far below banking's padding for big ``N``;
+* bandwidth: only 1 array read per cycle, so II = 1 *only* for strictly
+  row-major unit-stride sweeps;
+* no random access: any non-raster iteration order, multi-rate access, or
+  update-in-place breaks it, whereas a banked array serves any offset
+  pattern every cycle (the paper's setting).
+
+The model quantifies both sides so benchmarks can show where each wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..core.pattern import Pattern
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LineBufferDesign:
+    """A line-buffer realization of one 2-D sliding-window stencil.
+
+    Attributes
+    ----------
+    pattern:
+        The stencil (must be 2-D).
+    image_shape:
+        Frame shape ``(rows, cols)`` — the buffer length tracks ``cols``.
+    """
+
+    pattern: Pattern
+    image_shape: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if self.pattern.ndim != 2:
+            raise SimulationError(
+                f"line buffers serve 2-D stencils, got {self.pattern.ndim}-D"
+            )
+        if len(self.image_shape) != 2 or min(self.image_shape) < 1:
+            raise SimulationError(f"bad image shape {self.image_shape}")
+        h, w = self.pattern.extents
+        if h > self.image_shape[0] or w > self.image_shape[1]:
+            raise SimulationError("window larger than the frame")
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        """Window extent ``(h, w)``."""
+        return self.pattern.extents
+
+    @property
+    def buffer_elements(self) -> int:
+        """FIFO storage: ``(h−1)`` full image rows."""
+        h, _ = self.window
+        return (h - 1) * self.image_shape[1]
+
+    @property
+    def register_elements(self) -> int:
+        """The ``h × w`` shift-register window."""
+        h, w = self.window
+        return h * w
+
+    @property
+    def total_storage(self) -> int:
+        return self.buffer_elements + self.register_elements
+
+    @property
+    def array_reads_per_cycle(self) -> int:
+        """One new pixel enters per cycle in steady state."""
+        return 1
+
+    @property
+    def warmup_cycles(self) -> int:
+        """Cycles before the first full window is resident."""
+        h, w = self.window
+        return (h - 1) * self.image_shape[1] + w
+
+    def total_cycles(self) -> int:
+        """Cycles for one full-frame raster sweep (II = 1 after warmup)."""
+        rows, cols = self.image_shape
+        return self.warmup_cycles + rows * cols
+
+    def supports_access_order(self, raster: bool) -> bool:
+        """Line buffers require strictly raster-order consumption."""
+        return raster
+
+
+def linebuffer_vs_banking_storage(
+    pattern: Pattern, image_shape: Sequence[int], n_banks: int
+) -> Tuple[int, int]:
+    """(line-buffer storage, banking overhead) in elements.
+
+    Banking's *overhead* is its incremental storage cost (the array itself
+    is stored either way); the line buffer's cost is all incremental.
+    """
+    from ..core.mapping import ours_overhead_elements
+
+    shape = tuple(int(w) for w in image_shape)
+    design = LineBufferDesign(pattern=pattern, image_shape=(shape[0], shape[1]))
+    return design.total_storage, ours_overhead_elements(shape, n_banks)

@@ -1,0 +1,112 @@
+"""Core partitioning algorithms — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.pattern.Pattern` — n-dimensional access patterns.
+* :func:`~repro.core.transform.derive_alpha` — the constant-time transform
+  construction (Section 4.1) and Theorem 1 checking.
+* :func:`~repro.core.partition.minimize_nf` / :func:`partition` —
+  Algorithm 1 and the bank-limit schemes (Section 4.3).
+* :class:`~repro.core.mapping.BankMapping` — intra-bank addressing and
+  storage-overhead accounting (Section 4.4).
+* :func:`~repro.core.solver.solve` — the Problem 1 multi-objective driver.
+* :class:`~repro.core.opcount.OpCounter` — arithmetic-op instrumentation.
+"""
+
+from .analysis import (
+    GapSurvey,
+    bounding_box_bound,
+    exhaustive_min_banks,
+    gap_survey,
+    measured_vs_predicted,
+    nf_upper_bound,
+    optimality_gap,
+    predict_ops_ltb,
+    predict_ops_ours,
+)
+from .conflict import (
+    ConflictProfile,
+    conflict_table,
+    delta_ii,
+    measured_cycles,
+    offset_window,
+    profile_at,
+    verify_conflict_free,
+)
+from .mapping import (
+    BankMapping,
+    bank_contents,
+    build_mapping,
+    max_overhead_elements,
+    ours_overhead_elements,
+)
+from .opcount import NULL_COUNTER, OpCounter, counting
+from .partition import (
+    PartitionSolution,
+    SweepResult,
+    fast_nc,
+    minimize_nf,
+    pairwise_differences,
+    partition,
+    same_size_nc,
+    same_size_sweep,
+    widen_solution,
+)
+from .packed import PackedBankMapping, packed_mapping
+from .pattern import Pattern
+from .solver import Objective, SolverResult, solve, solve_joint
+from .transform import (
+    LinearTransform,
+    check_theorem1,
+    derive_alpha,
+    spread,
+    transformed_values,
+)
+
+__all__ = [
+    "GapSurvey",
+    "bounding_box_bound",
+    "exhaustive_min_banks",
+    "gap_survey",
+    "measured_vs_predicted",
+    "nf_upper_bound",
+    "optimality_gap",
+    "predict_ops_ltb",
+    "predict_ops_ours",
+    "ConflictProfile",
+    "conflict_table",
+    "delta_ii",
+    "measured_cycles",
+    "offset_window",
+    "profile_at",
+    "verify_conflict_free",
+    "BankMapping",
+    "bank_contents",
+    "build_mapping",
+    "max_overhead_elements",
+    "ours_overhead_elements",
+    "NULL_COUNTER",
+    "OpCounter",
+    "counting",
+    "PartitionSolution",
+    "SweepResult",
+    "fast_nc",
+    "minimize_nf",
+    "pairwise_differences",
+    "partition",
+    "same_size_nc",
+    "same_size_sweep",
+    "widen_solution",
+    "PackedBankMapping",
+    "packed_mapping",
+    "Pattern",
+    "Objective",
+    "SolverResult",
+    "solve",
+    "solve_joint",
+    "LinearTransform",
+    "check_theorem1",
+    "derive_alpha",
+    "spread",
+    "transformed_values",
+]

@@ -1,0 +1,134 @@
+"""Bank-conflict analysis: additional initiation interval ``δ(II)``.
+
+Definition 4 of the paper: for a loop offset ``s``, the pattern's elements
+land in banks ``B_P^(s)``; ``A_P^(s)`` is the occurrence count of the mode
+(most frequent bank), and
+
+.. math::
+
+    δ_P = \\max_{s ∈ X} A_P^{(s)} − 1 .
+
+``δP = 0`` means the whole pattern is served in one cycle.  For linear bank
+hashes the conflict profile is offset-invariant (all residues shift by the
+common constant ``(α·s) % N``), so a single evaluation suffices — but this
+module also provides an *exhaustive/sampled* evaluator so tests never have
+to take that invariance on faith, and so non-linear baseline mappings can
+be analyzed with the same tooling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .partition import PartitionSolution, mode_count
+from .pattern import Pattern
+
+BankFunction = Callable[[Sequence[int]], int]
+
+
+@dataclass(frozen=True)
+class ConflictProfile:
+    """Conflict statistics of one pattern evaluation at one loop offset.
+
+    Attributes
+    ----------
+    banks:
+        Bank index per pattern element (canonical offset order).
+    worst:
+        Occurrence count of the busiest bank (``A_P``).
+    histogram:
+        Bank index → number of pattern elements landing there.
+    """
+
+    banks: Tuple[int, ...]
+    worst: int
+    histogram: Dict[int, int]
+
+    @property
+    def delta_ii(self) -> int:
+        """``δP`` contribution of this offset (``worst − 1``)."""
+        return self.worst - 1
+
+    @property
+    def conflict_free(self) -> bool:
+        return self.worst == 1
+
+
+def profile_at(
+    pattern: Pattern, bank_of: BankFunction, offset: Sequence[int] | None = None
+) -> ConflictProfile:
+    """Evaluate the conflict profile of ``pattern`` at one loop ``offset``."""
+    base = pattern if offset is None else pattern.translated(offset)
+    banks = tuple(bank_of(delta) for delta in base.offsets)
+    histogram: Dict[int, int] = {}
+    for b in banks:
+        histogram[b] = histogram.get(b, 0) + 1
+    return ConflictProfile(banks=banks, worst=max(histogram.values()), histogram=histogram)
+
+
+def delta_ii(
+    pattern: Pattern,
+    bank_of: BankFunction,
+    offsets: Sequence[Sequence[int]] | None = None,
+) -> int:
+    """``δP`` maximized over the given loop ``offsets`` (default: origin only).
+
+    For linear hashes the origin alone is exact; pass a window of offsets
+    (e.g. from :func:`offset_window`) to validate that claim empirically or
+    to analyze arbitrary (non-linear) mappings.
+    """
+    candidates = offsets if offsets is not None else [tuple(0 for _ in range(pattern.ndim))]
+    worst = 0
+    for s in candidates:
+        worst = max(worst, profile_at(pattern, bank_of, s).worst)
+    return worst - 1
+
+
+def offset_window(ndim: int, radius: int) -> List[Tuple[int, ...]]:
+    """All integer offsets with every coordinate in ``[0, radius]``.
+
+    A window of side ``radius+1`` covers every residue class of any modulus
+    up to ``radius+1``, which is what offset-invariance checks need.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    return list(itertools.product(range(radius + 1), repeat=ndim))
+
+
+def verify_conflict_free(
+    solution: PartitionSolution, window_radius: int | None = None
+) -> bool:
+    """Check that a solution achieves its advertised ``δ(II)``.
+
+    Evaluates the conflict profile at the origin and — when
+    ``window_radius`` is given — over the whole offset window, asserting
+    the measured worst case never exceeds ``solution.delta_ii``.
+    """
+    bank_of = solution.bank_of
+    offsets: Sequence[Sequence[int]] | None = None
+    if window_radius is not None:
+        offsets = offset_window(solution.pattern.ndim, window_radius)
+    measured = delta_ii(solution.pattern, bank_of, offsets)
+    return measured <= solution.delta_ii
+
+
+def measured_cycles(solution: PartitionSolution) -> int:
+    """Cycles to fetch one pattern instance as *measured* (not advertised)."""
+    return profile_at(solution.pattern, solution.bank_of).worst
+
+
+def conflict_table(
+    pattern: Pattern, bank_of_for_n: Callable[[int], BankFunction], n_max: int
+) -> List[int]:
+    """The Section 5.1 case-study row: ``A_P = δP|N + 1`` for ``N = 1…n_max``.
+
+    ``bank_of_for_n(N)`` must return the bank function for ``N`` banks.
+    """
+    table: List[int] = []
+    for n in range(1, n_max + 1):
+        bank_of = bank_of_for_n(n)
+        banks = [bank_of(delta) for delta in pattern.offsets]
+        table.append(mode_count(banks))
+    return table

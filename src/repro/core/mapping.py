@@ -1,0 +1,335 @@
+"""Intra-bank address mapping and storage overhead (paper Section 4.4).
+
+Given a bank hash ``B(x) = (α·x) % N`` over an array of shape
+``(w_0, …, w_{n-1})``, the paper maps element ``x`` to in-bank offset
+
+.. math::
+
+    F(x) = (x_0, …, x_{n-2}, x_{new}), \\qquad
+    x_{new} = \\left\\lfloor \\frac{(α·x) \\bmod (K N)}{N} \\right\\rfloor
+
+with ``K = ⌈w_{n-1} / N⌉`` (the paper derives the formula for the
+overhead-free prefix ``K = ⌊w_{n-1}/N⌋`` and pads the tail to the next
+multiple of ``N``; using the ceiling folds both cases into one formula).
+Only the **last** dimension grows, so the per-bank shape is
+``(w_0, …, w_{n-2}, K)`` and the storage overhead is
+
+.. math::
+
+    ΔW = (⌈w_{n-1}/N⌉·N − w_{n-1}) · \\prod_{k=0}^{n-2} w_k
+
+elements — at most ``(N−1)·∏_{k<n-1} w_k``, versus LTB's padding of *every*
+dimension.  Uniqueness of ``(B, F)`` pairs (the paper's constraint 1) is
+proved in DESIGN.md §2 and machine-checked by :func:`verify_bijective`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import DimensionMismatchError, MappingError
+from .opcount import OpCounter, resolve
+from .partition import PartitionSolution
+
+Shape = Tuple[int, ...]
+Address = Tuple[int, int]  # (bank index, linear in-bank offset)
+
+
+def _validate_shape(shape: Sequence[int]) -> Shape:
+    normalized = tuple(int(w) for w in shape)
+    if not normalized:
+        raise DimensionMismatchError("array shape must have at least one dimension")
+    if any(w <= 0 for w in normalized):
+        raise DimensionMismatchError(f"array shape must be positive, got {normalized}")
+    return normalized
+
+
+@dataclass(frozen=True)
+class BankMapping:
+    """Complete address translation for one partitioned array.
+
+    Combines a :class:`PartitionSolution` (which bank?) with the Section 4.4
+    offset scheme (where inside the bank?) for a concrete array shape.
+
+    Attributes
+    ----------
+    solution:
+        The partitioning decision (transform, bank count, scheme).
+    shape:
+        Original array shape ``(w_0, …, w_{n-1})``.
+    """
+
+    solution: PartitionSolution
+    shape: Shape
+
+    def __post_init__(self) -> None:
+        shape = _validate_shape(self.shape)
+        object.__setattr__(self, "shape", shape)
+        if len(shape) != self.solution.transform.ndim:
+            raise DimensionMismatchError(
+                f"array is {len(shape)}-dimensional but the transform expects "
+                f"{self.solution.transform.ndim} dimensions"
+            )
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def n_banks(self) -> int:
+        return self.solution.n_banks
+
+    @property
+    def rows_per_bank(self) -> int:
+        """``K = ⌈w_{n-1} / N_inner⌉``: padded last-dimension slots per bank.
+
+        For the two-level and wide schemes the inner hash spans ``N_f``
+        banks, so the padding granularity is ``N_f`` even though fewer
+        physical banks exist.
+        """
+        return math.ceil(self.shape[-1] / self._inner_banks)
+
+    @property
+    def _folded(self) -> bool:
+        """Whether several inner banks share one physical bank."""
+        return self.solution.scheme in ("two-level", "wide")
+
+    @property
+    def _inner_banks(self) -> int:
+        if self._folded:
+            return self.solution.n_unconstrained
+        return self.solution.n_banks
+
+    def _fold_of(self, inner: int) -> Tuple[int, int]:
+        """(physical bank, sub-bank slot) an inner bank folds into."""
+        if self.solution.scheme == "two-level":
+            return inner % self.solution.n_banks, inner // self.solution.n_banks
+        if self.solution.scheme == "wide":
+            return inner // self.solution.bank_ports, inner % self.solution.bank_ports
+        return inner, 0
+
+    @property
+    def bank_shape(self) -> Shape:
+        """Per-inner-bank shape: ``(w_0, …, w_{n-2}, K)``."""
+        return self.shape[:-1] + (self.rows_per_bank,)
+
+    @property
+    def inner_bank_size(self) -> int:
+        """Elements per inner bank."""
+        size = 1
+        for w in self.bank_shape:
+            size *= w
+        return size
+
+    def bank_size(self, bank: int) -> int:
+        """Elements allocated in physical bank ``bank``.
+
+        Uniform for the direct scheme; for the folded schemes (two-level,
+        wide) a physical bank holds one region per inner bank folded into
+        it.
+        """
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.n_banks})")
+        if not self._folded:
+            return self.inner_bank_size
+        folded = sum(
+            1
+            for inner in range(self.solution.n_unconstrained)
+            if self._fold_of(inner)[0] == bank
+        )
+        return folded * self.inner_bank_size
+
+    # -- address translation -------------------------------------------------
+
+    def _check_element(self, element: Sequence[int]) -> Tuple[int, ...]:
+        vec = tuple(int(c) for c in element)
+        if len(vec) != self.ndim:
+            raise DimensionMismatchError(
+                f"element has {len(vec)} coordinates, array is {self.ndim}-dimensional"
+            )
+        for c, w in zip(vec, self.shape):
+            if not 0 <= c < w:
+                raise MappingError(f"element {vec} outside array of shape {self.shape}")
+        return vec
+
+    def bank_of(self, element: Sequence[int], ops: OpCounter | None = None) -> int:
+        """Physical bank index ``B(x)``."""
+        vec = self._check_element(element)
+        return self.solution.bank_of(vec, ops)
+
+    def offset_of(self, element: Sequence[int], ops: OpCounter | None = None) -> int:
+        """Linear in-bank offset ``F(x)`` (row-major over the bank shape)."""
+        vec = self._check_element(element)
+        counter = resolve(ops)
+        value = self.solution.transform.apply(vec, ops)
+        window = self.rows_per_bank * self._inner_banks
+        counter.mod()
+        counter.div()
+        x_new = (value % window) // self._inner_banks
+        coords = vec[:-1] + (x_new,)
+        offset = self._ravel(coords, self.bank_shape)
+        if self._folded:
+            # Disambiguate which folded inner bank this element came from.
+            counter.mod()
+            counter.div()
+            inner = value % self.solution.n_unconstrained
+            _, sub_index = self._fold_of(inner)
+            offset += sub_index * self.inner_bank_size
+        return offset
+
+    def address_of(self, element: Sequence[int], ops: OpCounter | None = None) -> Address:
+        """``(bank, offset)`` pair for an element."""
+        return self.bank_of(element, ops), self.offset_of(element, ops)
+
+    @staticmethod
+    def _ravel(coords: Sequence[int], shape: Shape) -> int:
+        linear = 0
+        for c, w in zip(coords, shape):
+            linear = linear * w + c
+        return linear
+
+    # -- storage accounting -----------------------------------------------------
+
+    @property
+    def original_elements(self) -> int:
+        """``W = ∏ w_i``: elements in the unpartitioned array."""
+        total = 1
+        for w in self.shape:
+            total *= w
+        return total
+
+    @property
+    def total_bank_elements(self) -> int:
+        """``W_b``: total elements allocated across all banks."""
+        if not self._folded:
+            return self.n_banks * self.inner_bank_size
+        return sum(self.bank_size(b) for b in range(self.n_banks))
+
+    @property
+    def overhead_elements(self) -> int:
+        """``ΔW = W_b − W``: padding elements introduced by partitioning."""
+        return self.total_bank_elements - self.original_elements
+
+    # -- verification --------------------------------------------------------
+
+    def iter_elements(self) -> Iterable[Tuple[int, ...]]:
+        """All element coordinates of the array, row-major."""
+        return itertools.product(*(range(w) for w in self.shape))
+
+    def verify_bijective(self, sample_limit: int | None = None) -> bool:
+        """Check constraint 1: no two elements share a ``(bank, offset)`` pair.
+
+        Exhaustive when the array fits under ``sample_limit`` (default:
+        always exhaustive); otherwise deterministically strides the array to
+        cover ``sample_limit`` elements including the boundary slices where
+        padding bugs hide.
+
+        Raises
+        ------
+        MappingError
+            On the first collision found, naming both colliding elements.
+        """
+        seen: Dict[Address, Tuple[int, ...]] = {}
+        elements: Iterable[Tuple[int, ...]] = self.iter_elements()
+        if sample_limit is not None and self.original_elements > sample_limit:
+            elements = self._sampled_elements(sample_limit)
+        for element in elements:
+            addr = self.address_of(element)
+            if addr[1] >= self.bank_size(addr[0]):
+                raise MappingError(
+                    f"element {element} mapped to offset {addr[1]} beyond bank "
+                    f"{addr[0]} size {self.bank_size(addr[0])}"
+                )
+            other = seen.get(addr)
+            if other is not None:
+                raise MappingError(
+                    f"elements {other} and {element} collide at bank={addr[0]}, "
+                    f"offset={addr[1]}"
+                )
+            seen[addr] = element
+        return True
+
+    def _sampled_elements(self, limit: int) -> Iterable[Tuple[int, ...]]:
+        """Deterministic sample biased toward the padded tail of the last axis."""
+        # Always include the last 2*N slices of the last dimension (where the
+        # ceil-padding logic acts) and stride the rest.
+        w_last = self.shape[-1]
+        tail_start = max(0, w_last - 2 * self._inner_banks)
+        tail = range(tail_start, w_last)
+        head_stride = max(1, (w_last * self.original_elements) // (limit * w_last))
+        head = range(0, tail_start, head_stride)
+        last_values = sorted(set(head) | set(tail))
+        outer_ranges = [range(w) for w in self.shape[:-1]]
+        # Stride outer dimensions so the total stays near the limit.
+        budget_outer = max(1, limit // max(1, len(last_values)))
+        outer_total = 1
+        for w in self.shape[:-1]:
+            outer_total *= w
+        stride = max(1, outer_total // budget_outer)
+        count = 0
+        for idx, outer in enumerate(itertools.product(*outer_ranges)):
+            if idx % stride:
+                continue
+            for last in last_values:
+                yield outer + (last,)
+                count += 1
+        if count == 0:  # pragma: no cover - defensive
+            yield tuple(0 for _ in self.shape)
+
+
+def build_mapping(solution: PartitionSolution, shape: Sequence[int]) -> BankMapping:
+    """Convenience constructor matching the paper's two-step flow."""
+    return BankMapping(solution=solution, shape=_validate_shape(shape))
+
+
+def ours_overhead_elements(shape: Sequence[int], n_banks: int) -> int:
+    """Closed-form Section 4.4.2 overhead: pad only the last dimension.
+
+    ``(⌈w_{n-1}/N⌉·N − w_{n-1}) · ∏_{k<n-1} w_k``.
+
+    >>> ours_overhead_elements((640, 480), 13)
+    640
+    """
+    shape = _validate_shape(shape)
+    if n_banks <= 0:
+        raise ValueError(f"n_banks must be positive, got {n_banks}")
+    pad = math.ceil(shape[-1] / n_banks) * n_banks - shape[-1]
+    outer = 1
+    for w in shape[:-1]:
+        outer *= w
+    return pad * outer
+
+
+def max_overhead_elements(shape: Sequence[int], n_banks: int) -> int:
+    """The paper's worst case ``(N−1)·∏_{k<n-1} w_k``."""
+    shape = _validate_shape(shape)
+    outer = 1
+    for w in shape[:-1]:
+        outer *= w
+    return (n_banks - 1) * outer
+
+
+def bank_contents(mapping: BankMapping) -> List[List[Tuple[int, ...]]]:
+    """Materialize, per physical bank, the ordered list of original elements.
+
+    Intended for small arrays (visualization, tests); position ``i`` of bank
+    ``b`` holds the element mapped to offset ``i`` or is absent for padding.
+    """
+    banks: List[Dict[int, Tuple[int, ...]]] = [dict() for _ in range(mapping.n_banks)]
+    for element in mapping.iter_elements():
+        bank, offset = mapping.address_of(element)
+        if offset in banks[bank]:
+            raise MappingError(
+                f"collision while materializing bank {bank} offset {offset}"
+            )
+        banks[bank][offset] = element
+    result: List[List[Tuple[int, ...]]] = []
+    for bank_index, content in enumerate(banks):
+        size = mapping.bank_size(bank_index)
+        result.append([content.get(i, ()) for i in range(size)])
+    return result

@@ -1,0 +1,136 @@
+"""Zero-overhead tail-packed mapping (paper Section 4.4.2, first option).
+
+Section 4.4.2 offers two ways to place the tail slice
+``x_{n-1} ∈ [K·N, w_{n-1})`` that does not fill a whole group of ``N``:
+
+1. *"access them one by one and map them into banks according to their
+   bank index, which causes no storage overhead but high complexity"*, or
+2. pad the tail to a full group (the default :class:`BankMapping`).
+
+The paper prefers option 2 and only analyzes its overhead; this module
+implements option 1 so the trade-off can actually be measured.  The prefix
+``x_{n-1} < K·N`` (with ``K = ⌊w_{n-1}/N⌋``) uses the standard overhead-free
+formula; each tail element is then appended *compactly* to its bank, right
+after the prefix region, in deterministic (row-major) order.  Total bank
+storage equals ``W`` exactly — zero overhead — at the price of an
+irregular per-bank size and a rank computation (here a precomputed lookup;
+in hardware, a small ROM or serialized access) instead of pure arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from ..errors import MappingError
+from .mapping import BankMapping
+from .opcount import OpCounter
+
+
+@dataclass(frozen=True)
+class PackedBankMapping(BankMapping):
+    """A :class:`BankMapping` whose tail slice is packed, not padded.
+
+    Only the ``"direct"`` scheme is supported (the folded schemes would
+    compose the same way but the paper only discusses the direct case).
+    """
+
+    _tail_ranks: Dict[Tuple[int, ...], int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _tail_counts: Dict[int, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.solution.scheme != "direct":
+            raise MappingError(
+                "PackedBankMapping supports the direct scheme only, got "
+                f"{self.solution.scheme!r}"
+            )
+        self._build_tail_index()
+
+    # -- geometry overrides ----------------------------------------------------
+
+    @property
+    def prefix_rows(self) -> int:
+        """``K = ⌊w_{n-1} / N⌋``: full groups handled by the closed form."""
+        return self.shape[-1] // self.n_banks
+
+    @property
+    def rows_per_bank(self) -> int:  # noqa: D401 - see base class
+        """Prefix rows per bank (the packed tail is accounted separately)."""
+        return max(self.prefix_rows, 1) if self.prefix_rows else 0
+
+    @property
+    def prefix_bank_size(self) -> int:
+        size = self.prefix_rows
+        for w in self.shape[:-1]:
+            size *= w
+        return size
+
+    def bank_size(self, bank: int) -> int:
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.n_banks})")
+        return self.prefix_bank_size + self._tail_counts.get(bank, 0)
+
+    @property
+    def total_bank_elements(self) -> int:
+        return sum(self.bank_size(b) for b in range(self.n_banks))
+
+    # -- tail index ------------------------------------------------------------
+
+    def _tail_start(self) -> int:
+        return self.prefix_rows * self.n_banks
+
+    def _build_tail_index(self) -> None:
+        """Assign each tail element its compact rank within its bank."""
+        import itertools
+
+        start = self._tail_start()
+        counters: Dict[int, int] = {}
+        ranks: Dict[Tuple[int, ...], int] = {}
+        outer = itertools.product(*(range(w) for w in self.shape[:-1]))
+        for head in outer:
+            for last in range(start, self.shape[-1]):
+                element = head + (last,)
+                bank = self.solution.bank_of(element)
+                ranks[element] = counters.get(bank, 0)
+                counters[bank] = counters.get(bank, 0) + 1
+        object.__setattr__(self, "_tail_ranks", ranks)
+        object.__setattr__(self, "_tail_counts", counters)
+
+    # -- addressing override -------------------------------------------------------
+
+    def offset_of(self, element: Sequence[int], ops: OpCounter | None = None) -> int:
+        vec = self._check_element(element)
+        if vec[-1] < self._tail_start():
+            # Closed-form prefix: the Section 4.4.1 overhead-free formula
+            # with K = floor(w/N).
+            value = self.solution.transform.apply(vec, ops)
+            window = self.prefix_rows * self.n_banks
+            x_new = (value % window) // self.n_banks
+            coords = vec[:-1] + (x_new,)
+            bank_shape = self.shape[:-1] + (self.prefix_rows,)
+            return self._ravel(coords, bank_shape)
+        return self.prefix_bank_size + self._tail_ranks[vec]
+
+    # -- reporting -----------------------------------------------------------------
+
+    @property
+    def tail_elements(self) -> int:
+        """Elements handled by the packed (irregular) path."""
+        return len(self._tail_ranks)
+
+
+def packed_mapping(solution, shape: Sequence[int]) -> PackedBankMapping:
+    """Build the zero-overhead variant of a direct-scheme solution.
+
+    >>> from repro.core import partition
+    >>> from repro.patterns import log_pattern
+    >>> mapping = packed_mapping(partition(log_pattern()), (8, 20))
+    >>> mapping.overhead_elements
+    0
+    """
+    return PackedBankMapping(solution=solution, shape=tuple(int(w) for w in shape))

@@ -1,0 +1,231 @@
+"""Access patterns over multidimensional arrays (paper Definition 2).
+
+A *pattern* is a finite set of ``m`` distinct integer offset vectors
+``Δ^(1) … Δ^(m)`` in an ``n``-dimensional array.  At loop offset ``s`` the
+kernel touches the addresses ``{s + Δ^(i)}``; the partitioner must place all
+of them in distinct banks for every ``s``.
+
+The class is deliberately immutable and hashable so patterns can be used as
+dictionary keys (e.g. memoizing partition solutions per pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import DimensionMismatchError, PatternError
+
+Offset = Tuple[int, ...]
+
+
+class Pattern:
+    """An immutable set of integer offsets defining a parallel access shape.
+
+    Parameters
+    ----------
+    offsets:
+        Iterable of equal-length integer sequences.  Duplicates are
+        rejected: a pattern is a *set* of addresses and a duplicate would
+        silently halve the required bandwidth.
+    name:
+        Optional human-readable label (used in reports and benchmarks).
+
+    Examples
+    --------
+    >>> p = Pattern([(0, 0), (0, 1), (1, 0)], name="corner")
+    >>> p.size, p.ndim
+    (3, 2)
+    >>> p.extents
+    (2, 2)
+    """
+
+    __slots__ = ("_offsets", "_name")
+
+    def __init__(self, offsets: Iterable[Sequence[int]], name: str = "") -> None:
+        normalized: List[Offset] = []
+        for raw in offsets:
+            try:
+                vec = tuple(int(c) for c in raw)
+            except (TypeError, ValueError) as exc:
+                raise PatternError(f"offset {raw!r} is not an integer vector") from exc
+            if any(not isinstance(c, int) for c in vec):  # pragma: no cover - defensive
+                raise PatternError(f"offset {raw!r} is not an integer vector")
+            normalized.append(vec)
+        if not normalized:
+            raise PatternError("a pattern must contain at least one offset")
+        ndim = len(normalized[0])
+        if ndim == 0:
+            raise PatternError("offsets must have at least one dimension")
+        for vec in normalized:
+            if len(vec) != ndim:
+                raise PatternError(
+                    f"ragged pattern: expected {ndim}-dimensional offsets, got {vec!r}"
+                )
+        if len(set(normalized)) != len(normalized):
+            raise PatternError("pattern contains duplicate offsets")
+        # Canonical order makes equality/hash independent of input order.
+        self._offsets: Tuple[Offset, ...] = tuple(sorted(normalized))
+        self._name = name
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def offsets(self) -> Tuple[Offset, ...]:
+        """The offsets in canonical (sorted) order."""
+        return self._offsets
+
+    @property
+    def name(self) -> str:
+        """Human-readable label, possibly empty."""
+        return self._name
+
+    @property
+    def size(self) -> int:
+        """Number of elements ``m`` accessed in parallel."""
+        return len(self._offsets)
+
+    @property
+    def ndim(self) -> int:
+        """Array dimensionality ``n``."""
+        return len(self._offsets[0])
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def mins(self) -> Offset:
+        """Per-dimension minimum offset component."""
+        return tuple(min(v[j] for v in self._offsets) for j in range(self.ndim))
+
+    @property
+    def maxs(self) -> Offset:
+        """Per-dimension maximum offset component."""
+        return tuple(max(v[j] for v in self._offsets) for j in range(self.ndim))
+
+    @property
+    def extents(self) -> Offset:
+        """The paper's ``D_j = max Δ_j − min Δ_j + 1`` per dimension."""
+        lo, hi = self.mins, self.maxs
+        return tuple(hi[j] - lo[j] + 1 for j in range(self.ndim))
+
+    @property
+    def bounding_box_volume(self) -> int:
+        """Product of extents: size of the tightest enclosing box."""
+        vol = 1
+        for d in self.extents:
+            vol *= d
+        return vol
+
+    # -- derived patterns ---------------------------------------------------
+
+    def normalized(self) -> "Pattern":
+        """Translate so the minimum corner sits at the origin.
+
+        Bank-mapping results are translation-invariant (Theorem 1's proof
+        removes the common ``α·s`` term), so normalizing never changes a
+        solution; it only standardizes display.
+        """
+        lo = self.mins
+        moved = [tuple(c - lo[j] for j, c in enumerate(v)) for v in self._offsets]
+        return Pattern(moved, name=self._name)
+
+    def translated(self, shift: Sequence[int]) -> "Pattern":
+        """Return a copy translated by ``shift``."""
+        shift_t = tuple(int(c) for c in shift)
+        if len(shift_t) != self.ndim:
+            raise DimensionMismatchError(
+                f"shift has {len(shift_t)} components, pattern is {self.ndim}-dimensional"
+            )
+        moved = [tuple(c + shift_t[j] for j, c in enumerate(v)) for v in self._offsets]
+        return Pattern(moved, name=self._name)
+
+    def union(self, other: "Pattern", name: str = "") -> "Pattern":
+        """Set union of two patterns (e.g. vertical + horizontal Prewitt)."""
+        if other.ndim != self.ndim:
+            raise DimensionMismatchError(
+                f"cannot union {self.ndim}-d and {other.ndim}-d patterns"
+            )
+        merged = set(self._offsets) | set(other._offsets)
+        return Pattern(merged, name=name or f"{self.name}|{other.name}")
+
+    def with_name(self, name: str) -> "Pattern":
+        """Return the same pattern relabelled."""
+        return Pattern(self._offsets, name=name)
+
+    def embed(self, extra_axis_value: int = 0, axis: int = -1, name: str = "") -> "Pattern":
+        """Embed into one more dimension by inserting a constant coordinate.
+
+        Useful for lifting a 2-D stencil into a 3-D volume (e.g. building
+        the 3-D Sobel pattern out of 2-D slices).
+        """
+        n = self.ndim + 1
+        if axis < 0:
+            axis += n
+        if not 0 <= axis < n:
+            raise DimensionMismatchError(f"axis {axis} out of range for {n} dimensions")
+        lifted = [
+            v[:axis] + (int(extra_axis_value),) + v[axis:] for v in self._offsets
+        ]
+        return Pattern(lifted, name=name or self._name)
+
+    # -- containment / mask -------------------------------------------------
+
+    def contains(self, offset: Sequence[int]) -> bool:
+        """True if ``offset`` is one of the pattern's offsets."""
+        return tuple(int(c) for c in offset) in set(self._offsets)
+
+    def to_mask(self) -> List[List[int]]:
+        """Render a 2-D pattern as a 0/1 nested-list mask over its bounding box.
+
+        Raises :class:`PatternError` for non-2-D patterns; use
+        :mod:`repro.viz` for general rendering.
+        """
+        if self.ndim != 2:
+            raise PatternError(f"to_mask requires a 2-D pattern, got {self.ndim}-D")
+        norm = self.normalized()
+        h, w = norm.extents
+        grid = [[0] * w for _ in range(h)]
+        for (r, c) in norm.offsets:
+            grid[r][c] = 1
+        return grid
+
+    @classmethod
+    def from_mask(cls, mask: Sequence[Sequence[object]], name: str = "") -> "Pattern":
+        """Build a 2-D pattern from a truthy mask (e.g. nonzero kernel taps).
+
+        >>> Pattern.from_mask([[0, 1], [1, 1]]).size
+        3
+        """
+        offsets = [
+            (r, c)
+            for r, row in enumerate(mask)
+            for c, val in enumerate(row)
+            if val
+        ]
+        if not offsets:
+            raise PatternError("mask has no truthy entries")
+        return cls(offsets, name=name)
+
+    @classmethod
+    def from_kernel(cls, kernel: Sequence[Sequence[float]], name: str = "") -> "Pattern":
+        """Pattern of the nonzero taps of a 2-D convolution kernel."""
+        return cls.from_mask([[v != 0 for v in row] for row in kernel], name=name)
+
+    # -- dunder plumbing ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Offset]:
+        return iter(self._offsets)
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._offsets == other._offsets
+
+    def __hash__(self) -> int:
+        return hash(self._offsets)
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return f"Pattern({self.size} offsets, ndim={self.ndim}{label})"

@@ -1,0 +1,154 @@
+"""Command-line entry points.
+
+* ``repro-table1`` — regenerate the paper's Table 1.
+* ``repro-casestudy`` — regenerate the Sections 2 / 5.1 LoG walk-through.
+* ``repro-partition`` — partition a user-supplied pattern or kernel: the
+  library as a standalone tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..core.mapping import BankMapping
+from ..core.pattern import Pattern
+from ..core.solver import Objective, solve
+from ..patterns.library import BENCHMARKS, benchmark_pattern
+from .casestudy import run_case_study
+from .report import render_case_study, render_table1
+from .table1 import build_table
+
+
+def main_table1(argv: Sequence[str] | None = None) -> int:
+    """Regenerate Table 1 and print it with the published values inline."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's Table 1 (DAC 2015 memory partitioning)."
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="*",
+        choices=sorted(BENCHMARKS),
+        default=None,
+        help="subset of rows to run (default: all seven)",
+    )
+    parser.add_argument(
+        "--repetitions",
+        type=int,
+        default=20,
+        help="timing repetitions for our algorithm (LTB uses 1/10th)",
+    )
+    parser.add_argument(
+        "--no-paper", action="store_true", help="omit the published reference rows"
+    )
+    args = parser.parse_args(argv)
+    table = build_table(args.benchmarks, time_repetitions=args.repetitions)
+    print(render_table1(table, include_paper=not args.no_paper))
+    return 0
+
+
+def main_casestudy(argv: Sequence[str] | None = None) -> int:
+    """Regenerate the Sections 2 / 5.1 LoG walk-through."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's LoG case study (Sections 2 and 5.1)."
+    )
+    parser.add_argument("--nmax", type=int, default=10, help="bank-count ceiling")
+    args = parser.parse_args(argv)
+    print(render_case_study(run_case_study(n_max=args.nmax)))
+    return 0
+
+
+def _pattern_from_args(args: argparse.Namespace) -> Pattern:
+    if args.benchmark:
+        return benchmark_pattern(args.benchmark)
+    if args.mask:
+        rows = [[int(ch) for ch in row] for row in args.mask.split(",")]
+        return Pattern.from_mask(rows, name="cli")
+    if args.kernel:
+        from ..hls.extract import extract_pattern
+        from ..hls.frontend import parse_kernel
+
+        with open(args.kernel) as handle:
+            nest = parse_kernel(handle.read())
+        return extract_pattern(nest, args.array)
+    raise SystemExit("one of --benchmark, --mask, or --kernel is required")
+
+
+def main_partition(argv: Sequence[str] | None = None) -> int:
+    """Partition a pattern given on the command line.
+
+    Examples::
+
+        repro-partition --benchmark log --nmax 10
+        repro-partition --mask 010,111,010 --shape 64,48
+        repro-partition --kernel mykernel.c --shape 640,480 --save sol.json
+    """
+    parser = argparse.ArgumentParser(
+        description="Memory-partition an access pattern (DAC 2015 algorithm)."
+    )
+    source = parser.add_argument_group("pattern source (choose one)")
+    source.add_argument("--benchmark", choices=sorted(BENCHMARKS), help="a Table 1 pattern")
+    source.add_argument(
+        "--mask", help="comma-separated 0/1 rows, e.g. 010,111,010 for the cross"
+    )
+    source.add_argument("--kernel", help="path to a mini-C stencil kernel file")
+    parser.add_argument("--array", default=None, help="array to extract (for --kernel)")
+    parser.add_argument("--shape", default=None, help="array shape, e.g. 640,480")
+    parser.add_argument("--nmax", type=int, default=None, help="bank-count ceiling")
+    parser.add_argument(
+        "--objective",
+        choices=[o.value for o in Objective],
+        default=Objective.LATENCY.value,
+        help="Problem 1 optimization order",
+    )
+    parser.add_argument("--save", default=None, help="write the solution to a JSON file")
+    parser.add_argument(
+        "--emit-c", action="store_true", help="print B(x)/F(x) helper functions in C"
+    )
+    parser.add_argument("--grid", action="store_true", help="print a bank-index grid")
+    args = parser.parse_args(argv)
+
+    pattern = _pattern_from_args(args)
+    shape = tuple(int(w) for w in args.shape.split(",")) if args.shape else None
+
+    result = solve(
+        pattern,
+        shape=shape,
+        n_max=args.nmax,
+        objective=Objective(args.objective),
+    )
+    solution = result.solution
+    print(f"pattern: {pattern.size} elements, {pattern.ndim} dimensions")
+    print(f"transform alpha = {solution.transform.alpha}")
+    print(f"banks = {solution.n_banks} (unconstrained N_f = {solution.n_unconstrained})")
+    print(f"extra initiation interval = {solution.delta_ii} "
+          f"({solution.delta_ii + 1} cycle(s) per pattern access)")
+    if shape:
+        print(f"storage overhead = {result.overhead_elements} elements over {shape}")
+
+    if args.grid and pattern.ndim == 2:
+        from ..viz.ascii_art import render_bank_grid
+
+        rows = pattern.extents[0] + 2
+        cols = pattern.extents[1] + 4
+        print(render_bank_grid(solution, rows, cols, highlight=pattern))
+
+    if args.emit_c:
+        if shape is None:
+            raise SystemExit("--emit-c requires --shape")
+        from ..hls.codegen import generate_bank_helpers
+
+        mapping = BankMapping(solution=solution, shape=shape)
+        print(generate_bank_helpers("X", mapping))
+
+    if args.save:
+        from ..io import save_solution
+
+        save_solution(solution, args.save)
+        print(f"solution written to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_table1())

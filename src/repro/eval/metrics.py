@@ -1,0 +1,117 @@
+"""Metric computation shared by the evaluation harnesses.
+
+Converts algorithm outputs into the units Table 1 reports: bank counts,
+storage overhead in 9 kb memory blocks, instrumented arithmetic-operation
+counts, and wall-clock execution time (averaged over repetitions, as the
+paper averages over 10000 runs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..baselines.ltb import ltb_overhead_elements, ltb_partition
+from ..core.mapping import ours_overhead_elements
+from ..core.opcount import OpCounter
+from ..core.partition import partition
+from ..core.pattern import Pattern
+from ..hw.bram import DEFAULT_ELEMENT_BITS, overhead_blocks
+
+
+@dataclass(frozen=True)
+class AlgorithmRun:
+    """One algorithm's outcome on one pattern.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"ours"`` or ``"ltb"``.
+    n_banks:
+        Bank count the algorithm selected.
+    operations:
+        Instrumented arithmetic operations while finding the solution.
+    time_ms:
+        Mean wall-clock milliseconds per solve.
+    """
+
+    algorithm: str
+    n_banks: int
+    operations: int
+    time_ms: float
+
+
+def improvement(baseline: float, ours: float) -> float:
+    """Relative saving in percent: ``(baseline − ours) / baseline · 100``.
+
+    Matches the paper's convention (negative when ours is worse, as in the
+    Gaussian storage row).  A zero baseline with zero ours counts as 0%
+    improvement (nothing to save).
+    """
+    if baseline == 0:
+        return 0.0 if ours == 0 else -100.0
+    return (baseline - ours) / baseline * 100.0
+
+
+def run_ours(pattern: Pattern, repetitions: int = 100) -> AlgorithmRun:
+    """Run the paper's algorithm with instrumentation and timing."""
+    ops = OpCounter()
+    solution = partition(pattern, ops=ops)
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        partition(pattern)
+    elapsed = (time.perf_counter() - start) / repetitions
+    return AlgorithmRun(
+        algorithm="ours",
+        n_banks=solution.n_banks,
+        operations=ops.arithmetic,
+        time_ms=elapsed * 1000.0,
+    )
+
+
+def run_ltb(pattern: Pattern, repetitions: int = 3) -> AlgorithmRun:
+    """Run the LTB baseline with instrumentation and timing.
+
+    Fewer repetitions by default: LTB is orders of magnitude slower (that
+    asymmetry is the experiment's point).
+    """
+    ops = OpCounter()
+    result = ltb_partition(pattern, ops=ops)
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        ltb_partition(pattern)
+    elapsed = (time.perf_counter() - start) / repetitions
+    return AlgorithmRun(
+        algorithm="ltb",
+        n_banks=result.solution.n_banks,
+        operations=ops.arithmetic,
+        time_ms=elapsed * 1000.0,
+    )
+
+
+def storage_blocks(
+    shape: Sequence[int],
+    n_banks: int,
+    algorithm: str,
+    element_bits: int = DEFAULT_ELEMENT_BITS,
+) -> int:
+    """Storage overhead of one solution, in 9 kb memory blocks."""
+    if algorithm == "ours":
+        elements = ours_overhead_elements(tuple(shape), n_banks)
+    elif algorithm == "ltb":
+        elements = ltb_overhead_elements(tuple(shape), n_banks)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    return overhead_blocks(elements, element_bits)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for aggregating ratios across benchmarks)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        raise ValueError("geometric mean needs at least one positive value")
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))

@@ -1,0 +1,80 @@
+"""Published Table 1 numbers, transcribed for paper-vs-measured reporting.
+
+Every cell of the paper's Table 1 (DAC 2015), so EXPERIMENTS.md and the
+benchmark output can show the published value next to ours.  Storage
+overhead is in 9 kb memory blocks; operations are counts; time is
+milliseconds on the authors' 4-core 2.9 GHz PC (absolute times are not
+expected to transfer — the *ratio* is the claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+RESOLUTION_ORDER: Tuple[str, ...] = ("SD", "HD", "FullHD", "WQXGA", "4K")
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One benchmark's published results for one algorithm."""
+
+    n_banks: int
+    storage_blocks: Tuple[int, int, int, int, int]  # SD, HD, FullHD, WQXGA, 4K
+    operations: int
+    time_ms: float
+
+
+#: benchmark → algorithm → published row.
+PAPER_TABLE1: Dict[str, Dict[str, PaperRow]] = {
+    "log": {
+        "ltb": PaperRow(13, (10, 28, 49, 58, 106), 1053, 0.575),
+        "ours": PaperRow(13, (2, 19, 41, 55, 76), 92, 0.024),
+    },
+    "canny": {
+        "ltb": PaperRow(25, (32, 38, 79, 43, 142), 5575, 1.451),
+        "ours": PaperRow(25, (23, 12, 69, 0, 103), 325, 0.024),
+    },
+    "prewitt": {
+        "ltb": PaperRow(9, (14, 9, 12, 24, 12), 2784, 2.472),
+        "ours": PaperRow(9, (7, 0, 0, 10, 0), 37, 0.018),
+    },
+    "se": {
+        "ltb": PaperRow(5, (0, 0, 0, 0, 0), 120, 0.188),
+        "ours": PaperRow(5, (0, 0, 0, 0, 0), 16, 0.015),
+    },
+    "sobel3d": {
+        "ltb": PaperRow(27, (8193, 24578, 36864, 78508, 105984), 4564742, 1108.0),
+        "ours": PaperRow(27, (2731, 8192, 18432, 36409, 73728), 352, 0.025),
+    },
+    "median": {
+        "ltb": PaperRow(7, (7, 4, 27, 20, 33), 217, 0.241),
+        "ours": PaperRow(8, (0, 0, 0, 0, 0), 30, 0.015),
+    },
+    "gaussian": {
+        "ltb": PaperRow(10, (0, 0, 0, 0, 0), 3996, 3.038),
+        "ours": PaperRow(13, (2, 19, 41, 55, 76), 50, 0.017),
+    },
+}
+
+#: Paper-reported average improvements (the Table 1 footer).
+PAPER_AVERAGE_IMPROVEMENT = {
+    "storage": 31.1,
+    "operations": 93.7,
+    "time": 96.9,
+}
+
+#: Section 2 motivational numbers for LoG at SD resolution.
+PAPER_MOTIVATION = {
+    "ltb_operations": 1053,
+    "ours_operations": 92,
+    "ltb_overhead_elements": 5450,
+    "ours_overhead_elements": 640,
+}
+
+#: Section 5.1 case-study row: A_P = δP|N + 1 for N = 1..10 on LoG.
+PAPER_CASESTUDY_SWEEP: Tuple[int, ...] = (13, 9, 5, 6, 5, 3, 2, 3, 2, 3)
+
+#: Fig. 2(b): bank index of each LoG element (paper's offset-(2,2) frame,
+#: canonical sorted-offset order).
+PAPER_LOG_BANKS: Tuple[int, ...] = (1, 5, 6, 7, 9, 10, 11, 12, 0, 2, 3, 4, 8)

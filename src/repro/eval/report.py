@@ -1,0 +1,75 @@
+"""Plain-text rendering of evaluation results (the Table 1 layout)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .casestudy import CaseStudy
+from .paper_data import PAPER_TABLE1, RESOLUTION_ORDER, PaperRow
+from .table1 import Table1
+
+
+def _format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_table1(table: Table1, include_paper: bool = True) -> str:
+    """Render the measured table in the paper's layout.
+
+    With ``include_paper=True`` each measured row is followed by the
+    published value in brackets, making drift immediately visible.
+    """
+    header = ["bench", "alg", "N"] + list(RESOLUTION_ORDER) + ["ops", "time(ms)"]
+    widths = [9, 6, 4, 7, 7, 7, 7, 7, 9, 9]
+    lines: List[str] = [_format_row(header, widths)]
+    lines.append("-+-".join("-" * w for w in widths))
+
+    for row in table.rows:
+        for algorithm, run in (("ltb", row.ltb), ("ours", row.ours)):
+            cells: List[object] = [row.benchmark, algorithm, run.n_banks]
+            cells.extend(row.storage[algorithm])
+            cells.append(run.operations)
+            cells.append(f"{run.time_ms:.3f}")
+            lines.append(_format_row(cells, widths))
+            if include_paper and row.benchmark in PAPER_TABLE1:
+                paper: PaperRow = PAPER_TABLE1[row.benchmark][algorithm]
+                cells = ["", "paper", paper.n_banks]
+                cells.extend(paper.storage_blocks)
+                cells.append(paper.operations)
+                cells.append(f"{paper.time_ms:.3f}")
+                lines.append(_format_row(cells, widths))
+        imp: List[object] = [row.benchmark, "impr%", "-"]
+        imp.extend(f"{v:.0f}" for v in row.storage_improvements())
+        imp.append(f"{row.operations_improvement:.1f}")
+        imp.append(f"{row.time_improvement:.1f}")
+        lines.append(_format_row(imp, widths))
+        lines.append("")
+
+    lines.append(
+        "average improvement: storage "
+        f"{table.average_storage_improvement:.1f}% "
+        f"(paper 31.1%), operations {table.average_operations_improvement:.1f}% "
+        f"(paper 93.7%), time {table.average_time_improvement:.1f}% (paper 96.9%)"
+    )
+    return "\n".join(lines)
+
+
+def render_case_study(study: CaseStudy) -> str:
+    """Render the Section 2 / 5.1 walk-through next to the paper's numbers."""
+    lines = [
+        "LoG case study (paper Sections 2 and 5.1)",
+        f"  alpha                = {study.alpha}   (paper: (5, 1))",
+        f"  z values             = {sorted(study.z_values)}",
+        f"  N_f                  = {study.n_f}   (paper: 13)",
+        f"  bank indices         = {study.bank_indices}",
+        "                         (paper Fig.2b: (1,5,6,7,9,10,11,12,0,2,3,4,8))",
+        f"  deltaP|N+1, N=1..10  = {study.sweep_row}   (paper: (13,9,5,6,5,3,2,3,2,3))",
+        f"  fast Nc / rounds     = {study.fast_nc} / {study.fast_rounds}   (paper: 7 / 2)",
+        f"  same-size Nc         = {study.same_size_nc} of {study.same_size_candidates}"
+        "   (paper: 7 of (7, 9))",
+        f"  ours ops / LTB ops   = {study.ours_operations} / {study.ltb_operations}"
+        "   (paper: 92 / 1053)",
+        f"  ours / LTB overhead  = {study.ours_overhead_elements} / "
+        f"{study.ltb_overhead_elements} elements   (paper: 640 / 5450)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Parameter-sweep series: figure-style data beyond the single Table 1.
+
+Each function returns a list of (x, ...) rows — the series a plot would
+show — so benchmark output can report trends: overhead vs bank count,
+overhead vs resolution, throughput vs unroll factor, energy vs scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..baselines.ltb import ltb_overhead_elements
+from ..core.mapping import BankMapping, ours_overhead_elements
+from ..core.partition import partition, widen_solution
+from ..core.pattern import Pattern
+from ..hw.bram import overhead_blocks
+from ..hw.energy import (
+    EnergyModel,
+    banked_sweep_energy,
+    duplicated_sweep_energy,
+    monolithic_sweep_energy,
+)
+from ..patterns.generators import unrolled
+from ..patterns.library import RESOLUTIONS
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One point of an overhead-vs-banks series."""
+
+    n_banks: int
+    ours_elements: int
+    ltb_elements: int
+
+    @property
+    def ratio(self) -> float:
+        if self.ours_elements == 0:
+            return float("inf") if self.ltb_elements else 1.0
+        return self.ltb_elements / self.ours_elements
+
+
+def overhead_vs_banks(
+    shape: Sequence[int], bank_range: Sequence[int]
+) -> List[OverheadPoint]:
+    """Padding overhead of both strategies across bank counts."""
+    return [
+        OverheadPoint(
+            n_banks=n,
+            ours_elements=ours_overhead_elements(tuple(shape), n),
+            ltb_elements=ltb_overhead_elements(tuple(shape), n),
+        )
+        for n in bank_range
+    ]
+
+
+def overhead_vs_resolution(
+    pattern: Pattern, algorithm_banks: int | None = None
+) -> List[Tuple[str, int, int]]:
+    """(resolution, ours blocks, ltb blocks) across the Table 1 sizes.
+
+    ``algorithm_banks`` defaults to the pattern's own ``N_f`` so callers
+    can pass just the pattern.
+    """
+    banks = (
+        algorithm_banks if algorithm_banks is not None else partition(pattern).n_banks
+    )
+    rows = []
+    for name, shape in RESOLUTIONS.items():
+        ours = overhead_blocks(ours_overhead_elements(shape, banks))
+        ltb = overhead_blocks(ltb_overhead_elements(shape, banks))
+        rows.append((name, ours, ltb))
+    return rows
+
+
+def throughput_vs_unroll(
+    pattern: Pattern, factors: Sequence[int], n_max: int | None = None
+) -> List[Tuple[int, int, int, float]]:
+    """(factor, banks, II, elements-per-cycle) for unrolled variants.
+
+    Throughput is the base pattern's elements delivered per cycle:
+    ``factor · m / II`` — the series shows bandwidth scaling linearly with
+    banks until ``n_max`` caps it.
+    """
+    rows = []
+    m = pattern.size
+    for factor in factors:
+        widened = unrolled(pattern, factor) if factor > 1 else pattern
+        solution = partition(widened, n_max=n_max)
+        ii = solution.delta_ii + 1
+        rows.append((factor, solution.n_banks, ii, factor * m / ii))
+    return rows
+
+
+def energy_vs_scheme(
+    pattern: Pattern,
+    shape: Sequence[int],
+    iterations: int,
+    model: EnergyModel | None = None,
+) -> List[Tuple[str, float, float, float]]:
+    """(scheme, dynamic, leakage, total) for the three architectures.
+
+    Compares the paper's banking against the two Section 1 alternatives it
+    argues against: a monolithic multi-ported memory and full duplication.
+    """
+    model = model or EnergyModel()
+    solution = partition(pattern)
+    mapping = BankMapping(solution=solution, shape=tuple(shape))
+    total = mapping.original_elements
+    m = pattern.size
+
+    banked = banked_sweep_energy(mapping, iterations, model)
+    mono = monolithic_sweep_energy(total, m, iterations, ports=m, model=model)
+    dup = duplicated_sweep_energy(total, m, iterations, model)
+    return [
+        ("banked", banked.dynamic, banked.leakage, banked.total),
+        ("multiport", mono.dynamic, mono.leakage, mono.total),
+        ("duplicate", dup.dynamic, dup.leakage, dup.total),
+    ]
+
+
+def bandwidth_vs_ports(
+    pattern: Pattern, bandwidths: Sequence[int]
+) -> List[Tuple[int, int, int]]:
+    """(bank bandwidth B, physical banks, ports per bank) fold series."""
+    base = partition(pattern)
+    rows = []
+    for bandwidth in bandwidths:
+        wide = widen_solution(base, bandwidth)
+        rows.append((bandwidth, wide.n_banks, wide.bank_ports))
+    return rows

@@ -1,0 +1,115 @@
+"""Table 1 harness: regenerate the paper's main experimental table.
+
+For every benchmark pattern (LoG, Canny, Prewitt, SE, Sobel3D, Median,
+Gaussian) and both algorithms, compute: minimum bank count, storage
+overhead in 9 kb memory blocks at five resolutions, instrumented arithmetic
+operation count, and execution time.  Improvement rows follow the paper's
+convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..patterns.library import BENCHMARKS, benchmark_shape
+from .metrics import AlgorithmRun, improvement, run_ltb, run_ours, storage_blocks
+from .paper_data import RESOLUTION_ORDER
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured results for one benchmark.
+
+    Attributes
+    ----------
+    benchmark:
+        Pattern name (Table 1 row label).
+    ours / ltb:
+        Algorithm runs (banks, op counts, timing).
+    storage:
+        algorithm → per-resolution overhead in memory blocks.
+    """
+
+    benchmark: str
+    ours: AlgorithmRun
+    ltb: AlgorithmRun
+    storage: Dict[str, Tuple[int, ...]]
+
+    def storage_improvements(self) -> Tuple[float, ...]:
+        """Per-resolution storage saving, in percent."""
+        return tuple(
+            improvement(l, o)
+            for l, o in zip(self.storage["ltb"], self.storage["ours"])
+        )
+
+    @property
+    def operations_improvement(self) -> float:
+        return improvement(self.ltb.operations, self.ours.operations)
+
+    @property
+    def time_improvement(self) -> float:
+        return improvement(self.ltb.time_ms, self.ours.time_ms)
+
+
+@dataclass(frozen=True)
+class Table1:
+    """The full measured table plus the paper-style averages."""
+
+    rows: Tuple[Table1Row, ...]
+
+    def row(self, benchmark: str) -> Table1Row:
+        for r in self.rows:
+            if r.benchmark == benchmark:
+                return r
+        raise KeyError(f"no row for benchmark {benchmark!r}")
+
+    @property
+    def average_storage_improvement(self) -> float:
+        """Mean over every (benchmark, resolution) cell, paper footer style."""
+        cells: List[float] = []
+        for r in self.rows:
+            cells.extend(r.storage_improvements())
+        return sum(cells) / len(cells)
+
+    @property
+    def average_operations_improvement(self) -> float:
+        vals = [r.operations_improvement for r in self.rows]
+        return sum(vals) / len(vals)
+
+    @property
+    def average_time_improvement(self) -> float:
+        vals = [r.time_improvement for r in self.rows]
+        return sum(vals) / len(vals)
+
+
+def build_row(
+    benchmark: str,
+    resolutions: Sequence[str] = RESOLUTION_ORDER,
+    time_repetitions: int = 20,
+) -> Table1Row:
+    """Measure one benchmark end to end."""
+    if benchmark not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {benchmark!r}")
+    pattern = BENCHMARKS[benchmark]()
+    ours = run_ours(pattern, repetitions=time_repetitions)
+    ltb = run_ltb(pattern, repetitions=max(1, time_repetitions // 10))
+
+    storage: Dict[str, Tuple[int, ...]] = {}
+    for algorithm, run in (("ours", ours), ("ltb", ltb)):
+        cells = []
+        for resolution in resolutions:
+            shape = benchmark_shape(benchmark, resolution)
+            cells.append(storage_blocks(shape, run.n_banks, algorithm))
+        storage[algorithm] = tuple(cells)
+    return Table1Row(benchmark=benchmark, ours=ours, ltb=ltb, storage=storage)
+
+
+def build_table(
+    benchmarks: Sequence[str] | None = None,
+    time_repetitions: int = 20,
+) -> Table1:
+    """Measure the full Table 1 (or a subset of rows)."""
+    names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
+    rows = tuple(build_row(name, time_repetitions=time_repetitions) for name in names)
+    return Table1(rows=rows)

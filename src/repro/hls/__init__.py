@@ -1,0 +1,70 @@
+"""Mini HLS front-end: loop-nest IR, parsing, pattern extraction, codegen."""
+
+from .codegen import (
+    generate_bank_decls,
+    generate_bank_helpers,
+    generate_kernel,
+    generate_read_dispatch,
+    partition_pragma,
+)
+from .dependence import (
+    CombinedII,
+    Dependence,
+    combined_ii,
+    find_flow_dependences,
+    recurrence_ii,
+)
+from .extract import AccessGroup, extract_pattern, extract_read_groups, required_banks
+from .frontend import (
+    LOG_KERNEL_SOURCE,
+    build_nest,
+    log_kernel_nest,
+    parse_kernel,
+)
+from .ir import AffineIndex, ArrayRef, Loop, LoopNest, Statement
+from .program import (
+    Program,
+    ProgramSchedule,
+    parse_program,
+    schedule_program,
+)
+from .schedule import (
+    NestSchedule,
+    banking_speedup,
+    schedule_nest,
+    unpartitioned_ii,
+)
+
+__all__ = [
+    "CombinedII",
+    "Dependence",
+    "combined_ii",
+    "find_flow_dependences",
+    "recurrence_ii",
+    "Program",
+    "ProgramSchedule",
+    "parse_program",
+    "schedule_program",
+    "generate_bank_decls",
+    "generate_bank_helpers",
+    "generate_kernel",
+    "generate_read_dispatch",
+    "partition_pragma",
+    "AccessGroup",
+    "extract_pattern",
+    "extract_read_groups",
+    "required_banks",
+    "LOG_KERNEL_SOURCE",
+    "build_nest",
+    "log_kernel_nest",
+    "parse_kernel",
+    "AffineIndex",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "Statement",
+    "NestSchedule",
+    "banking_speedup",
+    "schedule_nest",
+    "unpartitioned_ii",
+]

@@ -1,0 +1,162 @@
+"""Loop-carried dependence analysis for the mini HLS scheduler.
+
+Banking removes *memory-port* constraints on the initiation interval, but
+a kernel can still be limited by *data recurrences*: if the statement
+reads a value the same loop wrote a few iterations ago (e.g. an in-place
+filter ``X[i] = X[i-1] + X[i]``), the II cannot drop below
+``latency / distance`` no matter how many banks exist.  A complete II
+story needs both bounds:
+
+    II = max(II_memory, II_recurrence)
+
+This module computes uniform dependence distances between the statement's
+write and its reads of the same array, derives the recurrence-constrained
+minimum II (the classic modulo-scheduling bound), and exposes a combined
+scheduler entry point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import HLSError
+from .ir import ArrayRef, LoopNest
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One loop-carried flow dependence (write → later read).
+
+    Attributes
+    ----------
+    array:
+        The array carrying the value.
+    distance:
+        Iteration-distance vector (in loop order, outer first).  The
+        *carrying* level is the first nonzero component; lexicographically
+        positive distances are true (flow) dependences.
+    read:
+        The reading reference.
+    """
+
+    array: str
+    distance: Tuple[int, ...]
+    read: ArrayRef
+
+    @property
+    def scalar_distance(self) -> int:
+        """Innermost-loop iteration count between write and read.
+
+        For a perfect nest executed in row-major order, a distance vector
+        ``(d_0, …, d_{k-1})`` with trip counts ``T_i`` corresponds to
+        ``Σ d_i · ∏_{j>i} T_j`` innermost iterations — but for recurrence
+        bounds only dependences carried by the innermost loop matter at
+        II granularity, so this returns the innermost component when all
+        outer components are zero, else 0 (handled at a coarser level).
+        """
+        if all(c == 0 for c in self.distance[:-1]):
+            return self.distance[-1]
+        return 0
+
+
+def find_flow_dependences(nest: LoopNest) -> List[Dependence]:
+    """Uniform write→read dependences within the statement.
+
+    Only *uniform* dependences are derived (write and read share the
+    linear part, like the access patterns themselves); a non-uniform
+    self-access raises rather than silently under-constraining the II.
+    """
+    statement = nest.statement
+    write = statement.write
+    if write is None:
+        return []
+    deps: List[Dependence] = []
+    for read in statement.reads_of(write.array):
+        if read.linear_signature != write.linear_signature:
+            raise HLSError(
+                f"non-uniform self-dependence on {write.array!r}: "
+                f"{write} vs {read}"
+            )
+        # The read at iteration i touches write-iteration i + (read - write).
+        # A *flow* dependence exists when the write happened earlier:
+        # distance = write_iteration_gap = (write consts - read consts) ...
+        distance = tuple(
+            w_c - r_c
+            for w_c, r_c in zip(write.constant_vector, read.constant_vector)
+        )
+        if any(distance) and _lex_positive(distance):
+            deps.append(Dependence(array=write.array, distance=distance, read=read))
+    return deps
+
+
+def _lex_positive(vector: Tuple[int, ...]) -> bool:
+    for component in vector:
+        if component > 0:
+            return True
+        if component < 0:
+            return False
+    return False
+
+
+def recurrence_ii(nest: LoopNest, operation_latency: int = 1) -> int:
+    """The recurrence-constrained minimum II (modulo-scheduling bound).
+
+    ``II ≥ ⌈latency / distance⌉`` for every innermost-carried flow
+    dependence; dependences carried by outer loops do not constrain the
+    innermost II (their slack is a whole inner-loop trip).
+    """
+    if operation_latency < 1:
+        raise HLSError(f"latency must be positive, got {operation_latency}")
+    bound = 1
+    for dep in find_flow_dependences(nest):
+        distance = dep.scalar_distance
+        if distance > 0:
+            bound = max(bound, math.ceil(operation_latency / distance))
+    return bound
+
+
+@dataclass(frozen=True)
+class CombinedII:
+    """Both II bounds and their maximum.
+
+    Attributes
+    ----------
+    memory:
+        Bank-conflict bound (``δP + 1`` of the chosen partitioning).
+    recurrence:
+        Data-recurrence bound.
+    """
+
+    memory: int
+    recurrence: int
+
+    @property
+    def achieved(self) -> int:
+        return max(self.memory, self.recurrence)
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when banking (not data flow) is the limiter."""
+        return self.memory >= self.recurrence
+
+
+def combined_ii(
+    nest: LoopNest,
+    n_max: Optional[int] = None,
+    operation_latency: int = 1,
+) -> CombinedII:
+    """Compute both II bounds for a nest.
+
+    >>> from repro.hls import parse_kernel
+    >>> nest = parse_kernel(
+    ...     "for (i = 1; i <= 9; i++) X[i] = X[i-1] + X[i] + B[i];")
+    >>> combined_ii(nest, operation_latency=3).recurrence
+    3
+    """
+    from .schedule import schedule_nest
+
+    memory = schedule_nest(nest, n_max=n_max).ii
+    recurrence = recurrence_ii(nest, operation_latency)
+    return CombinedII(memory=memory, recurrence=recurrence)

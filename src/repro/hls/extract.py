@@ -1,0 +1,102 @@
+"""Access-pattern extraction from loop nests.
+
+References to the same array are *uniformly generated* when their
+subscripts share the linear part (the loop-variable terms) and differ only
+in constants — e.g. all thirteen ``X[i±a][j±b]`` reads of the LoG kernel.
+For such a group the constant vectors are exactly the paper's pattern
+``P = {Δ^(1), …, Δ^(m)}``; non-uniform groups (different linear parts) are
+rejected rather than silently mis-modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.pattern import Pattern
+from ..errors import HLSError
+from .ir import ArrayRef, LoopNest
+
+
+@dataclass(frozen=True)
+class AccessGroup:
+    """All uniformly generated reads of one array in a nest.
+
+    Attributes
+    ----------
+    array:
+        Array name.
+    pattern:
+        The extracted offset pattern.
+    linear_signature:
+        Shared per-dimension linear parts (for codegen).
+    refs:
+        The underlying references.
+    """
+
+    array: str
+    pattern: Pattern
+    linear_signature: Tuple[Tuple[Tuple[str, int], ...], ...]
+    refs: Tuple[ArrayRef, ...]
+
+
+def extract_read_groups(nest: LoopNest) -> Dict[str, AccessGroup]:
+    """Group and extract a pattern for every array read in the nest.
+
+    Raises
+    ------
+    HLSError
+        If any array's reads are not uniformly generated (mixed linear
+        parts), or if a subscript uses no loop variable at all (a broadcast
+        read needs no banking and should be handled separately).
+    """
+    by_array: Dict[str, List[ArrayRef]] = {}
+    for ref in nest.statement.reads:
+        by_array.setdefault(ref.array, []).append(ref)
+
+    groups: Dict[str, AccessGroup] = {}
+    for array, refs in by_array.items():
+        signature = refs[0].linear_signature
+        for ref in refs[1:]:
+            if ref.linear_signature != signature:
+                raise HLSError(
+                    f"reads of {array!r} are not uniformly generated: "
+                    f"{refs[0]} vs {ref}"
+                )
+        if all(not dim for dim in signature):
+            raise HLSError(
+                f"reads of {array!r} use no loop variable; banking is moot"
+            )
+        offsets = {ref.constant_vector for ref in refs}
+        pattern = Pattern(offsets, name=array)
+        groups[array] = AccessGroup(
+            array=array,
+            pattern=pattern,
+            linear_signature=signature,
+            refs=tuple(refs),
+        )
+    return groups
+
+
+def extract_pattern(nest: LoopNest, array: str | None = None) -> Pattern:
+    """The access pattern of ``array`` (or of the single read array).
+
+    >>> from repro.hls.frontend import log_kernel_nest
+    >>> extract_pattern(log_kernel_nest()).size
+    13
+    """
+    groups = extract_read_groups(nest)
+    if array is None:
+        if len(groups) != 1:
+            raise HLSError(
+                f"nest reads several arrays {sorted(groups)}; name one explicitly"
+            )
+        return next(iter(groups.values())).pattern
+    if array not in groups:
+        raise HLSError(f"array {array!r} is not read by the nest; reads: {sorted(groups)}")
+    return groups[array].pattern
+
+
+def required_banks(nest: LoopNest, array: str | None = None) -> int:
+    """Lower bound on banks for single-cycle service: the pattern size."""
+    return extract_pattern(nest, array).size

@@ -1,0 +1,331 @@
+"""Mini-C front-end: parse stencil loop nests into the IR.
+
+Accepts the dialect the paper's Fig. 1(b) is written in:
+
+.. code-block:: c
+
+    array X[640][480];
+    array Y[640][480];
+    for (i = 2; i <= 637; i++)
+      for (j = 2; j <= 477; j++)
+        Y[i][j] = -X[i-2][j] - 2*X[i-1][j] + 16*X[i][j] - X[i+2][j];
+
+Grammar (informal)::
+
+    program   := decl* loop
+    decl      := "array" NAME ("[" INT "]")+ ";"
+    loop      := "for" "(" NAME "=" INT ";" NAME "<=" INT ";" incr ")" body
+    incr      := NAME "++" | NAME "+=" INT
+    body      := loop | stmt | "{" (loop | stmt) "}"
+    stmt      := ref "=" expr ";"
+    expr      := ["+"|"-"] term (("+"|"-") term)*
+    term      := [INT "*"] ref | INT
+    ref       := NAME ("[" affine "]")+
+    affine    := ["+"|"-"] aterm (("+"|"-") aterm)*
+    aterm     := INT ["*" NAME] | NAME
+
+The parser is deliberately strict: anything outside the dialect raises
+:class:`~repro.errors.HLSError` with the offending token and position, so
+malformed kernels fail loudly instead of extracting a wrong pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import HLSError
+from .ir import AffineIndex, ArrayRef, Loop, LoopNest, Statement
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<int>\d+)|(?P<name>[A-Za-z_]\w*)|(?P<op>\+\+|\+=|<=|[-+*=;(){}\[\]]))"
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "int" | "name" | "op" | "eof"
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        if source[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            snippet = source[pos : pos + 12]
+            raise HLSError(f"unexpected character at position {pos}: {snippet!r}")
+        pos = match.end()
+        for kind in ("int", "name", "op"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind=kind, text=text, pos=match.start(kind)))
+                break
+    tokens.append(_Token(kind="eof", text="", pos=len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = _tokenize(source)
+        self.index = 0
+        self.loop_vars: List[str] = []
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def _advance(self) -> _Token:
+        token = self.current
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self.current
+        if token.text != text:
+            raise HLSError(
+                f"expected {text!r} at position {token.pos}, found {token.text!r}"
+            )
+        return self._advance()
+
+    def _expect_kind(self, kind: str) -> _Token:
+        token = self.current
+        if token.kind != kind:
+            raise HLSError(
+                f"expected {kind} at position {token.pos}, found {token.text!r}"
+            )
+        return self._advance()
+
+    def _accept(self, text: str) -> bool:
+        if self.current.text == text:
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> LoopNest:
+        arrays: List[Tuple[str, Tuple[int, ...]]] = []
+        while self.current.text in ("array", "int", "Define", "define"):
+            arrays.append(self._parse_decl())
+        loops, statement = self._parse_loop()
+        nest = LoopNest(loops=tuple(loops), statement=statement, arrays=tuple(arrays))
+        if self.current.kind != "eof":
+            raise HLSError(
+                f"trailing tokens after loop nest at position {self.current.pos}: "
+                f"{self.current.text!r}"
+            )
+        return nest
+
+    def _parse_decl(self) -> Tuple[str, Tuple[int, ...]]:
+        self._advance()  # 'array' / 'int'
+        name = self._expect_kind("name").text
+        dims: List[int] = []
+        while self._accept("["):
+            dims.append(int(self._expect_kind("int").text))
+            self._expect("]")
+        self._expect(";")
+        if not dims:
+            raise HLSError(f"array {name!r} declared without dimensions")
+        return name, tuple(dims)
+
+    def _parse_loop(self) -> Tuple[List[Loop], Statement]:
+        self._expect("for")
+        self._expect("(")
+        var = self._expect_kind("name").text
+        self._expect("=")
+        lower = self._parse_signed_int()
+        self._expect(";")
+        cond_var = self._expect_kind("name").text
+        if cond_var != var:
+            raise HLSError(f"loop condition tests {cond_var!r}, expected {var!r}")
+        self._expect("<=")
+        upper = self._parse_signed_int()
+        self._expect(";")
+        incr_var = self._expect_kind("name").text
+        if incr_var != var:
+            raise HLSError(f"loop increment updates {incr_var!r}, expected {var!r}")
+        if self._accept("++"):
+            step = 1
+        else:
+            self._expect("+=")
+            step = int(self._expect_kind("int").text)
+        self._expect(")")
+
+        self.loop_vars.append(var)
+        loop = Loop(var=var, lower=lower, upper=upper, step=step)
+
+        braced = self._accept("{")
+        if self.current.text == "for":
+            inner_loops, statement = self._parse_loop()
+            loops = [loop] + inner_loops
+        else:
+            statement = self._parse_statement()
+            loops = [loop]
+        if braced:
+            self._expect("}")
+        return loops, statement
+
+    def _parse_signed_int(self) -> int:
+        sign = -1 if self._accept("-") else 1
+        return sign * int(self._expect_kind("int").text)
+
+    def _parse_statement(self) -> Statement:
+        write = self._parse_ref()
+        self._expect("=")
+        reads: List[ArrayRef] = []
+        self._parse_expr(reads)
+        self._expect(";")
+        return Statement(reads=tuple(reads), write=write)
+
+    def _parse_expr(self, reads: List[ArrayRef]) -> None:
+        self._accept("+") or self._accept("-")
+        self._parse_term(reads)
+        while self.current.text in ("+", "-"):
+            self._advance()
+            self._parse_term(reads)
+
+    def _parse_term(self, reads: List[ArrayRef]) -> None:
+        if self.current.kind == "int":
+            self._advance()
+            if self._accept("*"):
+                reads.append(self._parse_ref())
+            return
+        reads.append(self._parse_ref())
+
+    def _parse_ref(self) -> ArrayRef:
+        name = self._expect_kind("name").text
+        indices: List[AffineIndex] = []
+        while self._accept("["):
+            indices.append(self._parse_affine())
+            self._expect("]")
+        if not indices:
+            raise HLSError(f"reference to {name!r} has no subscripts")
+        return ArrayRef(array=name, indices=tuple(indices))
+
+    def _parse_affine(self) -> AffineIndex:
+        coefficients: Dict[str, int] = {}
+        constant = 0
+        sign = 1
+        if self._accept("-"):
+            sign = -1
+        else:
+            self._accept("+")
+        while True:
+            coeff, var = self._parse_affine_term()
+            if var is None:
+                constant += sign * coeff
+            else:
+                if var not in self.loop_vars:
+                    raise HLSError(
+                        f"subscript uses {var!r}, which is not an enclosing loop "
+                        f"variable {self.loop_vars}"
+                    )
+                coefficients[var] = coefficients.get(var, 0) + sign * coeff
+            if self.current.text == "+":
+                sign = 1
+                self._advance()
+            elif self.current.text == "-":
+                sign = -1
+                self._advance()
+            else:
+                break
+        return AffineIndex.make(coefficients, constant)
+
+    def _parse_affine_term(self) -> Tuple[int, Optional[str]]:
+        if self.current.kind == "int":
+            value = int(self._advance().text)
+            if self._accept("*"):
+                var = self._expect_kind("name").text
+                return value, var
+            return value, None
+        var = self._expect_kind("name").text
+        return 1, var
+
+
+def parse_kernel(source: str) -> LoopNest:
+    """Parse a mini-C stencil kernel into a :class:`LoopNest`.
+
+    >>> nest = parse_kernel('''
+    ...     array X[8][8];
+    ...     for (i = 1; i <= 6; i++)
+    ...       for (j = 1; j <= 6; j++)
+    ...         Y[i][j] = X[i-1][j] + X[i+1][j];
+    ... ''')
+    >>> nest.trip_count
+    36
+    """
+    return _Parser(source).parse_program()
+
+
+def build_nest(
+    loops: List[Tuple[str, int, int]],
+    reads: List[Tuple[str, Tuple[int, ...]]],
+    write: Tuple[str, Tuple[int, ...]] | None = None,
+    arrays: Dict[str, Tuple[int, ...]] | None = None,
+) -> LoopNest:
+    """Programmatic nest builder for stride-1 stencils.
+
+    ``loops`` is ``[(var, lower, upper)]`` outer-to-inner; ``reads`` are
+    ``(array, constant_offsets)`` with the convention that dimension ``d``
+    is indexed by loop variable ``d`` plus the constant (the common stencil
+    shape).
+
+    >>> nest = build_nest([("i", 1, 6), ("j", 1, 6)],
+    ...                   [("X", (-1, 0)), ("X", (1, 0))])
+    >>> len(nest.statement.reads)
+    2
+    """
+    if not loops:
+        raise HLSError("at least one loop is required")
+    loop_objs = tuple(Loop(var=v, lower=lo, upper=hi) for v, lo, hi in loops)
+    var_names = [v for v, _, _ in loops]
+
+    def make_ref(array: str, constants: Tuple[int, ...]) -> ArrayRef:
+        if len(constants) != len(var_names):
+            raise HLSError(
+                f"offset {constants} has {len(constants)} dims, nest has {len(var_names)}"
+            )
+        indices = tuple(
+            AffineIndex.make({var: 1}, constant)
+            for var, constant in zip(var_names, constants)
+        )
+        return ArrayRef(array=array, indices=indices)
+
+    read_refs = tuple(make_ref(a, c) for a, c in reads)
+    write_ref = make_ref(*write) if write else None
+    declared = tuple((arrays or {}).items())
+    return LoopNest(
+        loops=loop_objs,
+        statement=Statement(reads=read_refs, write=write_ref),
+        arrays=declared,
+    )
+
+
+#: The paper's Fig. 1(b) LoG edge-detection kernel, verbatim (0-indexed
+#: bounds; the paper's 1-indexed ``i = 3 … 638`` becomes ``2 … 637``).
+LOG_KERNEL_SOURCE = """
+array X[640][480];
+array Y[640][480];
+for (i = 2; i <= 637; i++)
+  for (j = 2; j <= 477; j++)
+    Y[i][j] = - X[i-2][j] - X[i-1][j-1] - 2*X[i-1][j] - X[i-1][j+1]
+              - X[i][j-2] - 2*X[i][j-1] + 16*X[i][j] - 2*X[i][j+1]
+              - X[i][j+2] - X[i+1][j-1] - 2*X[i+1][j] - X[i+1][j+1]
+              - X[i+2][j];
+"""
+
+
+def log_kernel_nest() -> LoopNest:
+    """The Fig. 1(b) loop nest, parsed."""
+    return parse_kernel(LOG_KERNEL_SOURCE)

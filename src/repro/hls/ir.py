@@ -1,0 +1,213 @@
+"""Loop-nest intermediate representation for the mini HLS front-end.
+
+The partitioner consumes *access patterns*; real designs start from loop
+nests like the paper's Fig. 1(b).  This IR captures exactly the slice of C
+those kernels need:
+
+* perfectly nested counted loops (:class:`Loop`),
+* array references with affine indices (:class:`ArrayRef` of
+  :class:`AffineIndex`), and
+* one innermost statement reading some arrays and writing one
+  (:class:`Statement`).
+
+Affine indices are linear forms over the loop variables plus a constant —
+``X[i-1][j+2]`` is ``(i + (-1), j + 2)``.  References to the same array
+whose indices share the linear part and differ only in constants are
+*uniformly generated*; their constant vectors form the access pattern
+(extraction lives in :mod:`repro.hls.extract`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import HLSError
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """One array subscript: ``Σ coeff[var]·var + constant``.
+
+    Attributes
+    ----------
+    coefficients:
+        Loop-variable name → integer coefficient (zero coefficients are
+        normalized away).
+    constant:
+        The additive constant.
+    """
+
+    coefficients: Tuple[Tuple[str, int], ...]
+    constant: int = 0
+
+    @staticmethod
+    def make(coefficients: Mapping[str, int], constant: int = 0) -> "AffineIndex":
+        """Build with normalization (drop zero coefficients, sort by name)."""
+        cleaned = tuple(
+            sorted((name, int(c)) for name, c in coefficients.items() if int(c) != 0)
+        )
+        return AffineIndex(coefficients=cleaned, constant=int(constant))
+
+    @property
+    def linear_part(self) -> Tuple[Tuple[str, int], ...]:
+        return self.coefficients
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        """Value of the index under concrete loop-variable values."""
+        total = self.constant
+        for name, coeff in self.coefficients:
+            if name not in bindings:
+                raise HLSError(f"unbound loop variable {name!r} in affine index")
+            total += coeff * bindings[name]
+        return total
+
+    def shifted(self, delta: int) -> "AffineIndex":
+        """Same linear part, constant shifted by ``delta``."""
+        return AffineIndex(coefficients=self.coefficients, constant=self.constant + delta)
+
+    def __str__(self) -> str:
+        terms: List[str] = []
+        for name, coeff in self.coefficients:
+            if coeff == 1:
+                terms.append(name)
+            elif coeff == -1:
+                terms.append(f"-{name}")
+            else:
+                terms.append(f"{coeff}*{name}")
+        if self.constant or not terms:
+            terms.append(str(self.constant))
+        text = "+".join(terms).replace("+-", "-")
+        return text
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted array reference, e.g. ``X[i-1][j+2]``.
+
+    Attributes
+    ----------
+    array:
+        Array name.
+    indices:
+        One :class:`AffineIndex` per dimension.
+    """
+
+    array: str
+    indices: Tuple[AffineIndex, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.indices)
+
+    @property
+    def linear_signature(self) -> Tuple[Tuple[Tuple[str, int], ...], ...]:
+        """The per-dimension linear parts; equal signatures ⇒ uniform refs."""
+        return tuple(ix.linear_part for ix in self.indices)
+
+    @property
+    def constant_vector(self) -> Tuple[int, ...]:
+        """The per-dimension constants — a pattern offset once grouped."""
+        return tuple(ix.constant for ix in self.indices)
+
+    def evaluate(self, bindings: Mapping[str, int]) -> Tuple[int, ...]:
+        """Concrete element address under loop-variable values."""
+        return tuple(ix.evaluate(bindings) for ix in self.indices)
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{ix}]" for ix in self.indices)
+        return f"{self.array}{subs}"
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for (var = lower; var <= upper; var += step)``."""
+
+    var: str
+    lower: int
+    upper: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise HLSError(f"loop {self.var} has zero step")
+        if self.step > 0 and self.upper < self.lower:
+            raise HLSError(f"loop {self.var} has empty range [{self.lower}, {self.upper}]")
+
+    @property
+    def trip_count(self) -> int:
+        if self.step > 0:
+            return (self.upper - self.lower) // self.step + 1
+        return (self.lower - self.upper) // (-self.step) + 1
+
+    def values(self) -> range:
+        """The iteration values as a range."""
+        if self.step > 0:
+            return range(self.lower, self.upper + 1, self.step)
+        return range(self.lower, self.upper - 1, self.step)
+
+
+@dataclass(frozen=True)
+class Statement:
+    """The innermost statement: reads feed one written reference."""
+
+    reads: Tuple[ArrayRef, ...]
+    write: ArrayRef | None = None
+
+    def reads_of(self, array: str) -> Tuple[ArrayRef, ...]:
+        return tuple(ref for ref in self.reads if ref.array == array)
+
+    @property
+    def read_arrays(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for ref in self.reads:
+            seen.setdefault(ref.array, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A perfect loop nest around one statement.
+
+    Attributes
+    ----------
+    loops:
+        Outer-to-inner loop list.
+    statement:
+        The innermost body.
+    arrays:
+        Declared array shapes (name → shape), used for bounds checking and
+        for sizing bank mappings.
+    """
+
+    loops: Tuple[Loop, ...]
+    statement: Statement
+    arrays: Tuple[Tuple[str, Tuple[int, ...]], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.loops:
+            raise HLSError("a loop nest needs at least one loop")
+        names = [loop.var for loop in self.loops]
+        if len(set(names)) != len(names):
+            raise HLSError(f"duplicate loop variables in nest: {names}")
+
+    @property
+    def loop_vars(self) -> Tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    @property
+    def trip_count(self) -> int:
+        total = 1
+        for loop in self.loops:
+            total *= loop.trip_count
+        return total
+
+    def array_shape(self, name: str) -> Tuple[int, ...]:
+        for declared, shape in self.arrays:
+            if declared == name:
+                return shape
+        raise HLSError(f"array {name!r} not declared in loop nest")
+
+    @property
+    def declared_arrays(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.arrays)

@@ -1,0 +1,173 @@
+"""Program-level banking: several kernels sharing the same arrays.
+
+A realistic accelerator runs a *sequence* of loop nests over shared
+arrays — e.g. Gaussian smoothing followed by LoG detection over the same
+frame.  A physical array gets exactly one banking, so it must serve the
+union of every kernel's access pattern.  This module parses multi-kernel
+programs, computes per-array **joint** solutions (via the union-pattern
+argument of :func:`repro.core.solver.solve_joint`), and schedules the
+whole program.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..core.partition import PartitionSolution
+from ..core.pattern import Pattern
+from ..core.solver import solve_joint
+from ..errors import HLSError
+from ..sim.engine import PipelineModel
+from .extract import extract_read_groups
+from .frontend import parse_kernel
+from .ir import LoopNest
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered sequence of loop nests (kernels) sharing arrays.
+
+    Attributes
+    ----------
+    nests:
+        The kernels, in execution order.
+    """
+
+    nests: Tuple[LoopNest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nests:
+            raise HLSError("a program needs at least one kernel")
+
+    @property
+    def read_arrays(self) -> Tuple[str, ...]:
+        seen: Dict[str, None] = {}
+        for nest in self.nests:
+            for ref in nest.statement.reads:
+                seen.setdefault(ref.array, None)
+        return tuple(seen)
+
+    def patterns_of(self, array: str) -> List[Pattern]:
+        """Every kernel's pattern on ``array`` (kernels not reading it skip)."""
+        patterns: List[Pattern] = []
+        for nest in self.nests:
+            groups = extract_read_groups(nest)
+            if array in groups:
+                patterns.append(groups[array].pattern)
+        if not patterns:
+            raise HLSError(f"array {array!r} is not read by any kernel")
+        return patterns
+
+
+_KERNEL_SPLIT = re.compile(r"\n\s*\n")
+
+
+def parse_program(source: str) -> Program:
+    """Parse a multi-kernel program: kernels separated by blank lines.
+
+    Array declarations may appear before any kernel and apply to the one
+    they precede (the mini-C dialect of :mod:`repro.hls.frontend`).
+
+    >>> program = parse_program('''
+    ... for (i = 1; i <= 6; i++) Y[i] = X[i-1] + X[i+1];
+    ...
+    ... for (i = 1; i <= 6; i++) Z[i] = X[i-1] + X[i] + X[i+1];
+    ... ''')
+    >>> len(program.nests)
+    2
+    """
+    chunks = [c for c in _KERNEL_SPLIT.split(source) if c.strip()]
+    if not chunks:
+        raise HLSError("empty program source")
+    return Program(nests=tuple(parse_kernel(chunk) for chunk in chunks))
+
+
+@dataclass(frozen=True)
+class ProgramSchedule:
+    """Banking and timing decisions for a whole program.
+
+    Attributes
+    ----------
+    program:
+        The scheduled program.
+    solutions:
+        array name → one joint solution serving every kernel that reads it.
+    kernel_iis:
+        Achieved II per kernel, in program order.
+    depth:
+        Pipeline fill latency assumed per kernel.
+    """
+
+    program: Program
+    solutions: Tuple[Tuple[str, PartitionSolution], ...]
+    kernel_iis: Tuple[int, ...]
+    depth: int = 4
+
+    def solution_for(self, array: str) -> PartitionSolution:
+        for name, solution in self.solutions:
+            if name == array:
+                return solution
+        raise HLSError(f"no solution recorded for array {array!r}")
+
+    @property
+    def total_cycles(self) -> int:
+        """Kernels run back-to-back; each is a pipelined loop."""
+        total = 0
+        for nest, ii in zip(self.program.nests, self.kernel_iis):
+            model = PipelineModel(
+                iterations=nest.trip_count, base_ii=1, delta_ii=ii - 1, depth=self.depth
+            )
+            total += model.total_cycles
+        return total
+
+    @property
+    def total_banks(self) -> int:
+        return sum(solution.n_banks for _, solution in self.solutions)
+
+
+def _kernel_ii(
+    nest: LoopNest, solutions: Mapping[str, PartitionSolution]
+) -> int:
+    """Worst per-array cycles for one kernel under the shared banking.
+
+    The shared solution was built for the union pattern; a specific kernel
+    only issues *its* pattern, so its II is that pattern's mode count
+    under the shared bank hash (never worse than the union's δ + 1).
+    """
+    worst = 1
+    groups = extract_read_groups(nest)
+    for array, group in groups.items():
+        solution = solutions[array]
+        banks = [solution.bank_of(delta) for delta in group.pattern.offsets]
+        load = max(banks.count(b) for b in set(banks))
+        cycles = -(-load // solution.bank_ports)
+        worst = max(worst, cycles)
+    return worst
+
+
+def schedule_program(
+    program: Program, n_max: int | None = None, depth: int = 4
+) -> ProgramSchedule:
+    """Compute one joint banking per array and the per-kernel IIs.
+
+    >>> program = parse_program('''
+    ... for (i = 1; i <= 6; i++) Y[i] = X[i-1] + X[i+1];
+    ...
+    ... for (i = 1; i <= 6; i++) Z[i] = X[i-1] + X[i] + X[i+1];
+    ... ''')
+    >>> schedule_program(program).solution_for("X").n_banks
+    3
+    """
+    solutions: Dict[str, PartitionSolution] = {}
+    for array in program.read_arrays:
+        patterns = program.patterns_of(array)
+        solutions[array] = solve_joint(patterns, n_max=n_max).solution
+    iis = tuple(_kernel_ii(nest, solutions) for nest in program.nests)
+    return ProgramSchedule(
+        program=program,
+        solutions=tuple(sorted(solutions.items())),
+        kernel_iis=iis,
+        depth=depth,
+    )

@@ -1,0 +1,137 @@
+"""Loop scheduling under banked memory: achieved II and total cycles.
+
+Ties the front-end to the partitioner: given a loop nest and a partitioning
+decision per read array, compute the pipeline initiation interval the
+memory system permits and the end-to-end cycle count.  The memory-imposed
+II of one array is ``δP + 1`` (its pattern's worst per-bank load); arrays
+are accessed concurrently, so the nest's II is the maximum over arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from ..core.partition import PartitionSolution, partition
+from ..errors import HLSError
+from ..sim.engine import PipelineModel
+from .extract import extract_read_groups
+from .ir import LoopNest
+
+
+@dataclass(frozen=True)
+class NestSchedule:
+    """Scheduling result for one loop nest.
+
+    Attributes
+    ----------
+    nest:
+        The scheduled nest.
+    solutions:
+        Array name → partitioning solution used for it.
+    ii:
+        Achieved initiation interval (cycles between iteration starts).
+    depth:
+        Assumed pipeline depth (fill latency).
+    """
+
+    nest: LoopNest
+    solutions: Tuple[Tuple[str, PartitionSolution], ...]
+    ii: int
+    depth: int = 4
+    unroll: int = 1
+
+    @property
+    def iterations(self) -> int:
+        """Pipelined iterations after unrolling (ceil of trips / factor)."""
+        trips = self.nest.trip_count
+        return -(-trips // self.unroll)
+
+    @property
+    def total_cycles(self) -> int:
+        model = PipelineModel(
+            iterations=self.iterations,
+            base_ii=1,
+            delta_ii=self.ii - 1,
+            depth=self.depth,
+        )
+        return model.total_cycles
+
+    @property
+    def total_banks(self) -> int:
+        return sum(sol.n_banks for _, sol in self.solutions)
+
+    def solution_for(self, array: str) -> PartitionSolution:
+        for name, sol in self.solutions:
+            if name == array:
+                return sol
+        raise HLSError(f"no solution recorded for array {array!r}")
+
+
+def schedule_nest(
+    nest: LoopNest,
+    n_max: int | None = None,
+    solutions: Mapping[str, PartitionSolution] | None = None,
+    depth: int = 4,
+    unroll: int = 1,
+) -> NestSchedule:
+    """Partition every read array of the nest and derive the achieved II.
+
+    Either supply pre-computed ``solutions`` (e.g. LTB's, for comparison)
+    or let the paper's algorithm run per array with the given ``n_max``.
+
+    ``unroll > 1`` models unrolling the innermost loop by that factor: each
+    (unrolled) iteration reads the union of ``unroll`` consecutive windows,
+    so the access pattern widens along the innermost axis and the trip
+    count shrinks accordingly.  The achieved II is per *unrolled*
+    iteration, so throughput in elements/cycle grows when enough banks are
+    allowed.
+
+    >>> from repro.hls.frontend import log_kernel_nest
+    >>> schedule_nest(log_kernel_nest()).ii
+    1
+    >>> schedule_nest(log_kernel_nest(), n_max=10).ii
+    2
+    """
+    if unroll < 1:
+        raise HLSError(f"unroll factor must be positive, got {unroll}")
+    groups = extract_read_groups(nest)
+    chosen: Dict[str, PartitionSolution] = {}
+    for array, group in groups.items():
+        pattern = group.pattern
+        if unroll > 1:
+            from ..patterns.generators import unrolled as unroll_pattern
+
+            pattern = unroll_pattern(pattern, unroll)
+        if solutions is not None and array in solutions:
+            chosen[array] = solutions[array]
+        else:
+            chosen[array] = partition(pattern, n_max=n_max)
+    ii = max(sol.delta_ii + 1 for sol in chosen.values())
+    return NestSchedule(
+        nest=nest,
+        solutions=tuple(sorted(chosen.items())),
+        ii=ii,
+        depth=depth,
+        unroll=unroll,
+    )
+
+
+def unpartitioned_ii(nest: LoopNest) -> int:
+    """II with a single-ported, unpartitioned memory per array.
+
+    Reads of different arrays proceed in parallel (separate memories), but
+    the ``m`` reads of one array serialize: II = max over arrays of m.
+    """
+    groups = extract_read_groups(nest)
+    return max(group.pattern.size for group in groups.values())
+
+
+def banking_speedup(nest: LoopNest, n_max: int | None = None) -> float:
+    """End-to-end cycle ratio: unpartitioned over banked."""
+    banked = schedule_nest(nest, n_max=n_max)
+    serial_ii = unpartitioned_ii(nest)
+    serial = PipelineModel(
+        iterations=nest.trip_count, base_ii=1, delta_ii=serial_ii - 1, depth=banked.depth
+    )
+    return serial.total_cycles / banked.total_cycles

@@ -1,0 +1,65 @@
+"""Hardware models: BRAM primitives, banks, banked memory, resources."""
+
+from .bank import MemoryBank
+from .energy import (
+    EnergyModel,
+    EnergyReport,
+    banked_sweep_energy,
+    duplicated_sweep_energy,
+    monolithic_sweep_energy,
+)
+from .memory_system import MemorySystem, Transaction, TransactionResult
+from .netlist import (
+    NetlistSpec,
+    generate_address_logic,
+    generate_bank_module,
+    generate_netlist,
+    netlist_stats,
+)
+from .banked_memory import BankedMemory, ParallelReadResult
+from .bram import (
+    DEFAULT_ELEMENT_BITS,
+    M9K,
+    M9K_BITS,
+    BlockRAM,
+    overhead_blocks,
+)
+from .platform import DE2_115, Platform
+from .resources import (
+    ResourceEstimate,
+    address_bits,
+    estimate_resources,
+    modulo_cost,
+    mux_cost,
+)
+
+__all__ = [
+    "MemoryBank",
+    "EnergyModel",
+    "EnergyReport",
+    "banked_sweep_energy",
+    "duplicated_sweep_energy",
+    "monolithic_sweep_energy",
+    "MemorySystem",
+    "Transaction",
+    "TransactionResult",
+    "NetlistSpec",
+    "generate_address_logic",
+    "generate_bank_module",
+    "generate_netlist",
+    "netlist_stats",
+    "BankedMemory",
+    "ParallelReadResult",
+    "DEFAULT_ELEMENT_BITS",
+    "M9K",
+    "M9K_BITS",
+    "BlockRAM",
+    "overhead_blocks",
+    "DE2_115",
+    "Platform",
+    "ResourceEstimate",
+    "address_bits",
+    "estimate_resources",
+    "modulo_cost",
+    "mux_cost",
+]

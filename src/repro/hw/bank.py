@@ -1,0 +1,111 @@
+"""Single memory-bank model with port arbitration.
+
+A bank is a linear store with a fixed number of ports (bandwidth ``B`` in
+the paper's terms; the paper assumes ``B = 1`` and notes wider banks can be
+modelled by combining banks).  The model tracks per-cycle port usage so the
+simulator can detect conflicts: issuing more accesses to a bank than it has
+ports in one cycle is exactly the event that inflates the initiation
+interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass
+class MemoryBank:
+    """One physical memory bank.
+
+    Attributes
+    ----------
+    index:
+        Bank number within its :class:`~repro.hw.banked_memory.BankedMemory`.
+    size:
+        Number of element slots.
+    ports:
+        Accesses the bank can serve per cycle (paper: 1).
+    """
+
+    index: int
+    size: int
+    ports: int = 1
+    _data: List[Optional[int]] = field(default_factory=list, repr=False)
+    _busy_cycle: int = field(default=-1, repr=False)
+    _busy_count: int = field(default=0, repr=False)
+    #: Total accesses served, for utilization reporting.
+    accesses: int = 0
+    #: Conflict events (access attempts beyond port capacity in a cycle).
+    conflicts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SimulationError(f"bank size must be non-negative, got {self.size}")
+        if self.ports < 1:
+            raise SimulationError(f"bank needs at least one port, got {self.ports}")
+        self._data = [None] * self.size
+
+    def _check_offset(self, offset: int) -> None:
+        if not 0 <= offset < self.size:
+            raise SimulationError(
+                f"offset {offset} out of range for bank {self.index} of size {self.size}"
+            )
+
+    def _arbitrate(self, cycle: int) -> bool:
+        """Claim a port in ``cycle``; False (and a conflict tally) if full."""
+        if cycle != self._busy_cycle:
+            self._busy_cycle = cycle
+            self._busy_count = 0
+        if self._busy_count >= self.ports:
+            self.conflicts += 1
+            return False
+        self._busy_count += 1
+        self.accesses += 1
+        return True
+
+    def read(self, offset: int, cycle: int) -> Optional[int]:
+        """Read ``offset`` during ``cycle``.
+
+        Raises :class:`SimulationError` if the bank has no free port this
+        cycle — the caller (the banked-memory scheduler) is responsible for
+        never over-subscribing a bank; a raise here means the partitioning
+        solution was invalid.
+        """
+        self._check_offset(offset)
+        if not self._arbitrate(cycle):
+            raise SimulationError(
+                f"bank {self.index} port conflict at cycle {cycle} "
+                f"({self.ports} ports, offset {offset})"
+            )
+        return self._data[offset]
+
+    def write(self, offset: int, value: int, cycle: int) -> None:
+        """Write ``value`` to ``offset`` during ``cycle`` (port-arbitrated)."""
+        self._check_offset(offset)
+        if not self._arbitrate(cycle):
+            raise SimulationError(
+                f"bank {self.index} port conflict at cycle {cycle} (write)"
+            )
+        self._data[offset] = int(value)
+
+    def try_claim(self, cycle: int) -> bool:
+        """Non-raising arbitration used by the conflict-measuring simulator."""
+        return self._arbitrate(cycle)
+
+    def peek(self, offset: int) -> Optional[int]:
+        """Read without arbitration (debug/verification only)."""
+        self._check_offset(offset)
+        return self._data[offset]
+
+    def poke(self, offset: int, value: int) -> None:
+        """Write without arbitration (initialization only)."""
+        self._check_offset(offset)
+        self._data[offset] = int(value)
+
+    @property
+    def occupancy(self) -> int:
+        """Slots currently holding data."""
+        return sum(1 for v in self._data if v is not None)

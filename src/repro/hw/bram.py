@@ -1,0 +1,131 @@
+"""Block-RAM primitive model (Cyclone-style M9K blocks).
+
+The paper measures storage overhead "in the number of 9kb memory blocks" on
+a Cyclone DE2-115.  An M9K block holds 9216 bits and can be configured in
+several width modes (×1 … ×36, the wider modes trading depth for width).
+The functions here convert element counts to block counts the way a
+synthesis tool would: each bank is carved out of an integral number of
+blocks wide and deep enough for its word width and depth.
+
+Table 1 is reproduced with 16-bit elements and the simple capacity model
+``blocks = ⌈bits / 9216⌉``, which matches most published cells exactly
+(per-cell comparison in EXPERIMENTS.md).  The width-aware model
+(:meth:`BlockRAM.blocks_for`) is provided for users who want the stricter
+geometry-respecting count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import HardwareModelError
+
+#: Bits per M9K block on Cyclone-series devices.
+M9K_BITS = 9216
+
+#: Default element width used by the paper reproduction (16-bit pixels).
+DEFAULT_ELEMENT_BITS = 16
+
+#: M9K width modes: data width → maximum depth (Cyclone IV datasheet).
+M9K_MODES: Dict[int, int] = {
+    1: 8192,
+    2: 4096,
+    4: 2048,
+    8: 1024,
+    9: 1024,
+    16: 512,
+    18: 512,
+    32: 256,
+    36: 256,
+}
+
+
+@dataclass(frozen=True)
+class BlockRAM:
+    """A block-RAM primitive type.
+
+    Attributes
+    ----------
+    bits:
+        Raw capacity per block.
+    modes:
+        Width → depth configurations the primitive supports.
+    name:
+        Primitive family name, e.g. ``"M9K"``.
+    """
+
+    bits: int = M9K_BITS
+    modes: Tuple[Tuple[int, int], ...] = tuple(sorted(M9K_MODES.items()))
+    name: str = "M9K"
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise HardwareModelError(f"block capacity must be positive, got {self.bits}")
+        for width, depth in self.modes:
+            if width <= 0 or depth <= 0:
+                raise HardwareModelError(
+                    f"invalid mode (width={width}, depth={depth}) for {self.name}"
+                )
+
+    def capacity_blocks(self, elements: int, element_bits: int = DEFAULT_ELEMENT_BITS) -> int:
+        """Pure-capacity block count: ``⌈elements·bits / block_bits⌉``.
+
+        This is the model used for Table 1 (see module docstring).
+        """
+        if elements < 0:
+            raise HardwareModelError(f"element count must be non-negative, got {elements}")
+        if element_bits <= 0:
+            raise HardwareModelError(f"element width must be positive, got {element_bits}")
+        return math.ceil(elements * element_bits / self.bits)
+
+    def best_mode(self, element_bits: int) -> Tuple[int, int]:
+        """The narrowest mode at least as wide as one element.
+
+        Wider elements span multiple blocks side by side; the mode chosen
+        is the widest available, minimizing the parallel block count.
+        """
+        widths = sorted(w for w, _ in self.modes)
+        for width in widths:
+            if width >= element_bits:
+                return width, dict(self.modes)[width]
+        # Element wider than any mode: use the widest and gang blocks.
+        widest = widths[-1]
+        return widest, dict(self.modes)[widest]
+
+    def blocks_for(
+        self, depth: int, element_bits: int = DEFAULT_ELEMENT_BITS
+    ) -> int:
+        """Geometry-aware block count for one bank of ``depth`` elements.
+
+        A bank needs ``⌈element_bits / mode_width⌉`` blocks in parallel for
+        width and ``⌈depth / mode_depth⌉`` ranks for depth.
+        """
+        if depth < 0:
+            raise HardwareModelError(f"depth must be non-negative, got {depth}")
+        if depth == 0:
+            return 0
+        mode_width, mode_depth = self.best_mode(element_bits)
+        lanes = math.ceil(element_bits / mode_width)
+        ranks = math.ceil(depth / mode_depth)
+        return lanes * ranks
+
+
+#: The default primitive used throughout the reproduction.
+M9K = BlockRAM()
+
+
+def overhead_blocks(
+    overhead_elements: int,
+    element_bits: int = DEFAULT_ELEMENT_BITS,
+    block: BlockRAM = M9K,
+) -> int:
+    """Convert a padding overhead in elements to 9 kb memory blocks.
+
+    >>> overhead_blocks(640)
+    2
+    >>> overhead_blocks(5450)
+    10
+    """
+    return block.capacity_blocks(overhead_elements, element_bits)

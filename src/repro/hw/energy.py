@@ -1,0 +1,153 @@
+"""First-order memory energy model for banking decisions.
+
+Banking affects energy through two standard mechanisms:
+
+* **Smaller banks are cheaper to access.**  SRAM read energy grows with
+  the array's bit-line/word-line lengths; a common first-order model makes
+  per-access energy proportional to ``sqrt(rows × cols)`` of the accessed
+  macro.  Splitting one big array into N banks divides each access's cost.
+* **Idle banks leak.**  Static power is proportional to total allocated
+  bits, so padding overhead and duplication have a standing cost even when
+  never accessed.
+
+The model is deliberately coarse (no technology constants beyond two
+normalization factors) but monotone in everything a banking decision
+controls, which is all the comparative benchmarks need: it reproduces the
+qualitative claim motivating partitioning over duplication and over
+monolithic multi-porting (paper Section 1 and refs [7], [8]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.mapping import BankMapping
+from ..errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Technology-ish constants for the first-order model.
+
+    Attributes
+    ----------
+    read_unit:
+        Energy per access to a 1-element bank (arbitrary units).
+    leak_unit:
+        Static energy per element per cycle.
+    port_penalty:
+        Multiplicative cost per extra port: an ``R``-ported SRAM cell is
+        roughly ``1 + port_penalty · (R − 1)`` times larger/hungrier
+        (Tatsumi & Mattausch, the paper's ref [8], measured quadratic
+        growth in *area*; we use the linear energy proxy).
+    """
+
+    read_unit: float = 1.0
+    leak_unit: float = 1e-4
+    port_penalty: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.read_unit <= 0 or self.leak_unit < 0 or self.port_penalty < 0:
+            raise HardwareModelError("energy model constants must be non-negative")
+
+    def access_energy(self, bank_elements: int, ports: int = 1) -> float:
+        """Energy for one access to a bank of the given size."""
+        if bank_elements < 1:
+            raise HardwareModelError(f"bank must hold >= 1 element, got {bank_elements}")
+        if ports < 1:
+            raise HardwareModelError(f"ports must be positive, got {ports}")
+        port_factor = 1.0 + self.port_penalty * (ports - 1)
+        return self.read_unit * math.sqrt(bank_elements) * port_factor
+
+    def leakage_energy(self, total_elements: int, cycles: int) -> float:
+        """Static energy over a run."""
+        if total_elements < 0 or cycles < 0:
+            raise HardwareModelError("leakage inputs must be non-negative")
+        return self.leak_unit * total_elements * cycles
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one sweep through a workload.
+
+    Attributes
+    ----------
+    dynamic:
+        Total access energy.
+    leakage:
+        Total static energy.
+    """
+
+    dynamic: float
+    leakage: float
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+
+def banked_sweep_energy(
+    mapping: BankMapping,
+    iterations: int,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Energy of sweeping the mapping's pattern ``iterations`` times.
+
+    Each iteration reads every pattern element once from its (small) bank;
+    the run lasts ``iterations · (δP + 1)`` cycles of leakage on the full
+    allocated footprint.
+    """
+    if iterations < 1:
+        raise HardwareModelError(f"iterations must be positive, got {iterations}")
+    model = model or EnergyModel()
+    solution = mapping.solution
+    per_read = model.access_energy(mapping.inner_bank_size, solution.bank_ports)
+    dynamic = per_read * solution.pattern.size * iterations
+    cycles = iterations * (solution.delta_ii + 1)
+    leakage = model.leakage_energy(mapping.total_bank_elements, cycles)
+    return EnergyReport(dynamic=dynamic, leakage=leakage)
+
+
+def monolithic_sweep_energy(
+    total_elements: int,
+    pattern_size: int,
+    iterations: int,
+    ports: int = 1,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Energy with one big memory serving the same sweep.
+
+    With ``ports`` ports, each iteration needs ``⌈m/ports⌉`` cycles and
+    every access pays the full-array cost; a genuinely multi-ported macro
+    additionally pays the port penalty on every access.
+    """
+    if min(total_elements, pattern_size, iterations, ports) < 1:
+        raise HardwareModelError("all monolithic-energy inputs must be positive")
+    model = model or EnergyModel()
+    per_read = model.access_energy(total_elements, ports)
+    dynamic = per_read * pattern_size * iterations
+    cycles = iterations * math.ceil(pattern_size / ports)
+    leakage = model.leakage_energy(total_elements, cycles)
+    return EnergyReport(dynamic=dynamic, leakage=leakage)
+
+
+def duplicated_sweep_energy(
+    total_elements: int,
+    pattern_size: int,
+    iterations: int,
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Energy with one full array copy per reader (paper ref [4]).
+
+    Reads are single-cycle, but every copy is a full-size macro: each of
+    the ``m`` reads pays the full-array access cost, and leakage covers
+    ``m`` copies.
+    """
+    if min(total_elements, pattern_size, iterations) < 1:
+        raise HardwareModelError("all duplication-energy inputs must be positive")
+    model = model or EnergyModel()
+    per_read = model.access_energy(total_elements, 1)
+    dynamic = per_read * pattern_size * iterations
+    leakage = model.leakage_energy(total_elements * pattern_size, iterations)
+    return EnergyReport(dynamic=dynamic, leakage=leakage)

@@ -1,0 +1,168 @@
+"""Multi-array memory system: several banked arrays behind one clock.
+
+A real accelerator kernel owns more than one array — the LoG detector
+reads ``X`` and writes ``Y`` every iteration.  :class:`MemorySystem`
+manages one :class:`~repro.hw.banked_memory.BankedMemory` per array on a
+shared cycle counter, so a pipeline's per-iteration transaction (m reads
+from one array + 1 write to another) can be issued as a unit and its true
+cycle cost measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..core.mapping import BankMapping
+from ..errors import SimulationError
+from .banked_memory import BankedMemory
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One loop iteration's memory traffic.
+
+    Attributes
+    ----------
+    reads:
+        array name → element coordinates to read this iteration.
+    writes:
+        array name → (element, value) pairs to store this iteration.
+    """
+
+    reads: Tuple[Tuple[str, Tuple[Tuple[int, ...], ...]], ...] = ()
+    writes: Tuple[Tuple[str, Tuple[Tuple[Tuple[int, ...], int], ...]], ...] = ()
+
+    @staticmethod
+    def make(
+        reads: Mapping[str, Sequence[Sequence[int]]] | None = None,
+        writes: Mapping[str, Sequence[Tuple[Sequence[int], int]]] | None = None,
+    ) -> "Transaction":
+        read_part = tuple(
+            (name, tuple(tuple(int(c) for c in e) for e in elements))
+            for name, elements in (reads or {}).items()
+        )
+        write_part = tuple(
+            (
+                name,
+                tuple(
+                    (tuple(int(c) for c in e), int(v)) for e, v in pairs
+                ),
+            )
+            for name, pairs in (writes or {}).items()
+        )
+        return Transaction(reads=read_part, writes=write_part)
+
+
+@dataclass(frozen=True)
+class TransactionResult:
+    """Outcome of one transaction.
+
+    Attributes
+    ----------
+    values:
+        array name → values read, in request order.
+    cycles:
+        Cycles the transaction needed (max across arrays; arrays operate
+        in parallel, conflicts within one array serialize).
+    """
+
+    values: Dict[str, List[int]]
+    cycles: int
+
+
+@dataclass
+class MemorySystem:
+    """Several banked arrays sharing one clock.
+
+    Attributes
+    ----------
+    mappings:
+        array name → address mapping.  One :class:`BankedMemory` is built
+        per array.
+    """
+
+    mappings: Dict[str, BankMapping]
+    memories: Dict[str, BankedMemory] = field(default_factory=dict, repr=False)
+    _cycle: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.mappings:
+            raise SimulationError("a memory system needs at least one array")
+        self.memories = {
+            name: BankedMemory(mapping=mapping)
+            for name, mapping in self.mappings.items()
+        }
+
+    def _memory(self, name: str) -> BankedMemory:
+        if name not in self.memories:
+            raise SimulationError(
+                f"unknown array {name!r}; system has {sorted(self.memories)}"
+            )
+        return self.memories[name]
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def load(self, name: str, array: "np.ndarray") -> None:
+        """Initialize one array's contents (no cycle accounting)."""
+        self._memory(name).load_array(array)
+
+    def dump(self, name: str) -> "np.ndarray":
+        """Reassemble one array from its banks."""
+        return self._memory(name).dump_array()
+
+    def execute(self, transaction: Transaction) -> TransactionResult:
+        """Issue one transaction; all arrays start in the same cycle.
+
+        Each array resolves its own traffic with port arbitration (reads
+        and writes to the same array compete for the same ports); the
+        transaction's cycle cost is the slowest array's cost.  The shared
+        clock then advances by that amount so back-to-back transactions
+        never overlap — a conservative (non-overlapped) pipeline model.
+        """
+        start = self._cycle
+        values: Dict[str, List[int]] = {}
+        worst = 1
+
+        for name, elements in transaction.reads:
+            memory = self._memory(name)
+            memory._cycle = start
+            result = memory.parallel_read(list(elements))
+            values[name] = result.values
+            worst = max(worst, result.cycles)
+
+        for name, pairs in transaction.writes:
+            memory = self._memory(name)
+            memory._cycle = start
+            cycles = self._write_all(memory, pairs)
+            worst = max(worst, cycles)
+
+        self._cycle = start + worst
+        for memory in self.memories.values():
+            memory._cycle = self._cycle
+        return TransactionResult(values=values, cycles=worst)
+
+    @staticmethod
+    def _write_all(memory: BankedMemory, pairs) -> int:
+        """Issue writes with retry-next-cycle arbitration; returns cycles."""
+        pending = list(pairs)
+        cycles = 0
+        while pending:
+            cycles += 1
+            still = []
+            for element, value in pending:
+                bank, offset = memory.mapping.address_of(element)
+                if memory.banks[bank].try_claim(memory.cycle):
+                    memory.banks[bank].poke(offset, value)
+                else:
+                    still.append((element, value))
+            pending = still
+            memory.advance()
+        return max(cycles, 1)
+
+    def total_conflicts(self) -> int:
+        return sum(memory.total_conflicts for memory in self.memories.values())

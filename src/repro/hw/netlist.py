@@ -1,0 +1,229 @@
+"""Structural Verilog generation for a banked memory subsystem.
+
+Emits the RTL an HLS memory-partitioning pass would instantiate: one BRAM
+per bank, per-lane address generators computing ``B(x)``/``F(x)``, and the
+read steering network.  The output is plain synthesizable-style Verilog
+2001 (behavioural BRAM template + combinational address/steering logic);
+it is not simulated here, but the address arithmetic is string-generated
+from the very :class:`~repro.core.mapping.BankMapping` the Python
+simulator validates, and the module's structural facts (instance counts,
+port widths) are machine-checked by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..core.mapping import BankMapping
+from ..errors import HardwareModelError
+
+
+def _clog2(value: int) -> int:
+    """Ceiling log2 with the Verilog convention ``clog2(1) = 1``."""
+    if value < 1:
+        raise HardwareModelError(f"clog2 needs a positive value, got {value}")
+    return max(1, math.ceil(math.log2(value)))
+
+
+@dataclass(frozen=True)
+class NetlistSpec:
+    """Parameters of one generated banked-memory module.
+
+    Attributes
+    ----------
+    mapping:
+        The address mapping to realize.
+    module_name:
+        Verilog module name.
+    data_width:
+        Element width in bits.
+    lanes:
+        Parallel read ports (defaults to the pattern size ``m``).
+    """
+
+    mapping: BankMapping
+    module_name: str = "banked_memory"
+    data_width: int = 16
+    lanes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.data_width < 1:
+            raise HardwareModelError(f"data_width must be positive, got {self.data_width}")
+        if self.lanes < 0:
+            raise HardwareModelError(f"lanes must be non-negative, got {self.lanes}")
+        if self.lanes == 0:
+            object.__setattr__(self, "lanes", self.mapping.solution.pattern.size)
+
+    @property
+    def coord_widths(self) -> List[int]:
+        return [_clog2(w) for w in self.mapping.shape]
+
+    @property
+    def bank_addr_width(self) -> int:
+        return _clog2(max(self.mapping.bank_size(b) for b in range(self.mapping.n_banks)))
+
+    @property
+    def bank_sel_width(self) -> int:
+        return _clog2(self.mapping.n_banks)
+
+
+def _alpha_sum(spec: NetlistSpec, lane: int) -> str:
+    alpha = spec.mapping.solution.transform.alpha
+    terms = []
+    for dim, coeff in enumerate(alpha):
+        if coeff == 0:
+            continue
+        name = f"x{dim}_{lane}"
+        terms.append(name if coeff == 1 else f"{coeff} * {name}")
+    return " + ".join(terms) if terms else "0"
+
+
+def generate_bank_module(spec: NetlistSpec) -> str:
+    """The per-bank BRAM template (single-port behavioural pattern)."""
+    return "\n".join(
+        [
+            f"module {spec.module_name}_bank #(",
+            f"    parameter DEPTH = 16,",
+            f"    parameter AW = {spec.bank_addr_width},",
+            f"    parameter DW = {spec.data_width}",
+            ") (",
+            "    input  wire          clk,",
+            "    input  wire          we,",
+            "    input  wire [AW-1:0] addr,",
+            "    input  wire [DW-1:0] wdata,",
+            "    output reg  [DW-1:0] rdata",
+            ");",
+            "    reg [DW-1:0] mem [0:DEPTH-1];",
+            "    always @(posedge clk) begin",
+            "        if (we) mem[addr] <= wdata;",
+            "        rdata <= mem[addr];",
+            "    end",
+            "endmodule",
+        ]
+    )
+
+
+def generate_address_logic(spec: NetlistSpec) -> str:
+    """Combinational ``B(x)``/``F(x)`` per read lane."""
+    mapping = spec.mapping
+    solution = mapping.solution
+    n = solution.n_banks
+    inner = mapping._inner_banks
+    k = mapping.rows_per_bank
+    lines: List[str] = []
+    for lane in range(spec.lanes):
+        dot = _alpha_sum(spec, lane)
+        lines.append(f"    // lane {lane}: B(x) and F(x)")
+        lines.append(f"    wire [31:0] dot_{lane} = {dot};")
+        if solution.scheme == "two-level":
+            lines.append(
+                f"    assign bank_{lane} = (dot_{lane} % {solution.n_unconstrained}) % {n};"
+            )
+        elif solution.scheme == "wide":
+            lines.append(
+                f"    assign bank_{lane} = (dot_{lane} % {solution.n_unconstrained}) / {solution.bank_ports};"
+            )
+        else:
+            lines.append(f"    assign bank_{lane} = dot_{lane} % {n};")
+        lines.append(
+            f"    wire [31:0] xnew_{lane} = (dot_{lane} % {k * inner}) / {inner};"
+        )
+        # Row-major ravel over (w_0, ..., w_{n-2}, K).
+        bank_shape = mapping.bank_shape
+        expr = f"xnew_{lane}"
+        for dim in range(mapping.ndim - 2, -1, -1):
+            stride = 1
+            for w in bank_shape[dim + 1 :]:
+                stride *= w
+            expr = f"x{dim}_{lane} * {stride} + {expr}"
+        if solution.scheme in ("two-level", "wide"):
+            if solution.scheme == "two-level":
+                sub = f"(dot_{lane} % {solution.n_unconstrained}) / {n}"
+            else:
+                sub = f"(dot_{lane} % {solution.n_unconstrained}) % {solution.bank_ports}"
+            expr = f"({sub}) * {mapping.inner_bank_size} + {expr}"
+        lines.append(f"    assign offset_{lane} = {expr};")
+    return "\n".join(lines)
+
+
+def generate_steering(spec: NetlistSpec) -> str:
+    """Read-data steering: lane ← its selected bank's output."""
+    lines: List[str] = []
+    n = spec.mapping.n_banks
+    for lane in range(spec.lanes):
+        cases = " : ".join(
+            [f"(bank_{lane} == {b}) ? bank_rdata[{b}]" for b in range(n)]
+            + ["{DW{1'b0}}"]
+        )
+        lines.append(f"    assign rdata_{lane} = {cases};")
+    return "\n".join(lines)
+
+
+def generate_netlist(spec: NetlistSpec) -> str:
+    """The full banked-memory module plus its bank template."""
+    mapping = spec.mapping
+    n = mapping.n_banks
+    ndim = mapping.ndim
+    ports: List[str] = ["    input  wire clk"]
+    for lane in range(spec.lanes):
+        for dim in range(ndim):
+            ports.append(
+                f"    input  wire [{spec.coord_widths[dim] - 1}:0] x{dim}_{lane}"
+            )
+        ports.append(f"    output wire [DW-1:0] rdata_{lane}")
+
+    decls = [
+        f"    localparam DW = {spec.data_width};",
+        f"    wire [DW-1:0] bank_rdata [0:{n - 1}];",
+    ]
+    for lane in range(spec.lanes):
+        decls.append(f"    wire [{spec.bank_sel_width - 1}:0] bank_{lane};")
+        decls.append(f"    wire [{spec.bank_addr_width - 1}:0] offset_{lane};")
+
+    instances: List[str] = []
+    for b in range(n):
+        instances.append(
+            "\n".join(
+                [
+                    f"    {spec.module_name}_bank #(",
+                    f"        .DEPTH({mapping.bank_size(b)}),",
+                    f"        .AW({spec.bank_addr_width}),",
+                    f"        .DW({spec.data_width})",
+                    f"    ) u_bank{b} (",
+                    "        .clk(clk),",
+                    "        .we(1'b0),",
+                    f"        .addr(offset_0),",  # write path elided: read-only fabric
+                    "        .wdata({DW{1'b0}}),",
+                    f"        .rdata(bank_rdata[{b}])",
+                    "    );",
+                ]
+            )
+        )
+
+    module = "\n".join(
+        [
+            f"// generated by repro.hw.netlist — {n} banks, "
+            f"{spec.lanes} read lanes, alpha={mapping.solution.transform.alpha}",
+            f"module {spec.module_name} (",
+            ",\n".join(ports),
+            ");",
+            "\n".join(decls),
+            generate_address_logic(spec),
+            generate_steering(spec),
+            "\n".join(instances),
+            "endmodule",
+        ]
+    )
+    return generate_bank_module(spec) + "\n\n" + module
+
+
+def netlist_stats(verilog: str) -> dict:
+    """Structural facts of a generated netlist (for machine checking)."""
+    return {
+        "modules": verilog.count("\nmodule ") + verilog.startswith("module "),
+        "bank_instances": verilog.count(") u_bank"),
+        "assigns": verilog.count("assign "),
+        "lines": len(verilog.splitlines()),
+    }

@@ -1,0 +1,74 @@
+"""FPGA platform descriptions.
+
+The paper's hardware experiments target a Cyclone DE2-115 board (Cyclone IV
+EP4CE115).  A :class:`Platform` bundles the BRAM primitive and device
+capacities so the evaluation harness can flag solutions that would not fit,
+and so resource estimates can be normalized to device fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import HardwareModelError
+from .bram import M9K, BlockRAM
+from .resources import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A target FPGA device.
+
+    Attributes
+    ----------
+    name:
+        Device/board label.
+    block:
+        BRAM primitive available on the device.
+    total_blocks:
+        Number of BRAM primitives on the device.
+    total_luts:
+        Logic elements (LUT4-equivalents).
+    total_multipliers:
+        Hard 9×9 multiplier count.
+    """
+
+    name: str
+    block: BlockRAM
+    total_blocks: int
+    total_luts: int
+    total_multipliers: int
+
+    def __post_init__(self) -> None:
+        if min(self.total_blocks, self.total_luts, self.total_multipliers) < 0:
+            raise HardwareModelError(f"negative capacity in platform {self.name}")
+
+    def fits(self, estimate: ResourceEstimate) -> bool:
+        """Whether an estimate fits on the device."""
+        return (
+            estimate.memory_blocks <= self.total_blocks
+            and estimate.total_luts <= self.total_luts
+            and estimate.multipliers <= self.total_multipliers
+        )
+
+    def utilization(self, estimate: ResourceEstimate) -> dict:
+        """Per-resource utilization fractions."""
+        return {
+            "blocks": estimate.memory_blocks / self.total_blocks if self.total_blocks else 0.0,
+            "luts": estimate.total_luts / self.total_luts if self.total_luts else 0.0,
+            "multipliers": (
+                estimate.multipliers / self.total_multipliers
+                if self.total_multipliers
+                else 0.0
+            ),
+        }
+
+
+#: The paper's board: Cyclone IV EP4CE115 (DE2-115).
+DE2_115 = Platform(
+    name="Cyclone DE2-115 (EP4CE115)",
+    block=M9K,
+    total_blocks=432,
+    total_luts=114480,
+    total_multipliers=532,
+)

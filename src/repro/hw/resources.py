@@ -1,0 +1,121 @@
+"""FPGA resource estimation for a banking solution.
+
+Beyond storage, the paper motivates the ``N_max`` constraint with the
+hardware cost of many banks: "area, routing and control logic".  This
+module estimates those costs with standard structural models so the
+benchmark harness can plot the full trade-off:
+
+* **Memory blocks** — per-bank geometry-aware BRAM count (each bank is an
+  independent physical memory, so each rounds up separately).
+* **Steering muxes** — each of the ``m`` read ports needs an ``N``-to-1
+  element-wide multiplexer; a ``k``-to-1 w-bit mux costs about
+  ``(k−1)·w`` LUT4-equivalents (2-input mux per bit per stage).
+* **Address generators** — computing ``(α·x) % N`` per port: one
+  multiplier per nonzero non-unit ``α_j``, adders to reduce, plus a modulo
+  unit (a full divider unless ``N`` is a power of two, where it is free).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.mapping import BankMapping
+from ..core.partition import PartitionSolution
+from .bram import DEFAULT_ELEMENT_BITS, M9K, BlockRAM
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Structural cost estimate for one banked-memory instance.
+
+    Attributes
+    ----------
+    memory_blocks:
+        Total BRAM primitives across banks (geometry-aware).
+    mux_luts:
+        LUT4-equivalents in the read steering network.
+    addr_luts:
+        LUT4-equivalents in per-port address generation.
+    multipliers:
+        Hard multipliers consumed by the address transform.
+    """
+
+    memory_blocks: int
+    mux_luts: int
+    addr_luts: int
+    multipliers: int
+
+    @property
+    def total_luts(self) -> int:
+        return self.mux_luts + self.addr_luts
+
+
+def mux_cost(n_inputs: int, width: int) -> int:
+    """LUT4-equivalents of an ``n``-to-1 ``width``-bit multiplexer."""
+    if n_inputs < 1 or width < 1:
+        raise ValueError(f"mux needs positive inputs/width, got {n_inputs}/{width}")
+    return (n_inputs - 1) * width
+
+
+def modulo_cost(modulus: int, operand_bits: int) -> int:
+    """LUT cost of a ``% modulus`` unit on an ``operand_bits`` operand.
+
+    Powers of two are free (bit slicing); otherwise model a subtractive
+    divider at roughly ``operand_bits²`` LUTs — deliberately coarse, but
+    monotone in the quantities a designer controls.
+    """
+    if modulus < 1:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if modulus & (modulus - 1) == 0:
+        return 0
+    return operand_bits * operand_bits
+
+
+def address_bits(shape: Sequence[int]) -> int:
+    """Bits needed to index the flattened array."""
+    total = 1
+    for w in shape:
+        total *= w
+    return max(1, math.ceil(math.log2(total)))
+
+
+def estimate_resources(
+    mapping: BankMapping,
+    element_bits: int = DEFAULT_ELEMENT_BITS,
+    block: BlockRAM = M9K,
+) -> ResourceEstimate:
+    """Estimate the hardware cost of one banked array.
+
+    The pattern size ``m`` sets the port count (one read lane per pattern
+    element); the bank count sets mux fan-in and address modulo width.
+    """
+    solution: PartitionSolution = mapping.solution
+    n = mapping.n_banks
+    m = solution.pattern.size
+    abits = address_bits(mapping.shape)
+
+    memory_blocks = sum(
+        block.blocks_for(mapping.bank_size(b), element_bits) for b in range(n)
+    )
+
+    # One N-to-1 mux per parallel read lane.
+    mux_luts = m * mux_cost(n, element_bits)
+
+    # Address generation per lane: multiplies for non-trivial alpha terms,
+    # an adder tree, and the bank/offset modulo logic.
+    alpha = solution.transform.alpha
+    nontrivial = sum(1 for a in alpha if a not in (0, 1))
+    adders = max(0, len(alpha) - 1)
+    addr_luts = m * (adders * abits + modulo_cost(n, abits))
+    if solution.scheme == "two-level":
+        addr_luts += m * modulo_cost(solution.n_unconstrained, abits)
+    multipliers = m * nontrivial
+
+    return ResourceEstimate(
+        memory_blocks=memory_blocks,
+        mux_luts=mux_luts,
+        addr_luts=addr_luts,
+        multipliers=multipliers,
+    )

@@ -1,0 +1,151 @@
+"""Parametric and random pattern generators.
+
+Used by property-based tests (shapes the paper never drew), by ablation
+benchmarks (how does the bank-count gap scale with pattern size and
+dimensionality?), and by users banking their own kernels.
+All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.pattern import Pattern
+from ..errors import PatternError
+
+
+def rectangle(shape: Sequence[int], name: str = "") -> Pattern:
+    """Full dense window of the given shape (e.g. ``(3, 3)`` → 9 taps)."""
+    dims = tuple(int(w) for w in shape)
+    if any(w <= 0 for w in dims):
+        raise PatternError(f"rectangle shape must be positive, got {dims}")
+    offsets = list(itertools.product(*(range(w) for w in dims)))
+    return Pattern(offsets, name=name or f"rect{'x'.join(map(str, dims))}")
+
+
+def line(length: int, dim: int, ndim: int, name: str = "") -> Pattern:
+    """``length`` consecutive taps along axis ``dim`` of an ``ndim``-D array."""
+    if length <= 0:
+        raise PatternError(f"line length must be positive, got {length}")
+    if not 0 <= dim < ndim:
+        raise PatternError(f"dim {dim} out of range for {ndim} dimensions")
+    offsets = []
+    for i in range(length):
+        vec = [0] * ndim
+        vec[dim] = i
+        offsets.append(tuple(vec))
+    return Pattern(offsets, name=name or f"line{length}d{dim}")
+
+
+def cross(arm: int, ndim: int = 2, name: str = "") -> Pattern:
+    """Axis-aligned cross: center plus ``arm`` taps in both directions per axis.
+
+    ``cross(1, 2)`` is the 5-point von Neumann stencil; ``cross(2, 2)`` the
+    9-point star used by higher-order finite differences.
+    """
+    if arm < 0:
+        raise PatternError(f"arm must be non-negative, got {arm}")
+    center = tuple(0 for _ in range(ndim))
+    offsets = {center}
+    for axis in range(ndim):
+        for step in range(1, arm + 1):
+            for sign in (1, -1):
+                vec = [0] * ndim
+                vec[axis] = sign * step
+                offsets.add(tuple(vec))
+    return Pattern(offsets, name=name or f"cross{arm}n{ndim}")
+
+
+def diamond(radius: int, ndim: int = 2, name: str = "") -> Pattern:
+    """All offsets with L1 norm ≤ ``radius`` (the diamond / von Neumann ball)."""
+    if radius < 0:
+        raise PatternError(f"radius must be non-negative, got {radius}")
+    span = range(-radius, radius + 1)
+    offsets = [
+        vec
+        for vec in itertools.product(span, repeat=ndim)
+        if sum(abs(c) for c in vec) <= radius
+    ]
+    return Pattern(offsets, name=name or f"diamond{radius}n{ndim}")
+
+
+def checkerboard(shape: Sequence[int], parity: int = 0, name: str = "") -> Pattern:
+    """Taps of one checkerboard color inside a dense window."""
+    dims = tuple(int(w) for w in shape)
+    offsets = [
+        vec
+        for vec in itertools.product(*(range(w) for w in dims))
+        if sum(vec) % 2 == parity % 2
+    ]
+    if not offsets:
+        raise PatternError(f"checkerboard over {dims} parity {parity} is empty")
+    return Pattern(offsets, name=name or "checkerboard")
+
+
+def random_pattern(
+    size: int,
+    box: Sequence[int],
+    seed: int = 0,
+    name: str = "",
+) -> Pattern:
+    """``size`` distinct offsets sampled uniformly from the given box.
+
+    Deterministic for a fixed ``seed``.  Raises if the box cannot hold
+    ``size`` distinct points.
+    """
+    dims = tuple(int(w) for w in box)
+    capacity = 1
+    for w in dims:
+        capacity *= w
+    if size > capacity:
+        raise PatternError(f"cannot place {size} distinct taps in a box of {capacity}")
+    if size <= 0:
+        raise PatternError(f"size must be positive, got {size}")
+    rng = random.Random(seed)
+    chosen: set = set()
+    while len(chosen) < size:
+        chosen.add(tuple(rng.randrange(w) for w in dims))
+    return Pattern(chosen, name=name or f"random{size}s{seed}")
+
+
+def sliding_windows(pattern: Pattern, steps: int) -> List[Pattern]:
+    """The pattern translated along the last axis ``0 … steps−1`` times.
+
+    Models unrolled loop iterations: the union of consecutive windows is
+    what a ``steps``-way unrolled inner loop accesses per cycle.
+    """
+    if steps <= 0:
+        raise PatternError(f"steps must be positive, got {steps}")
+    shift = [0] * pattern.ndim
+    result = []
+    for s in range(steps):
+        shift[-1] = s
+        result.append(pattern.translated(shift))
+    return result
+
+
+def unrolled(pattern: Pattern, factor: int, name: str = "") -> Pattern:
+    """Union of ``factor`` consecutive windows: the unrolled-loop pattern."""
+    windows = sliding_windows(pattern, factor)
+    merged = windows[0]
+    for w in windows[1:]:
+        merged = merged.union(w)
+    return merged.with_name(name or f"{pattern.name}x{factor}")
+
+
+def grid_of_patterns(max_size: int, seed: int = 0) -> List[Tuple[str, Pattern]]:
+    """A labelled sweep of generated patterns used by ablation benches."""
+    suite: List[Tuple[str, Pattern]] = []
+    for k in (2, 3, 4, 5):
+        suite.append((f"rect{k}x{k}", rectangle((k, k))))
+    for r in (1, 2, 3):
+        suite.append((f"diamond{r}", diamond(r)))
+        suite.append((f"cross{r}", cross(r)))
+    for size in (4, 8, 12):
+        if size <= max_size:
+            suite.append(
+                (f"rand{size}", random_pattern(size, (7, 7), seed=seed + size))
+            )
+    return suite

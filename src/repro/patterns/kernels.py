@@ -1,0 +1,139 @@
+"""Numeric convolution kernels for the benchmark access patterns.
+
+The partitioner only cares about *which* taps are nonzero (the pattern
+shape); the functional simulator and the example applications also need the
+tap *weights* to compute real convolutions.  This module holds both.
+
+The LoG kernel is the paper's Fig. 1(a) verbatim.  Canny here denotes the
+5×5 Gaussian-smoothing stage of the Canny detector (all 25 taps nonzero,
+matching the paper's 25-element pattern).  Prewitt/Sobel are the standard
+operators; the 3-D Sobel extends the 2-D operator along a third axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: Paper Fig. 1(a): 5×5 Laplacian-of-Gaussian kernel (13 nonzero taps).
+LOG_KERNEL: Tuple[Tuple[int, ...], ...] = (
+    (0, 0, -1, 0, 0),
+    (0, -1, -2, -1, 0),
+    (-1, -2, 16, -2, -1),
+    (0, -1, -2, -1, 0),
+    (0, 0, -1, 0, 0),
+)
+
+#: 5×5 binomial Gaussian used by the smoothing stage of Canny (25 nonzeros).
+CANNY_SMOOTHING_KERNEL: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(int(a * b) for b in (1, 4, 6, 4, 1)) for a in (1, 4, 6, 4, 1)
+)
+
+#: Standard Prewitt operators.  Their union touches all 3×3 taps but the
+#: center (8 elements): the vertical kernel's zero column and the horizontal
+#: kernel's zero row intersect exactly at the center.
+PREWITT_VERTICAL: Tuple[Tuple[int, ...], ...] = (
+    (-1, 0, 1),
+    (-1, 0, 1),
+    (-1, 0, 1),
+)
+PREWITT_HORIZONTAL: Tuple[Tuple[int, ...], ...] = (
+    (-1, -1, -1),
+    (0, 0, 0),
+    (1, 1, 1),
+)
+
+#: Standard 2-D Sobel operators (used by workloads; not a Table 1 pattern).
+SOBEL_X: Tuple[Tuple[int, ...], ...] = (
+    (-1, 0, 1),
+    (-2, 0, 2),
+    (-1, 0, 1),
+)
+SOBEL_Y: Tuple[Tuple[int, ...], ...] = (
+    (-1, -2, -1),
+    (0, 0, 0),
+    (1, 2, 1),
+)
+
+#: Morphological structure element from Zhao et al. (paper ref [11]):
+#: the 3×3 cross (5 elements).
+SE_MASK: Tuple[Tuple[int, ...], ...] = (
+    (0, 1, 0),
+    (1, 1, 1),
+    (0, 1, 0),
+)
+
+#: 7-point median-filter window: a cross with a 5-tall vertical arm and a
+#: 3-wide horizontal arm.  The paper uses a 7-element median pattern but
+#: does not draw it; this shape reproduces Table 1's bank counts (ours 8,
+#: LTB 7) — see DESIGN.md §3.
+MEDIAN_MASK: Tuple[Tuple[int, ...], ...] = (
+    (0, 1, 0),
+    (0, 1, 0),
+    (1, 1, 1),
+    (0, 1, 0),
+    (0, 1, 0),
+)
+
+#: 9-point ring-plus-center Gaussian sampling: eight taps on a radius-2
+#: ring around the center tap, a sparse approximation of an isotropic
+#: Gaussian.  Reproduces Table 1's bank counts (ours 13, LTB 10) — see
+#: DESIGN.md §3.  Weights follow exp(-r²/2σ²) with σ=2, scaled to ints.
+GAUSSIAN_RING_MASK: Tuple[Tuple[int, ...], ...] = (
+    (0, 1, 0, 1, 0),
+    (1, 0, 0, 0, 1),
+    (0, 0, 1, 0, 0),
+    (1, 0, 0, 0, 1),
+    (0, 1, 0, 1, 0),
+)
+GAUSSIAN_RING_KERNEL: Tuple[Tuple[int, ...], ...] = (
+    (0, 2, 0, 2, 0),
+    (2, 0, 0, 0, 2),
+    (0, 0, 8, 0, 0),
+    (2, 0, 0, 0, 2),
+    (0, 2, 0, 2, 0),
+)
+
+
+def sobel_3d_kernel() -> "np.ndarray":
+    """3×3×3 Sobel-style gradient kernel: 26 nonzero taps (zero center).
+
+    Built as the outer product of a derivative stencil ``(-1, 0, 1)`` along
+    the third axis with a 2-D smoothing plane, then symmetrized so that all
+    taps except the center are nonzero — matching the paper's 26-element
+    Sobel(3D) pattern (Fig. 3(e)).
+    """
+    smooth = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]], dtype=np.int64)
+    derive = np.array([-1, 0, 1], dtype=np.int64)
+    kernel = derive[:, None, None] * smooth[None, :, :]
+    # The middle slice is all zero; fill it with a Laplacian-style plane
+    # whose only zero is the center, giving the 26-tap pattern.
+    middle = np.array([[1, 1, 1], [1, 0, 1], [1, 1, 1]], dtype=np.int64)
+    kernel[1] = middle
+    return kernel
+
+
+def as_array(kernel: Tuple[Tuple[int, ...], ...]) -> "np.ndarray":
+    """Convert a tuple-of-tuples kernel to a NumPy int array."""
+    return np.asarray(kernel, dtype=np.int64)
+
+
+def nonzero_count(kernel) -> int:
+    """Number of nonzero taps (the pattern size the kernel induces)."""
+    return int(np.count_nonzero(np.asarray(kernel)))
+
+
+def all_kernels() -> List[Tuple[str, "np.ndarray"]]:
+    """Name → kernel array for every 2-D kernel shipped here."""
+    return [
+        ("log", as_array(LOG_KERNEL)),
+        ("canny", as_array(CANNY_SMOOTHING_KERNEL)),
+        ("prewitt_v", as_array(PREWITT_VERTICAL)),
+        ("prewitt_h", as_array(PREWITT_HORIZONTAL)),
+        ("sobel_x", as_array(SOBEL_X)),
+        ("sobel_y", as_array(SOBEL_Y)),
+        ("se", as_array(SE_MASK)),
+        ("median", as_array(MEDIAN_MASK)),
+        ("gaussian_ring", as_array(GAUSSIAN_RING_KERNEL)),
+    ]

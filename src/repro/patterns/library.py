@@ -1,0 +1,172 @@
+"""The paper's benchmark access patterns (Fig. 3 plus Median and Gaussian).
+
+Each factory returns a fresh :class:`~repro.core.pattern.Pattern` whose
+element count matches the paper: LoG(13), Canny(25), Prewitt(8), SE(5),
+Sobel3D(26), Median(7), Gaussian(9).  The expected bank counts under both
+algorithms are recorded in :data:`EXPECTED_BANKS` and asserted by the test
+suite, so any drift in the shapes breaks loudly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from ..core.pattern import Pattern
+from . import kernels
+
+
+def log_pattern() -> Pattern:
+    """LoG edge-detection pattern: 13 nonzero taps of the 5×5 kernel."""
+    return Pattern.from_kernel(kernels.LOG_KERNEL, name="log")
+
+
+def canny_pattern() -> Pattern:
+    """Canny smoothing pattern: the full 5×5 window (25 taps)."""
+    return Pattern.from_kernel(kernels.CANNY_SMOOTHING_KERNEL, name="canny")
+
+
+def prewitt_pattern() -> Pattern:
+    """Prewitt pattern: union of vertical and horizontal kernels (8 taps).
+
+    The paper notes Prewitt "includes both vertical and horizontal kernels,
+    which form the pattern" — their nonzero sets cover the 3×3 window minus
+    the shared zero center.
+    """
+    vertical = Pattern.from_kernel(kernels.PREWITT_VERTICAL, name="prewitt_v")
+    horizontal = Pattern.from_kernel(kernels.PREWITT_HORIZONTAL, name="prewitt_h")
+    return vertical.union(horizontal, name="prewitt")
+
+
+def se_pattern() -> Pattern:
+    """Morphological structure element: the 3×3 cross (5 taps)."""
+    return Pattern.from_mask(kernels.SE_MASK, name="se")
+
+
+def sobel3d_pattern() -> Pattern:
+    """3-D Sobel pattern: the 3×3×3 cube minus its center (26 taps)."""
+    kernel = kernels.sobel_3d_kernel()
+    offsets = [
+        (i, j, k)
+        for i, j, k in itertools.product(range(3), repeat=3)
+        if kernel[i, j, k] != 0
+    ]
+    return Pattern(offsets, name="sobel3d")
+
+
+def median_pattern() -> Pattern:
+    """7-point median window (cross, 5-tall vertical × 3-wide horizontal)."""
+    return Pattern.from_mask(kernels.MEDIAN_MASK, name="median")
+
+
+def gaussian_pattern() -> Pattern:
+    """9-point ring-plus-center Gaussian sampling pattern."""
+    return Pattern.from_mask(kernels.GAUSSIAN_RING_MASK, name="gaussian")
+
+
+def sobel2d_pattern() -> Pattern:
+    """2-D Sobel pattern (8 taps), used by the workload examples."""
+    x = Pattern.from_kernel(kernels.SOBEL_X, name="sobel_x")
+    y = Pattern.from_kernel(kernels.SOBEL_Y, name="sobel_y")
+    return x.union(y, name="sobel2d")
+
+
+#: Factories for the seven Table 1 benchmarks, in the paper's row order.
+BENCHMARKS: Dict[str, Callable[[], Pattern]] = {
+    "log": log_pattern,
+    "canny": canny_pattern,
+    "prewitt": prewitt_pattern,
+    "se": se_pattern,
+    "sobel3d": sobel3d_pattern,
+    "median": median_pattern,
+    "gaussian": gaussian_pattern,
+}
+
+#: Expected element counts per benchmark (the paper's bracketed numbers).
+EXPECTED_SIZES: Dict[str, int] = {
+    "log": 13,
+    "canny": 25,
+    "prewitt": 8,
+    "se": 5,
+    "sobel3d": 26,
+    "median": 7,
+    "gaussian": 9,
+}
+
+#: Expected bank counts (ours, LTB) from Table 1.
+EXPECTED_BANKS: Dict[str, Tuple[int, int]] = {
+    "log": (13, 13),
+    "canny": (25, 25),
+    "prewitt": (9, 9),
+    "se": (5, 5),
+    "sobel3d": (27, 27),
+    "median": (8, 7),
+    "gaussian": (13, 10),
+}
+
+#: Image resolutions used for the Table 1 storage columns, (w_0, w_1).
+RESOLUTIONS: Dict[str, Tuple[int, int]] = {
+    "SD": (640, 480),
+    "HD": (1280, 720),
+    "FullHD": (1920, 1080),
+    "WQXGA": (2560, 1600),
+    "4K": (3840, 2160),
+}
+
+#: Third-dimension depth for the Sobel(3D) benchmark ("400 samples").
+SOBEL3D_DEPTH = 400
+
+
+def benchmark_pattern(name: str) -> Pattern:
+    """Look up one of the seven Table 1 patterns by name (case-insensitive)."""
+    key = name.lower()
+    if key not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key]()
+
+
+def benchmark_shape(name: str, resolution: str) -> Tuple[int, ...]:
+    """Array shape for a benchmark at a named resolution.
+
+    2-D benchmarks use ``(width, height)`` as in the paper (so the padded
+    dimension ``w_{n-1}`` is the vertical resolution — 480, 720, ...);
+    Sobel(3D) appends the 400-sample third dimension, which becomes the
+    padded one.
+    """
+    if resolution not in RESOLUTIONS:
+        raise KeyError(
+            f"unknown resolution {resolution!r}; available: {sorted(RESOLUTIONS)}"
+        )
+    base = RESOLUTIONS[resolution]
+    if name.lower() == "sobel3d":
+        return base + (SOBEL3D_DEPTH,)
+    return base
+
+
+def all_benchmarks() -> List[Tuple[str, Pattern]]:
+    """(name, pattern) for every Table 1 benchmark, in row order."""
+    return [(name, factory()) for name, factory in BENCHMARKS.items()]
+
+
+def kernel_for(name: str) -> "np.ndarray":
+    """The numeric kernel whose nonzeros induce the named pattern."""
+    mapping = {
+        "log": kernels.as_array(kernels.LOG_KERNEL),
+        "canny": kernels.as_array(kernels.CANNY_SMOOTHING_KERNEL),
+        "se": kernels.as_array(kernels.SE_MASK),
+        "median": kernels.as_array(kernels.MEDIAN_MASK),
+        "gaussian": kernels.as_array(kernels.GAUSSIAN_RING_KERNEL),
+        "sobel3d": kernels.sobel_3d_kernel(),
+    }
+    key = name.lower()
+    if key == "prewitt":
+        # The pattern is the union of both operators; expose the vertical
+        # one as the representative compute kernel.
+        return kernels.as_array(kernels.PREWITT_VERTICAL)
+    if key not in mapping:
+        raise KeyError(f"no kernel recorded for benchmark {name!r}")
+    return mapping[key]

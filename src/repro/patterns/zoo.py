@@ -1,0 +1,100 @@
+"""Extended pattern zoo: shapes from the wider stencil/vision literature.
+
+Beyond the paper's seven benchmarks, these patterns exercise regimes the
+Table 1 set does not: dilated taps (large bounding box, few elements),
+separable passes (1-D lines), block-matching windows (dense rectangles at
+an offset), and high-order finite-difference stars.  Used by the ablation
+benches and available to users as ready-made shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.pattern import Pattern
+from ..errors import PatternError
+from .generators import cross, line, rectangle
+
+
+def dilated_cross(arm: int = 2, dilation: int = 2) -> Pattern:
+    """A 5-point cross with gaps: taps at multiples of ``dilation``.
+
+    Dilated (à-trous) convolutions read widely spaced taps — small ``m``,
+    big bounding box, the regime where the mixed-radix α is least tight.
+    """
+    if arm < 1 or dilation < 1:
+        raise PatternError(f"arm and dilation must be positive, got {arm}, {dilation}")
+    offsets = {(0, 0)}
+    for step in range(1, arm + 1):
+        d = step * dilation
+        offsets.update({(d, 0), (-d, 0), (0, d), (0, -d)})
+    return Pattern(offsets, name=f"dilated_cross{arm}d{dilation}")
+
+
+def separable_pair() -> Tuple[Pattern, Pattern]:
+    """The two 1-D passes of a separable 5-tap filter (rows then columns).
+
+    Separable implementations replace a 2-D window with two line reads —
+    each trivially bankable with ``m`` banks along one axis.
+    """
+    horizontal = line(5, 1, 2, name="sep_h")
+    vertical = line(5, 0, 2, name="sep_v")
+    return horizontal, vertical
+
+
+def block_match(block: int = 4) -> Pattern:
+    """A dense ``block × block`` window (motion-estimation SAD block)."""
+    if block < 1:
+        raise PatternError(f"block must be positive, got {block}")
+    return rectangle((block, block), name=f"block{block}x{block}")
+
+
+def fd_star(order: int = 4) -> Pattern:
+    """High-order central finite-difference star (order/2 arms per axis)."""
+    if order < 2 or order % 2:
+        raise PatternError(f"order must be even and >= 2, got {order}")
+    return cross(order // 2, 2, name=f"fd_star{order}")
+
+
+def roberts() -> Pattern:
+    """Roberts cross operator: both 2×2 diagonal kernels (4 taps)."""
+    return Pattern([(0, 0), (0, 1), (1, 0), (1, 1)], name="roberts")
+
+
+def kirsch() -> Pattern:
+    """Kirsch compass operator: the full 3×3 ring plus center (9 taps)."""
+    return rectangle((3, 3), name="kirsch")
+
+
+def bilinear_taps() -> Pattern:
+    """Bilinear interpolation: the 2×2 neighbourhood (4 taps)."""
+    return Pattern([(0, 0), (0, 1), (1, 0), (1, 1)], name="bilinear")
+
+
+def sad_window_pair(block: int = 4, displacement: int = 2) -> Pattern:
+    """Current block + displaced candidate block, read together.
+
+    Motion estimation reads two dense blocks per iteration; their union is
+    a disjoint two-rectangle pattern — a shape with two far-apart clusters
+    the single-window benchmarks never produce.
+    """
+    current = rectangle((block, block))
+    candidate = current.translated((0, block + displacement))
+    return current.union(candidate, name=f"sad{block}+{displacement}")
+
+
+#: Name → factory for the whole zoo (used by ablation benches).
+ZOO: Dict[str, Callable[[], Pattern]] = {
+    "dilated_cross": dilated_cross,
+    "block_match": block_match,
+    "fd_star": fd_star,
+    "roberts": roberts,
+    "kirsch": kirsch,
+    "bilinear": bilinear_taps,
+    "sad_pair": sad_window_pair,
+}
+
+
+def zoo_patterns() -> List[Tuple[str, Pattern]]:
+    """All zoo patterns, instantiated with defaults."""
+    return [(name, factory()) for name, factory in ZOO.items()]

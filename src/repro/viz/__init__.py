@@ -1,0 +1,21 @@
+"""ASCII visualization of patterns, bank grids, and layouts."""
+
+from .ascii_art import (
+    render_access_heatmap,
+    render_utilization,
+    render_bank_grid,
+    render_bank_layout,
+    render_conflict_histogram,
+    render_pattern,
+    render_pattern_3d,
+)
+
+__all__ = [
+    "render_access_heatmap",
+    "render_utilization",
+    "render_bank_grid",
+    "render_bank_layout",
+    "render_conflict_histogram",
+    "render_pattern",
+    "render_pattern_3d",
+]

@@ -1,0 +1,144 @@
+"""ASCII rendering of patterns and bank assignments (paper Figs. 2–3).
+
+Everything the paper shows graphically — access-pattern dot grids, per-dot
+bank indices, the storage reorganization — renders here as text so the
+reproduction is inspectable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..core.mapping import BankMapping, bank_contents
+from ..core.partition import PartitionSolution
+from ..core.pattern import Pattern
+from ..errors import PatternError
+
+
+def render_pattern(pattern: Pattern, tap: str = "#", empty: str = ".") -> str:
+    """Fig. 3-style mask of a 2-D pattern over its bounding box.
+
+    >>> from repro.patterns import se_pattern
+    >>> print(render_pattern(se_pattern()))
+    .#.
+    ###
+    .#.
+    """
+    if pattern.ndim != 2:
+        raise PatternError(f"render_pattern needs a 2-D pattern, got {pattern.ndim}-D")
+    mask = pattern.to_mask()
+    return "\n".join("".join(tap if cell else empty for cell in row) for row in mask)
+
+
+def render_pattern_3d(pattern: Pattern, tap: str = "#", empty: str = ".") -> str:
+    """Slice-by-slice mask of a 3-D pattern (Fig. 3(e) style)."""
+    if pattern.ndim != 3:
+        raise PatternError(f"render_pattern_3d needs a 3-D pattern, got {pattern.ndim}-D")
+    norm = pattern.normalized()
+    d0, d1, d2 = norm.extents
+    blocks: List[str] = []
+    for s in range(d0):
+        grid = [[empty] * d2 for _ in range(d1)]
+        for (a, b, c) in norm.offsets:
+            if a == s:
+                grid[b][c] = tap
+        blocks.append(f"slice {s}:\n" + "\n".join("".join(row) for row in grid))
+    return "\n".join(blocks)
+
+
+def _bank_glyph(value: int) -> str:
+    """Single-character bank label: 0-9 then a-z then '?'."""
+    if value < 10:
+        return str(value)
+    if value < 36:
+        return chr(ord("a") + value - 10)
+    return "?"
+
+
+def render_bank_grid(
+    solution: PartitionSolution,
+    rows: int,
+    cols: int,
+    highlight: Optional[Pattern] = None,
+) -> str:
+    """Fig. 2(b)-style grid: each cell shows its bank index.
+
+    ``highlight`` marks one pattern instance's cells with brackets so the
+    "any window hits distinct banks" property is visible at a glance.
+    """
+    if solution.pattern.ndim != 2:
+        raise PatternError("render_bank_grid supports 2-D solutions only")
+    marked = set(highlight.offsets) if highlight is not None else set()
+    lines: List[str] = []
+    for r in range(rows):
+        cells: List[str] = []
+        for c in range(cols):
+            glyph = _bank_glyph(solution.bank_of((r, c)))
+            cells.append(f"[{glyph}]" if (r, c) in marked else f" {glyph} ")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_bank_layout(mapping: BankMapping, max_width: int = 80) -> str:
+    """Fig. 2(e)-style view: each row is one bank's stored elements.
+
+    Intended for small arrays; each slot shows the original coordinates of
+    the element stored there (``--`` marks padding).
+    """
+    contents = bank_contents(mapping)
+    lines: List[str] = []
+    for bank_index, slots in enumerate(contents):
+        rendered = []
+        for element in slots:
+            rendered.append("(--)" if element == () else "(" + ",".join(map(str, element)) + ")")
+        line = f"bank {bank_index:2d}: " + " ".join(rendered)
+        if len(line) > max_width:
+            line = line[: max_width - 3] + "..."
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_conflict_histogram(
+    counts: Sequence[int], label: Callable[[int], str] = lambda n: str(n + 1)
+) -> str:
+    """Bar chart of the δP|N sweep (Section 5.1 table as a picture)."""
+    lines = []
+    for index, count in enumerate(counts):
+        lines.append(f"N={label(index):>3}: " + "#" * count + f" ({count})")
+    return "\n".join(lines)
+
+
+def render_utilization(utilization: dict, width: int = 40) -> str:
+    """Per-bank occupancy bars (padding shows up as the unfilled tail).
+
+    ``utilization`` is the mapping returned by
+    :meth:`repro.hw.BankedMemory.utilization`: bank index → fill fraction.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    lines = []
+    for bank in sorted(utilization):
+        fraction = utilization[bank]
+        filled = round(fraction * width)
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"bank {bank:3d} |{bar}| {fraction * 100:5.1f}%")
+    return "\n".join(lines)
+
+
+def render_access_heatmap(
+    access_counts: Sequence[int], width: int = 40
+) -> str:
+    """Per-bank access-count bars: load balance of a finished simulation.
+
+    A perfectly balanced banking shows equal bars; a hot bank (the cause
+    of δ(II) > 0) sticks out immediately.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    peak = max(access_counts) if access_counts else 0
+    lines = []
+    for bank, count in enumerate(access_counts):
+        filled = round(count / peak * width) if peak else 0
+        bar = "█" * filled
+        lines.append(f"bank {bank:3d} |{bar:<{width}}| {count}")
+    return "\n".join(lines)

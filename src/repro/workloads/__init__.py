@@ -1,0 +1,33 @@
+"""Workloads: synthetic images and banked edge-detection pipelines."""
+
+from .edge_detection import (
+    PipelineReport,
+    detect_edges,
+    edge_density,
+    multi_operator_suite,
+)
+from .pipeline import FullPipelineReport, run_full_pipeline
+from .volume3d import VolumeGradientReport, volume_gradient
+from .images import (
+    box_image,
+    checkerboard_image,
+    gradient_image,
+    noise_image,
+    volume,
+)
+
+__all__ = [
+    "PipelineReport",
+    "FullPipelineReport",
+    "run_full_pipeline",
+    "VolumeGradientReport",
+    "volume_gradient",
+    "detect_edges",
+    "edge_density",
+    "multi_operator_suite",
+    "box_image",
+    "checkerboard_image",
+    "gradient_image",
+    "noise_image",
+    "volume",
+]

@@ -1,0 +1,72 @@
+"""Synthetic test images for the edge-detection workloads.
+
+The paper's motivating application is edge detection on gray-scale frames.
+No image files ship with the repository; these generators produce
+deterministic frames with known edge structure so pipeline outputs can be
+sanity-checked (edges appear where the generator put them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+def _check_shape(width: int, height: int) -> None:
+    if width < 1 or height < 1:
+        raise SimulationError(f"image dimensions must be positive, got {width}x{height}")
+
+
+def gradient_image(width: int, height: int, levels: int = 256) -> "np.ndarray":
+    """Smooth horizontal ramp: no edges, so edge detectors should be quiet."""
+    _check_shape(width, height)
+    row = np.linspace(0, levels - 1, width, dtype=np.int64)
+    return np.tile(row[:, None], (1, height))
+
+
+def checkerboard_image(
+    width: int, height: int, tile: int = 8, low: int = 0, high: int = 255
+) -> "np.ndarray":
+    """Checkerboard: dense, axis-aligned edges every ``tile`` pixels."""
+    _check_shape(width, height)
+    if tile < 1:
+        raise SimulationError(f"tile must be positive, got {tile}")
+    xs = (np.arange(width) // tile)[:, None]
+    ys = (np.arange(height) // tile)[None, :]
+    board = (xs + ys) % 2
+    return np.where(board == 0, low, high).astype(np.int64)
+
+
+def box_image(
+    width: int, height: int, box_fraction: float = 0.5, low: int = 0, high: int = 255
+) -> "np.ndarray":
+    """A bright centered rectangle on a dark background: a closed edge loop."""
+    _check_shape(width, height)
+    if not 0.0 < box_fraction <= 1.0:
+        raise SimulationError(f"box_fraction must be in (0, 1], got {box_fraction}")
+    image = np.full((width, height), low, dtype=np.int64)
+    bw = max(1, int(width * box_fraction))
+    bh = max(1, int(height * box_fraction))
+    x0 = (width - bw) // 2
+    y0 = (height - bh) // 2
+    image[x0 : x0 + bw, y0 : y0 + bh] = high
+    return image
+
+
+def noise_image(width: int, height: int, seed: int = 0, levels: int = 256) -> "np.ndarray":
+    """Uniform pixel noise (deterministic), for stress and property tests."""
+    _check_shape(width, height)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, levels, size=(width, height), dtype=np.int64)
+
+
+def volume(width: int, height: int, depth: int, seed: int = 0) -> "np.ndarray":
+    """A 3-D volume with a bright inner box, for the Sobel(3D) workload."""
+    _check_shape(width, height)
+    if depth < 1:
+        raise SimulationError(f"depth must be positive, got {depth}")
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 32, size=(width, height, depth), dtype=np.int64)
+    data[width // 4 : 3 * width // 4, height // 4 : 3 * height // 4, depth // 4 : 3 * depth // 4] += 200
+    return data

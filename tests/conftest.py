@@ -1,0 +1,56 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Pattern, partition
+from repro.patterns import (
+    canny_pattern,
+    gaussian_pattern,
+    log_pattern,
+    median_pattern,
+    prewitt_pattern,
+    se_pattern,
+    sobel3d_pattern,
+)
+
+
+@pytest.fixture
+def log_p() -> Pattern:
+    return log_pattern()
+
+
+@pytest.fixture
+def se_p() -> Pattern:
+    return se_pattern()
+
+
+@pytest.fixture
+def all_2d_benchmarks():
+    """The 2-D Table 1 patterns (name, pattern)."""
+    return [
+        ("log", log_pattern()),
+        ("canny", canny_pattern()),
+        ("prewitt", prewitt_pattern()),
+        ("se", se_pattern()),
+        ("median", median_pattern()),
+        ("gaussian", gaussian_pattern()),
+    ]
+
+
+@pytest.fixture
+def all_benchmarks(all_2d_benchmarks):
+    """All seven Table 1 patterns."""
+    return all_2d_benchmarks + [("sobel3d", sobel3d_pattern())]
+
+
+@pytest.fixture
+def log_solution():
+    return partition(log_pattern())
+
+
+@pytest.fixture
+def small_shape():
+    """An array just big enough for the 5x5 patterns, cheap to enumerate."""
+    return (12, 14)

@@ -1,0 +1,108 @@
+"""Tests for the analytical tooling (bounds, gaps, op prediction)."""
+
+import pytest
+
+from repro.core import (
+    bounding_box_bound,
+    exhaustive_min_banks,
+    gap_survey,
+    measured_vs_predicted,
+    minimize_nf,
+    nf_upper_bound,
+    optimality_gap,
+    predict_ops_ltb,
+    predict_ops_ours,
+)
+from repro.patterns import (
+    gaussian_pattern,
+    log_pattern,
+    median_pattern,
+    random_pattern,
+    se_pattern,
+)
+
+
+class TestBounds:
+    def test_nf_within_upper_bound(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            n_f, _, _ = minimize_nf(pattern)
+            assert n_f <= nf_upper_bound(pattern), name
+
+    def test_upper_bound_within_box_bound(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            assert nf_upper_bound(pattern) <= bounding_box_bound(pattern), name
+
+    def test_log_bound_value(self):
+        # z spread = 34 - 14 = 20 -> bound 21.
+        assert nf_upper_bound(log_pattern()) == 21
+
+    def test_dense_window_bound_tight(self):
+        from repro.patterns import canny_pattern
+
+        # 5x5 dense: z = 0..24, bound = max(25, 25) = 25, and N_f = 25.
+        assert nf_upper_bound(canny_pattern()) == 25
+
+
+class TestOptimalityGap:
+    def test_known_gaps(self):
+        assert optimality_gap(log_pattern()) == 0
+        assert optimality_gap(se_pattern()) == 0
+        assert optimality_gap(median_pattern()) == 1
+        assert optimality_gap(gaussian_pattern()) == 3
+
+    def test_exhaustive_matches_ltb_column(self):
+        assert exhaustive_min_banks(median_pattern()) == 7
+        assert exhaustive_min_banks(gaussian_pattern()) == 10
+
+    def test_gap_never_negative(self):
+        for seed in range(8):
+            pattern = random_pattern(6, (5, 5), seed=seed)
+            assert optimality_gap(pattern) >= 0
+
+
+class TestGapSurvey:
+    def test_survey_shape(self):
+        survey = gap_survey(count=12, size=6, seed=7)
+        assert len(survey.gaps) == 12
+        assert sum(survey.histogram.values()) == 12
+        assert 0.0 <= survey.optimal_fraction <= 1.0
+        assert survey.mean_gap >= 0
+        assert survey.max_gap == max(survey.gaps)
+
+    def test_deterministic(self):
+        a = gap_survey(count=8, size=6, seed=1)
+        b = gap_survey(count=8, size=6, seed=1)
+        assert a.gaps == b.gaps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gap_survey(count=0)
+
+
+class TestOpPrediction:
+    def test_prediction_tracks_measurement(self, all_benchmarks):
+        """The closed-form O(m^2) model lands within 35% of the
+        instrumented count on every benchmark — the complexity claim is
+        auditable, not hand-waved."""
+        for name, pattern in all_benchmarks:
+            measured, predicted = measured_vs_predicted(pattern)
+            assert predicted <= measured <= predicted * 1.35, (
+                name,
+                measured,
+                predicted,
+            )
+
+    def test_ltb_prediction_order(self):
+        from repro.baselines import ltb_partition
+        from repro.core import OpCounter
+
+        ops = OpCounter()
+        result = ltb_partition(log_pattern(), ops=ops)
+        predicted = predict_ops_ltb(log_pattern(), result.vectors_tried)
+        assert predicted / 2 <= ops.arithmetic <= predicted * 2
+
+    def test_quadratic_growth(self):
+        small = predict_ops_ours(se_pattern())        # m = 5
+        large = predict_ops_ours(log_pattern())       # m = 13
+        # pairwise term dominates: ~ (13/5)^2 ≈ 6.8x
+        assert 3 < large / small < 10

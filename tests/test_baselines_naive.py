@@ -1,0 +1,116 @@
+"""Unit tests for the cyclic / block / duplication baselines."""
+
+import pytest
+
+from repro.baselines import (
+    BlockScheme,
+    CyclicScheme,
+    DuplicationScheme,
+    best_cyclic,
+    cyclic_delta_ii,
+    duplication_for,
+)
+from repro.core import Pattern, partition
+from repro.patterns import log_pattern, se_pattern
+
+
+class TestCyclic:
+    def test_bank_of(self):
+        scheme = CyclicScheme(dim=1, n_banks=4, ndim=2)
+        assert scheme.bank_of((7, 9)) == 1
+
+    def test_conflicts_on_2d_stencils(self):
+        """Every Table 1 2-D pattern has two taps sharing a row and a
+        column, so single-dimension cyclic banking always conflicts."""
+        for pattern in (log_pattern(), se_pattern()):
+            assert cyclic_delta_ii(pattern, pattern.size) > 0
+
+    def test_conflict_free_for_lines(self):
+        line = Pattern([(0, i) for i in range(4)])
+        assert cyclic_delta_ii(line, 4) == 0
+
+    def test_best_cyclic_picks_better_dim(self):
+        tall = Pattern([(i, 0) for i in range(5)])
+        scheme = best_cyclic(tall, 5)
+        assert scheme.dim == 0
+
+    def test_as_solution_records_measured_delta(self):
+        solution = CyclicScheme(dim=0, n_banks=13, ndim=2).as_solution(log_pattern())
+        assert solution.algorithm == "cyclic"
+        assert solution.delta_ii > 0
+
+    def test_overhead(self):
+        scheme = CyclicScheme(dim=1, n_banks=13, ndim=2)
+        assert scheme.overhead_elements((640, 480)) == 640  # pad 480 -> 481
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CyclicScheme(dim=2, n_banks=4, ndim=2)
+        with pytest.raises(ValueError):
+            CyclicScheme(dim=0, n_banks=0, ndim=2)
+
+    def test_worse_than_linear_transform(self):
+        """The motivating comparison: same bank count, more conflicts."""
+        ours = partition(log_pattern())
+        assert ours.delta_ii == 0
+        assert cyclic_delta_ii(log_pattern(), ours.n_banks) >= 1
+
+
+class TestBlock:
+    def test_interior_window_lands_in_one_bank(self):
+        scheme = BlockScheme(dim=0, n_banks=4, shape=(40, 40))
+        # interior offsets: whole 5x5 window inside one 10-wide chunk
+        banks = {scheme.bank_of((r, c)) for r in range(2, 7) for c in range(2, 7)}
+        assert len(banks) == 1
+
+    def test_worst_delta_is_catastrophic(self):
+        scheme = BlockScheme(dim=0, n_banks=4, shape=(40, 40))
+        assert scheme.worst_delta_ii(log_pattern()) >= log_pattern().size // 2
+
+    def test_overhead(self):
+        scheme = BlockScheme(dim=1, n_banks=7, shape=(10, 20))
+        # chunk = 3, 7*3 = 21 -> pad 1 column of 10
+        assert scheme.overhead_elements() == 10
+
+    def test_clamps_out_of_range(self):
+        scheme = BlockScheme(dim=0, n_banks=4, shape=(8, 8))
+        assert scheme.bank_of((-3, 0)) == 0
+        assert scheme.bank_of((100, 0)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockScheme(dim=3, n_banks=2, shape=(4, 4))
+
+
+class TestDuplication:
+    def test_zero_delta(self):
+        scheme = duplication_for(log_pattern(), (64, 64))
+        assert scheme.delta_ii == 0
+
+    def test_overhead_is_m_minus_1_copies(self):
+        scheme = duplication_for(log_pattern(), (64, 64))
+        assert scheme.overhead_elements == 12 * 64 * 64
+
+    def test_write_amplification(self):
+        assert duplication_for(se_pattern(), (8, 8)).write_amplification == 5
+
+    def test_reader_owns_copy(self):
+        scheme = DuplicationScheme(copies=3, shape=(4, 4))
+        assert scheme.bank_of(2, (0, 0)) == 2
+        with pytest.raises(ValueError):
+            scheme.bank_of(3, (0, 0))
+
+    def test_overhead_dwarfs_partitioning(self):
+        """The paper's Section 1 argument: duplication costs ~m*W while
+        partitioning costs < N * prod(w[:-1])."""
+        from repro.core import ours_overhead_elements
+
+        dup = duplication_for(log_pattern(), (640, 480)).overhead_elements
+        ours = ours_overhead_elements((640, 480), 13)
+        assert dup > 1000 * ours
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DuplicationScheme(copies=0, shape=(4, 4))
+        with pytest.raises(ValueError):
+            DuplicationScheme(copies=2, shape=())

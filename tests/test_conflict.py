@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.conflict (δ(II) analysis)."""
+
+import pytest
+
+from repro.core import (
+    Pattern,
+    conflict_table,
+    delta_ii,
+    derive_alpha,
+    measured_cycles,
+    offset_window,
+    partition,
+    profile_at,
+    verify_conflict_free,
+)
+from repro.patterns import log_pattern
+
+
+class TestProfile:
+    def test_conflict_free_profile(self, log_solution):
+        profile = profile_at(log_solution.pattern, log_solution.bank_of)
+        assert profile.worst == 1
+        assert profile.conflict_free
+        assert profile.delta_ii == 0
+        assert len(set(profile.banks)) == 13
+
+    def test_histogram_sums_to_pattern_size(self, log_solution):
+        profile = profile_at(log_solution.pattern, log_solution.bank_of)
+        assert sum(profile.histogram.values()) == 13
+
+    def test_conflicting_profile(self):
+        pattern = Pattern([(0, 0), (0, 1), (1, 0), (1, 1)])
+        profile = profile_at(pattern, lambda x: (x[0] + x[1]) % 4)
+        assert profile.worst == 2
+        assert not profile.conflict_free
+
+    def test_profile_at_offset(self, log_solution):
+        profile = profile_at(log_solution.pattern, log_solution.bank_of, (3, 5))
+        assert profile.worst == 1
+
+
+class TestDeltaII:
+    def test_origin_only_default(self, log_solution):
+        assert delta_ii(log_solution.pattern, log_solution.bank_of) == 0
+
+    def test_offset_invariance_over_window(self, log_solution):
+        """The linear hash's conflict count is the same at every offset."""
+        window = offset_window(2, 13)
+        assert delta_ii(log_solution.pattern, log_solution.bank_of, window) == 0
+
+    def test_constrained_solution_delta_over_window(self):
+        solution = partition(log_pattern(), n_max=10)
+        window = offset_window(2, 7)
+        assert delta_ii(solution.pattern, solution.bank_of, window) == 1
+
+    def test_single_bank_delta_is_m_minus_1(self, log_p):
+        assert delta_ii(log_p, lambda x: 0) == log_p.size - 1
+
+
+class TestOffsetWindow:
+    def test_size(self):
+        assert len(offset_window(2, 3)) == 16
+
+    def test_1d(self):
+        assert offset_window(1, 2) == [(0,), (1,), (2,)]
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            offset_window(2, -1)
+
+
+class TestVerify:
+    def test_all_benchmark_solutions_verified(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            solution = partition(pattern)
+            assert verify_conflict_free(solution, window_radius=3), name
+
+    def test_two_level_scheme_verified(self):
+        solution = partition(log_pattern(), n_max=10, same_size=False)
+        assert verify_conflict_free(solution, window_radius=13)
+
+    def test_measured_cycles(self, log_solution):
+        assert measured_cycles(log_solution) == 1
+        assert measured_cycles(partition(log_pattern(), n_max=10)) == 2
+
+
+class TestConflictTable:
+    def test_matches_paper_sweep(self):
+        transform = derive_alpha(log_pattern())
+        table = conflict_table(
+            log_pattern(),
+            lambda n: (lambda x, n=n: transform.apply(x) % n),
+            10,
+        )
+        assert table == [13, 9, 5, 6, 5, 3, 2, 3, 2, 3]

@@ -1,0 +1,117 @@
+"""Tests for loop-carried dependence analysis and the combined II."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls import (
+    CombinedII,
+    combined_ii,
+    find_flow_dependences,
+    parse_kernel,
+    recurrence_ii,
+)
+
+
+class TestFindDependences:
+    def test_in_place_scan(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) X[i] = X[i-1] + B[i];")
+        deps = find_flow_dependences(nest)
+        assert len(deps) == 1
+        assert deps[0].array == "X"
+        assert deps[0].distance == (1,)
+
+    def test_no_write_no_dependence(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) Y[i] = X[i-1] + X[i+1];")
+        assert find_flow_dependences(nest) == []
+
+    def test_same_iteration_access_not_carried(self):
+        nest = parse_kernel("for (i = 0; i <= 9; i++) X[i] = X[i] + B[i];")
+        assert find_flow_dependences(nest) == []
+
+    def test_forward_read_is_not_flow(self):
+        # X[i+1] reads a value this loop has not written yet (anti-dep).
+        nest = parse_kernel("for (i = 0; i <= 8; i++) X[i] = X[i+1] + B[i];")
+        assert find_flow_dependences(nest) == []
+
+    def test_2d_carried_by_inner_loop(self):
+        nest = parse_kernel(
+            """
+            for (i = 0; i <= 7; i++)
+              for (j = 1; j <= 7; j++)
+                X[i][j] = X[i][j-1] + B[i][j];
+            """
+        )
+        deps = find_flow_dependences(nest)
+        assert deps[0].distance == (0, 1)
+        assert deps[0].scalar_distance == 1
+
+    def test_outer_carried_has_zero_scalar_distance(self):
+        nest = parse_kernel(
+            """
+            for (i = 1; i <= 7; i++)
+              for (j = 0; j <= 7; j++)
+                X[i][j] = X[i-1][j] + B[i][j];
+            """
+        )
+        deps = find_flow_dependences(nest)
+        assert deps[0].distance == (1, 0)
+        assert deps[0].scalar_distance == 0
+
+    def test_non_uniform_self_access_rejected(self):
+        nest = parse_kernel("for (i = 1; i <= 4; i++) X[i] = X[2*i] + B[i];")
+        with pytest.raises(HLSError, match="non-uniform"):
+            find_flow_dependences(nest)
+
+
+class TestRecurrenceII:
+    def test_distance_one_latency_three(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) X[i] = X[i-1] + B[i];")
+        assert recurrence_ii(nest, operation_latency=3) == 3
+
+    def test_distance_two_halves_the_bound(self):
+        nest = parse_kernel("for (i = 2; i <= 9; i++) X[i] = X[i-2] + B[i];")
+        assert recurrence_ii(nest, operation_latency=4) == 2
+
+    def test_no_recurrence_gives_one(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) Y[i] = X[i-1] + X[i+1];")
+        assert recurrence_ii(nest, operation_latency=5) == 1
+
+    def test_outer_carried_does_not_constrain(self):
+        nest = parse_kernel(
+            """
+            for (i = 1; i <= 7; i++)
+              for (j = 0; j <= 7; j++)
+                X[i][j] = X[i-1][j] + B[i][j];
+            """
+        )
+        assert recurrence_ii(nest, operation_latency=8) == 1
+
+    def test_latency_validation(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) X[i] = X[i-1] + B[i];")
+        with pytest.raises(HLSError):
+            recurrence_ii(nest, operation_latency=0)
+
+
+class TestCombinedII:
+    def test_recurrence_bound_kernel(self):
+        nest = parse_kernel("for (i = 1; i <= 9; i++) X[i] = X[i-1] + X[i] + B[i];")
+        result = combined_ii(nest, operation_latency=3)
+        assert result == CombinedII(memory=1, recurrence=3)
+        assert result.achieved == 3
+        assert not result.memory_bound
+
+    def test_memory_bound_kernel(self):
+        from repro.hls import log_kernel_nest
+
+        result = combined_ii(log_kernel_nest(), n_max=10)
+        assert result.memory == 2
+        assert result.recurrence == 1
+        assert result.achieved == 2
+        assert result.memory_bound
+
+    def test_banking_cannot_fix_recurrences(self):
+        """The punchline: infinite banks still cannot beat the recurrence."""
+        nest = parse_kernel("for (i = 1; i <= 9; i++) X[i] = X[i-1] + B[i];")
+        unlimited = combined_ii(nest, n_max=None, operation_latency=4)
+        assert unlimited.memory == 1
+        assert unlimited.achieved == 4

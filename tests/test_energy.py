@@ -1,0 +1,89 @@
+"""Tests for the first-order energy model."""
+
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.errors import HardwareModelError
+from repro.hw import (
+    EnergyModel,
+    banked_sweep_energy,
+    duplicated_sweep_energy,
+    monolithic_sweep_energy,
+)
+from repro.patterns import log_pattern
+
+
+def mapping_for(shape=(64, 65)):
+    return BankMapping(solution=partition(log_pattern()), shape=shape)
+
+
+class TestModel:
+    def test_access_energy_grows_with_size(self):
+        model = EnergyModel()
+        assert model.access_energy(1000) > model.access_energy(100)
+
+    def test_sqrt_scaling(self):
+        model = EnergyModel()
+        assert model.access_energy(400) == pytest.approx(2 * model.access_energy(100))
+
+    def test_port_penalty(self):
+        model = EnergyModel(port_penalty=0.8)
+        single = model.access_energy(100, ports=1)
+        many = model.access_energy(100, ports=13)
+        assert many == pytest.approx(single * (1 + 0.8 * 12))
+
+    def test_leakage_linear(self):
+        model = EnergyModel()
+        assert model.leakage_energy(100, 10) == pytest.approx(
+            10 * model.leakage_energy(100, 1)
+        )
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            EnergyModel(read_unit=0)
+        model = EnergyModel()
+        with pytest.raises(HardwareModelError):
+            model.access_energy(0)
+        with pytest.raises(HardwareModelError):
+            model.access_energy(10, ports=0)
+        with pytest.raises(HardwareModelError):
+            model.leakage_energy(-1, 10)
+
+
+class TestArchitectureComparison:
+    """The paper's Section 1 argument, quantified."""
+
+    def test_banking_beats_monolithic_multiport(self):
+        mapping = mapping_for()
+        m = log_pattern().size
+        banked = banked_sweep_energy(mapping, iterations=1000)
+        mono = monolithic_sweep_energy(
+            mapping.original_elements, m, iterations=1000, ports=m
+        )
+        assert banked.total < mono.total
+
+    def test_banking_beats_duplication(self):
+        mapping = mapping_for()
+        m = log_pattern().size
+        banked = banked_sweep_energy(mapping, iterations=1000)
+        dup = duplicated_sweep_energy(mapping.original_elements, m, iterations=1000)
+        assert banked.total < dup.total
+        # duplication's leakage covers m full copies
+        assert dup.leakage > banked.leakage * (m / 2)
+
+    def test_dynamic_energy_scales_with_bank_size(self):
+        small = banked_sweep_energy(mapping_for((32, 39)), iterations=100)
+        large = banked_sweep_energy(mapping_for((128, 130)), iterations=100)
+        assert large.dynamic > small.dynamic
+
+    def test_report_total(self):
+        report = banked_sweep_energy(mapping_for(), iterations=10)
+        assert report.total == pytest.approx(report.dynamic + report.leakage)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            banked_sweep_energy(mapping_for(), iterations=0)
+        with pytest.raises(HardwareModelError):
+            monolithic_sweep_energy(0, 5, 10)
+        with pytest.raises(HardwareModelError):
+            duplicated_sweep_energy(10, 0, 10)

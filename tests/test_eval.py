@@ -1,0 +1,139 @@
+"""Unit tests for the evaluation harnesses (Table 1, case study, metrics)."""
+
+import pytest
+
+from repro.eval import (
+    PAPER_CASESTUDY_SWEEP,
+    PAPER_LOG_BANKS,
+    PAPER_MOTIVATION,
+    PAPER_TABLE1,
+    build_row,
+    improvement,
+    render_case_study,
+    render_table1,
+    run_case_study,
+    run_ltb,
+    run_ours,
+    storage_blocks,
+)
+from repro.eval.metrics import geometric_mean
+from repro.eval.table1 import Table1
+from repro.patterns import log_pattern
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement(100, 20) == 80.0
+
+    def test_negative_when_worse(self):
+        assert improvement(10, 20) == -100.0
+
+    def test_zero_baseline_zero_ours(self):
+        assert improvement(0, 0) == 0.0
+
+    def test_zero_baseline_nonzero_ours(self):
+        assert improvement(0, 5) == -100.0
+
+
+class TestStorageBlocks:
+    def test_paper_anchors(self):
+        assert storage_blocks((640, 480), 13, "ours") == 2
+        assert storage_blocks((640, 480), 13, "ltb") == 10
+
+    def test_canny_sd_hd_exact(self):
+        assert storage_blocks((640, 480), 25, "ours") == 23
+        assert storage_blocks((1280, 720), 25, "ours") == 12
+
+    def test_median_zero_everywhere(self):
+        for shape in [(640, 480), (1280, 720), (1920, 1080), (2560, 1600), (3840, 2160)]:
+            assert storage_blocks(shape, 8, "ours") == 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            storage_blocks((640, 480), 13, "magic")
+
+
+class TestRuns:
+    def test_run_ours_log(self):
+        run = run_ours(log_pattern(), repetitions=3)
+        assert run.n_banks == 13
+        assert run.operations > 0
+        assert run.time_ms > 0
+
+    def test_run_ltb_log(self):
+        run = run_ltb(log_pattern(), repetitions=1)
+        assert run.n_banks == 13
+        assert run.operations > run_ours(log_pattern(), repetitions=1).operations
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([0, 0])
+
+
+class TestCaseStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_case_study()
+
+    def test_alpha(self, study):
+        assert study.alpha == (5, 1)
+
+    def test_z_values(self, study):
+        assert sorted(study.z_values) == [
+            14, 18, 19, 20, 22, 23, 24, 25, 26, 28, 29, 30, 34,
+        ]
+
+    def test_nf(self, study):
+        assert study.n_f == 13
+
+    def test_bank_indices_match_fig2b(self, study):
+        assert study.bank_indices == PAPER_LOG_BANKS
+
+    def test_sweep_row_matches_paper(self, study):
+        assert study.sweep_row == PAPER_CASESTUDY_SWEEP
+
+    def test_nmax_choices(self, study):
+        assert study.fast_nc == 7 and study.fast_rounds == 2
+        assert study.same_size_nc == 7
+        assert study.same_size_candidates == (7, 9)
+        assert study.same_size_delta == 1
+
+    def test_overhead_anchors(self, study):
+        assert study.ours_overhead_elements == PAPER_MOTIVATION["ours_overhead_elements"]
+        assert study.ltb_overhead_elements == PAPER_MOTIVATION["ltb_overhead_elements"]
+
+    def test_operation_ratio_shape(self, study):
+        """Paper: 92 vs 1053 (ratio ~11x).  Accounting conventions differ,
+        but ours must be several-fold cheaper."""
+        assert study.ltb_operations / study.ours_operations > 3
+
+    def test_render(self, study):
+        text = render_case_study(study)
+        assert "alpha" in text and "(5, 1)" in text
+
+
+class TestTable1Harness:
+    @pytest.fixture(scope="class")
+    def row(self):
+        return build_row("log", time_repetitions=2)
+
+    def test_bank_counts(self, row):
+        assert row.ours.n_banks == 13
+        assert row.ltb.n_banks == 13
+
+    def test_storage_within_paper_tolerance(self, row):
+        """Every storage cell within a few blocks of the published value."""
+        paper = PAPER_TABLE1["log"]
+        for algorithm in ("ours", "ltb"):
+            for mine, published in zip(row.storage[algorithm], paper[algorithm].storage_blocks):
+                assert abs(mine - published) <= 3, (algorithm, mine, published)
+
+    def test_improvements_positive(self, row):
+        assert row.operations_improvement > 50
+        assert all(v >= 0 for v in row.storage_improvements())
+
+    def test_render_contains_rows(self, row):
+        table = Table1(rows=(row,))
+        text = render_table1(table)
+        assert "log" in text and "paper" in text and "impr%" in text

@@ -1,0 +1,164 @@
+"""Tests for the paper's extension features.
+
+* Bank bandwidth B > 1 (Section 3: "combining B banks together") —
+  :func:`widen_solution`.
+* Joint multi-pattern partitioning — :func:`solve_joint`.
+* Innermost-loop unrolling in the HLS scheduler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BankMapping,
+    partition,
+    solve_joint,
+    widen_solution,
+)
+from repro.errors import InfeasibleConstraintError
+from repro.hls import log_kernel_nest, schedule_nest
+from repro.hw import BankedMemory
+from repro.patterns import log_pattern, se_pattern
+from repro.sim import simulate_sweep
+
+
+class TestWideBanks:
+    def test_paper_example_13_to_7(self):
+        """Case study closing remark: bandwidth 2 folds 13 banks into 7."""
+        wide = widen_solution(partition(log_pattern()), 2)
+        assert wide.n_banks == 7
+        assert wide.bank_ports == 2
+        assert wide.delta_ii == 0
+        assert wide.scheme == "wide"
+
+    def test_bandwidth_one_is_identity(self):
+        solution = partition(log_pattern())
+        assert widen_solution(solution, 1) is solution
+
+    def test_each_wide_bank_gets_at_most_b_elements(self):
+        for bandwidth in (2, 3, 4):
+            wide = widen_solution(partition(log_pattern()), bandwidth)
+            banks = wide.bank_indices()
+            worst = max(banks.count(b) for b in set(banks))
+            assert worst <= bandwidth, bandwidth
+
+    def test_mapping_bijective(self):
+        for bandwidth in (2, 3):
+            wide = widen_solution(partition(log_pattern()), bandwidth)
+            mapping = BankMapping(solution=wide, shape=(8, 20))
+            assert mapping.verify_bijective(), bandwidth
+
+    def test_total_storage_preserved(self):
+        base = partition(log_pattern())
+        direct = BankMapping(solution=base, shape=(8, 20))
+        wide = BankMapping(solution=widen_solution(base, 2), shape=(8, 20))
+        assert wide.total_bank_elements == direct.total_bank_elements
+
+    def test_simulated_single_cycle_with_dual_ports(self):
+        wide = widen_solution(partition(log_pattern()), 2)
+        mapping = BankMapping(solution=wide, shape=(10, 20))
+        report = simulate_sweep(mapping)  # ports come from bank_ports
+        assert report.worst_cycles == 1
+
+    def test_single_ported_hardware_would_conflict(self):
+        """The bandwidth requirement is real: memory built with fewer ports
+        than the solution demands cannot exist through the public API, so
+        check the underlying arbitration directly."""
+        wide = widen_solution(partition(log_pattern()), 2)
+        mapping = BankMapping(solution=wide, shape=(10, 20))
+        memory = BankedMemory(mapping=mapping)
+        assert memory.ports_per_bank == 2  # auto-raised to the requirement
+
+    def test_validation(self):
+        solution = partition(log_pattern())
+        with pytest.raises(ValueError):
+            widen_solution(solution, 0)
+        with pytest.raises(ValueError):
+            widen_solution(widen_solution(solution, 2), 2)
+
+    def test_dump_roundtrip(self):
+        wide = widen_solution(partition(se_pattern()), 2)
+        mapping = BankMapping(solution=wide, shape=(6, 11))
+        memory = BankedMemory(mapping=mapping)
+        data = np.arange(66, dtype=np.int64).reshape(6, 11)
+        memory.load_array(data)
+        assert np.array_equal(memory.dump_array(), data)
+
+
+class TestJointPartitioning:
+    def test_union_covers_both(self):
+        reader = se_pattern()
+        shifted = se_pattern().translated((0, 1))
+        result = solve_joint([reader, shifted])
+        solution = result.solution
+        # every element of each member pattern maps to a distinct bank
+        for member in (reader, shifted):
+            banks = [solution.bank_of(d) for d in member.offsets]
+            assert len(set(banks)) == member.size
+
+    def test_union_pattern_size(self):
+        result = solve_joint([se_pattern(), se_pattern().translated((0, 1))])
+        assert result.solution.pattern.size == 8  # 5 + 5 - 2 shared
+
+    def test_single_pattern_degenerates_to_solve(self):
+        joint = solve_joint([log_pattern()])
+        plain = partition(log_pattern())
+        assert joint.solution.n_banks == plain.n_banks
+
+    def test_mapping_and_simulation(self):
+        result = solve_joint(
+            [se_pattern(), se_pattern().translated((1, 1))], shape=(10, 12)
+        )
+        assert result.mapping is not None
+        assert result.mapping.verify_bijective()
+        report = simulate_sweep(result.mapping)
+        assert report.worst_cycles == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(InfeasibleConstraintError):
+            solve_joint([])
+
+    def test_constraint_respected(self):
+        result = solve_joint(
+            [log_pattern(), log_pattern().translated((0, 1))], n_max=10
+        )
+        assert result.solution.n_banks <= 10
+
+
+class TestUnrolledScheduling:
+    def test_unroll_preserves_ii_with_enough_banks(self):
+        for factor in (1, 2, 4):
+            schedule = schedule_nest(log_kernel_nest(), unroll=factor)
+            assert schedule.ii == 1, factor
+
+    def test_unroll_reduces_total_cycles(self):
+        base = schedule_nest(log_kernel_nest())
+        double = schedule_nest(log_kernel_nest(), unroll=2)
+        assert double.total_cycles < base.total_cycles * 0.6
+
+    def test_unroll_needs_more_banks(self):
+        base = schedule_nest(log_kernel_nest())
+        double = schedule_nest(log_kernel_nest(), unroll=2)
+        assert double.total_banks > base.total_banks
+
+    def test_unroll_under_bank_limit_costs_cycles(self):
+        constrained = schedule_nest(log_kernel_nest(), unroll=2, n_max=13)
+        assert constrained.ii >= 2  # 21 reads through <= 13 banks
+
+    def test_unrolled_solution_simulates_correctly(self):
+        schedule = schedule_nest(log_kernel_nest(), unroll=2)
+        solution = schedule.solution_for("X")
+        mapping = BankMapping(solution=solution, shape=(12, 24))
+        report = simulate_sweep(mapping)
+        assert report.worst_cycles == 1
+
+    def test_bad_factor(self):
+        from repro.errors import HLSError
+
+        with pytest.raises(HLSError):
+            schedule_nest(log_kernel_nest(), unroll=0)
+
+    def test_iterations_rounding(self):
+        schedule = schedule_nest(log_kernel_nest(), unroll=7)
+        trips = log_kernel_nest().trip_count
+        assert schedule.iterations == -(-trips // 7)

@@ -1,0 +1,147 @@
+"""Unit tests for the pattern generators."""
+
+import pytest
+
+from repro.core import check_theorem1, partition
+from repro.errors import PatternError
+from repro.patterns import (
+    checkerboard,
+    cross,
+    diamond,
+    grid_of_patterns,
+    line,
+    random_pattern,
+    rectangle,
+    sliding_windows,
+    unrolled,
+)
+
+
+class TestRectangle:
+    def test_size(self):
+        assert rectangle((3, 4)).size == 12
+
+    def test_dense_window_needs_exactly_m_banks(self):
+        # full k x k windows transform to consecutive integers
+        for k in (2, 3, 4):
+            assert partition(rectangle((k, k))).n_banks == k * k
+
+    def test_rejects_empty(self):
+        with pytest.raises(PatternError):
+            rectangle((0, 3))
+
+
+class TestLine:
+    def test_along_each_dim(self):
+        assert line(4, 0, 2).extents == (4, 1)
+        assert line(4, 1, 2).extents == (1, 4)
+
+    def test_needs_length_banks(self):
+        assert partition(line(6, 1, 2)).n_banks == 6
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            line(0, 0, 2)
+        with pytest.raises(PatternError):
+            line(3, 2, 2)
+
+
+class TestCross:
+    def test_von_neumann(self):
+        assert cross(1, 2).size == 5
+
+    def test_matches_se(self):
+        from repro.patterns import se_pattern
+
+        assert cross(1, 2).normalized() == se_pattern().normalized()
+
+    def test_3d_cross(self):
+        assert cross(1, 3).size == 7
+
+    def test_arm_zero_is_singleton(self):
+        assert cross(0, 2).size == 1
+
+    def test_negative_arm(self):
+        with pytest.raises(PatternError):
+            cross(-1, 2)
+
+
+class TestDiamond:
+    def test_l1_ball_sizes(self):
+        assert diamond(1).size == 5
+        assert diamond(2).size == 13
+
+    def test_radius2_is_log_shape(self):
+        from repro.patterns import log_pattern
+
+        assert diamond(2).normalized() == log_pattern().normalized()
+
+    def test_radius_zero(self):
+        assert diamond(0).size == 1
+
+
+class TestCheckerboard:
+    def test_parities_partition_the_box(self):
+        even = checkerboard((4, 4), 0)
+        odd = checkerboard((4, 4), 1)
+        assert even.size + odd.size == 16
+        assert not set(even.offsets) & set(odd.offsets)
+
+    def test_empty_raises(self):
+        with pytest.raises(PatternError):
+            checkerboard((1, 1), 1)
+
+
+class TestRandom:
+    def test_deterministic(self):
+        assert random_pattern(6, (5, 5), seed=3) == random_pattern(6, (5, 5), seed=3)
+
+    def test_different_seeds_differ(self):
+        a = random_pattern(10, (6, 6), seed=1)
+        b = random_pattern(10, (6, 6), seed=2)
+        assert a != b
+
+    def test_theorem1_holds(self):
+        for seed in range(10):
+            assert check_theorem1(random_pattern(8, (6, 6), seed=seed))
+
+    def test_capacity_check(self):
+        with pytest.raises(PatternError):
+            random_pattern(5, (2, 2))
+
+    def test_size_check(self):
+        with pytest.raises(PatternError):
+            random_pattern(0, (2, 2))
+
+
+class TestUnrolling:
+    def test_sliding_windows(self):
+        windows = sliding_windows(cross(1, 2), 3)
+        assert len(windows) == 3
+        assert windows[1] == cross(1, 2).translated((0, 1))
+
+    def test_unrolled_grows_along_last_axis(self):
+        base = rectangle((2, 2))
+        merged = unrolled(base, 3)
+        assert merged.extents == (2, 4)
+        assert merged.size == 8
+
+    def test_unrolled_factor_one_is_identity(self):
+        base = rectangle((2, 2))
+        assert unrolled(base, 1).offsets == base.offsets
+
+    def test_unrolled_needs_more_banks(self):
+        base = rectangle((2, 2))
+        assert partition(unrolled(base, 2)).n_banks > partition(base).n_banks
+
+    def test_bad_steps(self):
+        with pytest.raises(PatternError):
+            sliding_windows(cross(1, 2), 0)
+
+
+class TestSuite:
+    def test_grid_of_patterns_labels(self):
+        suite = grid_of_patterns(12)
+        names = [name for name, _ in suite]
+        assert len(names) == len(set(names))
+        assert all(p.size >= 1 for _, p in suite)

@@ -1,0 +1,103 @@
+"""Unit tests for pattern extraction and nest scheduling."""
+
+import pytest
+
+from repro.core import partition
+from repro.errors import HLSError
+from repro.hls import (
+    banking_speedup,
+    build_nest,
+    extract_pattern,
+    extract_read_groups,
+    log_kernel_nest,
+    parse_kernel,
+    required_banks,
+    schedule_nest,
+    unpartitioned_ii,
+)
+from repro.patterns import log_pattern
+
+
+class TestExtraction:
+    def test_log_kernel_pattern(self):
+        pattern = extract_pattern(log_kernel_nest())
+        assert pattern.size == 13
+        assert pattern.normalized() == log_pattern().normalized()
+
+    def test_group_metadata(self):
+        groups = extract_read_groups(log_kernel_nest())
+        assert set(groups) == {"X"}
+        group = groups["X"]
+        assert group.array == "X"
+        assert len(group.refs) == 13
+        assert group.linear_signature == ((("i", 1),), (("j", 1),))
+
+    def test_duplicate_refs_collapse(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[i] + X[i] + X[i+1];")
+        assert extract_pattern(nest).size == 2
+
+    def test_multiple_arrays_need_explicit_name(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = A[i] + B[i+1];")
+        with pytest.raises(HLSError, match="several arrays"):
+            extract_pattern(nest)
+        assert extract_pattern(nest, "A").size == 1
+
+    def test_unknown_array(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[i];")
+        with pytest.raises(HLSError, match="not read"):
+            extract_pattern(nest, "Z")
+
+    def test_non_uniform_rejected(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[i] + X[2*i];")
+        with pytest.raises(HLSError, match="not uniformly generated"):
+            extract_read_groups(nest)
+
+    def test_broadcast_read_rejected(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[0];")
+        with pytest.raises(HLSError, match="no loop variable"):
+            extract_read_groups(nest)
+
+    def test_required_banks(self):
+        assert required_banks(log_kernel_nest()) == 13
+
+
+class TestScheduling:
+    def test_unconstrained_ii_is_one(self):
+        assert schedule_nest(log_kernel_nest()).ii == 1
+
+    def test_constrained_ii(self):
+        schedule = schedule_nest(log_kernel_nest(), n_max=10)
+        assert schedule.ii == 2
+        assert schedule.solution_for("X").n_banks == 7
+
+    def test_total_cycles_formula(self):
+        schedule = schedule_nest(log_kernel_nest())
+        trips = log_kernel_nest().trip_count
+        assert schedule.total_cycles == schedule.depth + (trips - 1)
+
+    def test_unpartitioned_ii(self):
+        assert unpartitioned_ii(log_kernel_nest()) == 13
+
+    def test_banking_speedup_near_m(self):
+        speedup = banking_speedup(log_kernel_nest())
+        assert 12.5 < speedup <= 13.0
+
+    def test_precomputed_solutions_respected(self):
+        solution = partition(extract_pattern(log_kernel_nest()), n_max=10)
+        schedule = schedule_nest(log_kernel_nest(), solutions={"X": solution})
+        assert schedule.ii == 2
+
+    def test_multi_array_ii_is_max(self):
+        nest = build_nest(
+            [("i", 0, 9), ("j", 0, 9)],
+            [("A", (0, 0)), ("A", (0, 1)), ("B", (0, 0))],
+            arrays={"A": (12, 12), "B": (12, 12)},
+        )
+        schedule = schedule_nest(nest)
+        assert schedule.ii == 1
+        assert schedule.total_banks == 3  # A gets 2 banks, B gets 1
+
+    def test_solution_for_unknown_array(self):
+        schedule = schedule_nest(log_kernel_nest())
+        with pytest.raises(HLSError):
+            schedule.solution_for("Q")

@@ -1,0 +1,113 @@
+"""Unit tests for the mini-C parser."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls import build_nest, log_kernel_nest, parse_kernel
+
+
+class TestParser:
+    def test_minimal_kernel(self):
+        nest = parse_kernel(
+            "for (i = 0; i <= 3; i++) Y[i] = X[i] + X[i+1];"
+        )
+        assert nest.trip_count == 4
+        assert len(nest.statement.reads) == 2
+
+    def test_declarations(self):
+        nest = parse_kernel(
+            "array X[8][9]; for (i = 0; i <= 3; i++) Y[i] = X[i][i];"
+        )
+        assert nest.array_shape("X") == (8, 9)
+
+    def test_nested_loops(self):
+        nest = parse_kernel(
+            """
+            for (i = 1; i <= 4; i++)
+              for (j = 1; j <= 6; j++)
+                Y[i][j] = X[i-1][j] + X[i+1][j];
+            """
+        )
+        assert nest.loop_vars == ("i", "j")
+        assert nest.trip_count == 24
+
+    def test_braced_bodies(self):
+        nest = parse_kernel(
+            "for (i = 0; i <= 3; i++) { for (j = 0; j <= 3; j++) { Y[i][j] = X[i][j]; } }"
+        )
+        assert nest.trip_count == 16
+
+    def test_strided_loop(self):
+        nest = parse_kernel("for (i = 0; i <= 8; i += 2) Y[i] = X[i];")
+        assert nest.loops[0].trip_count == 5
+
+    def test_negative_lower_bound(self):
+        nest = parse_kernel("for (i = -2; i <= 2; i++) Y[i] = X[i];")
+        assert nest.loops[0].lower == -2
+
+    def test_coefficient_subscripts(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[2*i+1];")
+        ref = nest.statement.reads[0]
+        assert ref.indices[0].coefficients == (("i", 2),)
+        assert ref.indices[0].constant == 1
+
+    def test_scaled_reads(self):
+        nest = parse_kernel("for (i = 0; i <= 3; i++) Y[i] = 16*X[i] - 2*X[i+1];")
+        assert len(nest.statement.reads) == 2
+
+    def test_log_kernel_parses(self):
+        nest = log_kernel_nest()
+        assert nest.trip_count == 636 * 476
+        assert len(nest.statement.reads) == 13
+        assert nest.array_shape("X") == (640, 480)
+
+
+class TestParserErrors:
+    def test_wrong_condition_variable(self):
+        with pytest.raises(HLSError, match="condition"):
+            parse_kernel("for (i = 0; j <= 3; i++) Y[i] = X[i];")
+
+    def test_wrong_increment_variable(self):
+        with pytest.raises(HLSError, match="increment"):
+            parse_kernel("for (i = 0; i <= 3; j++) Y[i] = X[i];")
+
+    def test_unknown_loop_var_in_subscript(self):
+        with pytest.raises(HLSError, match="enclosing loop"):
+            parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[k];")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(HLSError, match="trailing"):
+            parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[i]; zzz")
+
+    def test_unexpected_character(self):
+        with pytest.raises(HLSError, match="unexpected"):
+            parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X[i] @ 2;")
+
+    def test_missing_subscript(self):
+        with pytest.raises(HLSError, match="no subscripts"):
+            parse_kernel("for (i = 0; i <= 3; i++) Y[i] = X;")
+
+    def test_empty_loop_range(self):
+        with pytest.raises(HLSError):
+            parse_kernel("for (i = 5; i <= 3; i++) Y[i] = X[i];")
+
+
+class TestBuildNest:
+    def test_basic(self):
+        nest = build_nest(
+            [("i", 0, 7), ("j", 0, 7)],
+            [("X", (0, 0)), ("X", (1, 1))],
+            write=("Y", (0, 0)),
+            arrays={"X": (10, 10)},
+        )
+        assert nest.trip_count == 64
+        assert nest.statement.write.array == "Y"
+        assert nest.array_shape("X") == (10, 10)
+
+    def test_offset_arity_check(self):
+        with pytest.raises(HLSError):
+            build_nest([("i", 0, 3)], [("X", (0, 0))])
+
+    def test_requires_loops(self):
+        with pytest.raises(HLSError):
+            build_nest([], [("X", (0,))])

@@ -1,0 +1,107 @@
+"""Unit tests for the loop-nest IR."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls import AffineIndex, ArrayRef, Loop, LoopNest, Statement
+
+
+class TestAffineIndex:
+    def test_make_normalizes(self):
+        a = AffineIndex.make({"i": 1, "j": 0}, 3)
+        assert a.coefficients == (("i", 1),)
+        assert a.constant == 3
+
+    def test_evaluate(self):
+        a = AffineIndex.make({"i": 2, "j": -1}, 5)
+        assert a.evaluate({"i": 3, "j": 4}) == 7
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(HLSError):
+            AffineIndex.make({"i": 1}).evaluate({"j": 0})
+
+    def test_shifted(self):
+        a = AffineIndex.make({"i": 1}, 2).shifted(3)
+        assert a.constant == 5
+
+    def test_str(self):
+        assert str(AffineIndex.make({"i": 1}, -2)) == "i-2"
+        assert str(AffineIndex.make({}, 0)) == "0"
+        assert str(AffineIndex.make({"i": 3}, 0)) == "3*i"
+
+    def test_equality_order_insensitive(self):
+        a = AffineIndex.make({"i": 1, "j": 2})
+        b = AffineIndex.make({"j": 2, "i": 1})
+        assert a == b
+
+
+class TestArrayRef:
+    def ref(self):
+        return ArrayRef(
+            array="X",
+            indices=(AffineIndex.make({"i": 1}, -1), AffineIndex.make({"j": 1}, 2)),
+        )
+
+    def test_signatures(self):
+        r = self.ref()
+        assert r.linear_signature == ((("i", 1),), (("j", 1),))
+        assert r.constant_vector == (-1, 2)
+
+    def test_evaluate(self):
+        assert self.ref().evaluate({"i": 5, "j": 1}) == (4, 3)
+
+    def test_str(self):
+        assert str(self.ref()) == "X[i-1][j+2]"
+
+
+class TestLoop:
+    def test_trip_count(self):
+        assert Loop(var="i", lower=2, upper=637).trip_count == 636
+
+    def test_strided(self):
+        assert Loop(var="i", lower=0, upper=9, step=2).trip_count == 5
+        assert list(Loop(var="i", lower=0, upper=4, step=2).values()) == [0, 2, 4]
+
+    def test_validation(self):
+        with pytest.raises(HLSError):
+            Loop(var="i", lower=0, upper=5, step=0)
+        with pytest.raises(HLSError):
+            Loop(var="i", lower=5, upper=0)
+
+
+class TestLoopNest:
+    def make(self):
+        read = ArrayRef(array="X", indices=(AffineIndex.make({"i": 1}),))
+        return LoopNest(
+            loops=(Loop(var="i", lower=0, upper=9),),
+            statement=Statement(reads=(read,)),
+            arrays=(("X", (10,)),),
+        )
+
+    def test_trip_count(self):
+        assert self.make().trip_count == 10
+
+    def test_array_shape_lookup(self):
+        nest = self.make()
+        assert nest.array_shape("X") == (10,)
+        with pytest.raises(HLSError):
+            nest.array_shape("Y")
+
+    def test_duplicate_loop_vars_rejected(self):
+        read = ArrayRef(array="X", indices=(AffineIndex.make({"i": 1}),))
+        with pytest.raises(HLSError):
+            LoopNest(
+                loops=(Loop(var="i", lower=0, upper=1), Loop(var="i", lower=0, upper=1)),
+                statement=Statement(reads=(read,)),
+            )
+
+    def test_empty_nest_rejected(self):
+        with pytest.raises(HLSError):
+            LoopNest(loops=(), statement=Statement(reads=()))
+
+    def test_statement_queries(self):
+        x = ArrayRef(array="X", indices=(AffineIndex.make({"i": 1}),))
+        y = ArrayRef(array="Y", indices=(AffineIndex.make({"i": 1}),))
+        stmt = Statement(reads=(x, y, x))
+        assert stmt.read_arrays == ("X", "Y")
+        assert len(stmt.reads_of("X")) == 2

@@ -1,0 +1,83 @@
+"""Unit tests for the single-bank model (port arbitration)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw import MemoryBank
+
+
+class TestStorage:
+    def test_poke_peek(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(2, 42)
+        assert bank.peek(2) == 42
+        assert bank.peek(0) is None
+
+    def test_occupancy(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(0, 1)
+        bank.poke(3, 2)
+        assert bank.occupancy == 2
+
+    def test_offset_bounds(self):
+        bank = MemoryBank(index=0, size=4)
+        with pytest.raises(SimulationError):
+            bank.peek(4)
+        with pytest.raises(SimulationError):
+            bank.poke(-1, 0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MemoryBank(index=0, size=-1)
+        with pytest.raises(SimulationError):
+            MemoryBank(index=0, size=4, ports=0)
+
+
+class TestArbitration:
+    def test_single_port_single_access(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(0, 7)
+        assert bank.read(0, cycle=0) == 7
+
+    def test_single_port_conflict_raises(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(0, 7)
+        bank.read(0, cycle=0)
+        with pytest.raises(SimulationError, match="port conflict"):
+            bank.read(0, cycle=0)
+
+    def test_next_cycle_frees_port(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(0, 7)
+        bank.read(0, cycle=0)
+        assert bank.read(0, cycle=1) == 7
+
+    def test_dual_port(self):
+        bank = MemoryBank(index=0, size=4, ports=2)
+        bank.poke(0, 1)
+        bank.poke(1, 2)
+        assert bank.read(0, cycle=0) == 1
+        assert bank.read(1, cycle=0) == 2
+        with pytest.raises(SimulationError):
+            bank.read(0, cycle=0)
+
+    def test_try_claim_counts_conflicts(self):
+        bank = MemoryBank(index=0, size=4)
+        assert bank.try_claim(cycle=0)
+        assert not bank.try_claim(cycle=0)
+        assert bank.conflicts == 1
+        assert bank.accesses == 1
+
+    def test_write_arbitrated(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.write(0, 9, cycle=0)
+        with pytest.raises(SimulationError):
+            bank.write(1, 8, cycle=0)
+        assert bank.peek(0) == 9
+
+    def test_reads_and_writes_share_ports(self):
+        bank = MemoryBank(index=0, size=4)
+        bank.poke(0, 5)
+        bank.write(1, 6, cycle=3)
+        with pytest.raises(SimulationError):
+            bank.read(0, cycle=3)

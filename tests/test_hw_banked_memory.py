@@ -1,0 +1,129 @@
+"""Unit tests for the banked-memory fabric."""
+
+import numpy as np
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.errors import SimulationError
+from repro.hw import BankedMemory
+from repro.patterns import log_pattern, se_pattern
+
+
+def make_memory(shape=(12, 14), pattern=None, **kwargs):
+    solution = partition(pattern or log_pattern(), **kwargs)
+    mapping = BankMapping(solution=solution, shape=shape)
+    return BankedMemory(mapping=mapping)
+
+
+def arange_for(shape):
+    return np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+
+
+class TestLoadDump:
+    def test_roundtrip(self):
+        memory = make_memory()
+        data = arange_for((12, 14))
+        memory.load_array(data)
+        assert np.array_equal(memory.dump_array(), data)
+
+    def test_roundtrip_two_level(self):
+        memory = make_memory(shape=(8, 20), n_max=10, same_size=False)
+        data = arange_for((8, 20))
+        memory.load_array(data)
+        assert np.array_equal(memory.dump_array(), data)
+
+    def test_shape_mismatch(self):
+        memory = make_memory()
+        with pytest.raises(SimulationError):
+            memory.load_array(np.zeros((3, 3)))
+
+    def test_dump_before_load(self):
+        with pytest.raises(SimulationError):
+            make_memory().dump_array()
+
+    def test_total_slots_match_mapping(self):
+        memory = make_memory()
+        assert memory.total_slots == memory.mapping.total_bank_elements
+
+
+class TestParallelRead:
+    def test_conflict_free_in_one_cycle(self):
+        memory = make_memory()
+        data = arange_for((12, 14))
+        memory.load_array(data)
+        window = log_pattern().translated((2, 3))
+        result = memory.parallel_read(list(window.offsets))
+        assert result.cycles == 1
+        assert result.values == [int(data[e]) for e in window.offsets]
+        assert len(set(result.banks_touched)) == 13
+
+    def test_constrained_takes_two_cycles(self):
+        memory = make_memory(shape=(12, 21), pattern=log_pattern(), n_max=10)
+        memory.load_array(arange_for((12, 21)))
+        result = memory.read_pattern((2, 3))
+        assert result.cycles == 2
+
+    def test_same_bank_reads_serialize(self):
+        memory = make_memory(pattern=se_pattern(), shape=(10, 10))
+        memory.load_array(arange_for((10, 10)))
+        element = (4, 4)
+        result = memory.parallel_read([element, element, element])
+        assert result.cycles == 3
+
+    def test_uninitialized_read_raises(self):
+        memory = make_memory()
+        with pytest.raises(SimulationError):
+            memory.parallel_read([(0, 0)])
+
+    def test_conflict_counter_increments(self):
+        memory = make_memory(shape=(12, 21), pattern=log_pattern(), n_max=10)
+        memory.load_array(arange_for((12, 21)))
+        memory.read_pattern((2, 3))
+        assert memory.total_conflicts > 0
+
+
+class TestCycleAccounting:
+    def test_advance(self):
+        memory = make_memory()
+        memory.advance(5)
+        assert memory.cycle == 5
+        with pytest.raises(SimulationError):
+            memory.advance(0)
+
+    def test_single_element_access(self):
+        memory = make_memory()
+        memory.write_element((0, 0), 99)
+        memory.advance()
+        assert memory.read_element((0, 0)) == 99
+
+    def test_same_cycle_same_bank_raises(self):
+        memory = make_memory()
+        memory.write_element((0, 0), 1)
+        with pytest.raises(SimulationError):
+            memory.write_element((0, 0), 2)
+
+
+class TestUtilization:
+    def test_divisible_shape_fully_utilized(self):
+        memory = make_memory(shape=(6, 26))
+        memory.load_array(arange_for((6, 26)))
+        assert all(u == 1.0 for u in memory.utilization().values())
+
+    def test_padding_lowers_utilization(self):
+        memory = make_memory(shape=(6, 14))
+        memory.load_array(arange_for((6, 14)))
+        assert any(u < 1.0 for u in memory.utilization().values())
+
+    def test_ports_validation(self):
+        solution = partition(se_pattern())
+        mapping = BankMapping(solution=solution, shape=(8, 10))
+        with pytest.raises(SimulationError):
+            BankedMemory(mapping=mapping, ports_per_bank=0)
+
+    def test_dual_ports_halve_serialization(self):
+        solution = partition(se_pattern())
+        mapping = BankMapping(solution=solution, shape=(10, 10))
+        memory = BankedMemory(mapping=mapping, ports_per_bank=2)
+        memory.load_array(arange_for((10, 10)))
+        result = memory.parallel_read([(4, 4), (4, 4), (4, 4), (4, 4)])
+        assert result.cycles == 2

@@ -1,0 +1,80 @@
+"""Unit tests for the block-RAM model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hw import M9K, M9K_BITS, BlockRAM, overhead_blocks
+
+
+class TestCapacityModel:
+    def test_paper_anchor_ours_log_sd(self):
+        # 640 overhead elements * 16 bits = 10240 bits -> 2 blocks.
+        assert overhead_blocks(640) == 2
+
+    def test_paper_anchor_ltb_log_sd(self):
+        # 5450 * 16 = 87200 bits -> 10 blocks.
+        assert overhead_blocks(5450) == 10
+
+    def test_zero_elements(self):
+        assert overhead_blocks(0) == 0
+
+    def test_exact_fit(self):
+        assert M9K.capacity_blocks(576, 16) == 1  # 9216 bits exactly
+        assert M9K.capacity_blocks(577, 16) == 2
+
+    def test_width_scaling(self):
+        assert M9K.capacity_blocks(1000, 8) == 1
+        assert M9K.capacity_blocks(1000, 32) == 4
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            M9K.capacity_blocks(-1)
+        with pytest.raises(HardwareModelError):
+            M9K.capacity_blocks(10, 0)
+
+
+class TestGeometryModel:
+    def test_best_mode_exact(self):
+        assert M9K.best_mode(16) == (16, 512)
+
+    def test_best_mode_rounds_up(self):
+        assert M9K.best_mode(10) == (16, 512)
+
+    def test_best_mode_wider_than_modes(self):
+        width, depth = M9K.best_mode(64)
+        assert width == 36 and depth == 256
+
+    def test_blocks_for_depth(self):
+        # 16-bit bank of 600 elements: x16 mode holds 512 -> 2 ranks.
+        assert M9K.blocks_for(600, 16) == 2
+
+    def test_blocks_for_wide_elements(self):
+        # 64-bit elements: ceil(64/36) = 2 lanes.
+        assert M9K.blocks_for(256, 64) == 2
+
+    def test_zero_depth(self):
+        assert M9K.blocks_for(0) == 0
+
+    def test_geometry_at_least_capacity(self):
+        for depth in (1, 100, 512, 513, 5000):
+            assert M9K.blocks_for(depth, 16) >= M9K.capacity_blocks(depth, 16)
+
+    def test_negative_depth(self):
+        with pytest.raises(HardwareModelError):
+            M9K.blocks_for(-1)
+
+
+class TestCustomBlock:
+    def test_constants(self):
+        assert M9K_BITS == 9216
+        assert M9K.bits == M9K_BITS
+
+    def test_custom_primitive(self):
+        m20k = BlockRAM(bits=20480, modes=((32, 512),), name="M20K")
+        assert m20k.capacity_blocks(640, 32) == 1
+
+    def test_invalid_primitive(self):
+        with pytest.raises(HardwareModelError):
+            BlockRAM(bits=0)
+        with pytest.raises(HardwareModelError):
+            BlockRAM(modes=((0, 512),))

@@ -1,0 +1,97 @@
+"""Unit tests for FPGA resource estimation."""
+
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.hw import (
+    DE2_115,
+    ResourceEstimate,
+    address_bits,
+    estimate_resources,
+    modulo_cost,
+    mux_cost,
+)
+from repro.patterns import log_pattern, median_pattern, se_pattern
+
+
+def mapping_for(pattern, shape=(64, 64), **kwargs):
+    return BankMapping(solution=partition(pattern, **kwargs), shape=shape)
+
+
+class TestPrimitiveCosts:
+    def test_mux_cost(self):
+        assert mux_cost(2, 16) == 16
+        assert mux_cost(13, 16) == 12 * 16
+
+    def test_mux_validation(self):
+        with pytest.raises(ValueError):
+            mux_cost(0, 16)
+
+    def test_modulo_power_of_two_free(self):
+        assert modulo_cost(8, 20) == 0
+        assert modulo_cost(1, 20) == 0
+
+    def test_modulo_general(self):
+        assert modulo_cost(13, 20) == 400
+
+    def test_modulo_validation(self):
+        with pytest.raises(ValueError):
+            modulo_cost(0, 20)
+
+    def test_address_bits(self):
+        assert address_bits((640, 480)) == 19
+        assert address_bits((1,)) == 1
+
+
+class TestEstimates:
+    def test_log_estimate_structure(self):
+        est = estimate_resources(mapping_for(log_pattern()))
+        assert est.memory_blocks >= 13  # one block minimum per bank
+        assert est.mux_luts == 13 * mux_cost(13, 16)
+        assert est.multipliers == 13  # alpha = (5, 1): one non-unit term per lane
+        assert est.total_luts == est.mux_luts + est.addr_luts
+
+    def test_power_of_two_banks_cheaper_addressing(self):
+        """Median's 8 banks make the modulo free; LoG's 13 do not."""
+        log_est = estimate_resources(mapping_for(log_pattern()))
+        median_est = estimate_resources(mapping_for(median_pattern()))
+        log_per_lane = log_est.addr_luts / 13
+        median_per_lane = median_est.addr_luts / 7
+        assert median_per_lane < log_per_lane
+
+    def test_more_banks_more_muxes(self):
+        five = estimate_resources(mapping_for(se_pattern()))
+        thirteen = estimate_resources(mapping_for(log_pattern()))
+        assert thirteen.mux_luts > five.mux_luts
+
+    def test_two_level_pays_extra_modulo(self):
+        direct = estimate_resources(mapping_for(log_pattern(), shape=(64, 65)))
+        folded = estimate_resources(
+            mapping_for(log_pattern(), shape=(64, 65), n_max=10, same_size=False)
+        )
+        # folded uses fewer banks (7 < 13) but two modulos per lane
+        assert folded.memory_blocks <= direct.memory_blocks
+
+
+class TestPlatform:
+    def test_de2_115_fits_log_at_qvga(self):
+        # A full 16-bit SD frame (4.9 Mb) exceeds the board's 432 M9K
+        # blocks (3.9 Mb) with or without banking; a QVGA tile fits.
+        est = estimate_resources(mapping_for(log_pattern(), shape=(320, 240)))
+        assert DE2_115.fits(est)
+
+    def test_de2_115_cannot_hold_16bit_sd_frame(self):
+        est = estimate_resources(mapping_for(log_pattern(), shape=(640, 480)))
+        assert est.memory_blocks > DE2_115.total_blocks
+
+    def test_utilization_fractions(self):
+        est = estimate_resources(mapping_for(se_pattern(), shape=(64, 64)))
+        util = DE2_115.utilization(est)
+        assert 0 <= util["blocks"] <= 1
+        assert 0 <= util["luts"] <= 1
+
+    def test_oversized_design_rejected(self):
+        huge = ResourceEstimate(
+            memory_blocks=10_000, mux_luts=0, addr_luts=0, multipliers=0
+        )
+        assert not DE2_115.fits(huge)

@@ -1,0 +1,122 @@
+"""Tests for JSON serialization of partitioning artifacts."""
+
+import json
+
+import pytest
+
+from repro.core import BankMapping, partition, widen_solution
+from repro.io import (
+    SerializationError,
+    load_mapping,
+    load_solution,
+    mapping_from_dict,
+    mapping_to_dict,
+    pattern_from_dict,
+    pattern_to_dict,
+    save_mapping,
+    save_solution,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.patterns import log_pattern, se_pattern
+
+
+class TestPatternRoundtrip:
+    def test_roundtrip(self):
+        p = log_pattern()
+        assert pattern_from_dict(pattern_to_dict(p)) == p
+
+    def test_name_preserved(self):
+        p = se_pattern()
+        assert pattern_from_dict(pattern_to_dict(p)).name == "se"
+
+    def test_malformed(self):
+        with pytest.raises(SerializationError):
+            pattern_from_dict({"name": "x"})
+
+
+class TestSolutionRoundtrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: partition(log_pattern()),
+            lambda: partition(log_pattern(), n_max=10),
+            lambda: partition(log_pattern(), n_max=10, same_size=False),
+            lambda: widen_solution(partition(log_pattern()), 2),
+        ],
+        ids=["direct", "constrained", "two-level", "wide"],
+    )
+    def test_roundtrip(self, make):
+        original = make()
+        restored = solution_from_dict(solution_to_dict(original))
+        assert restored == original
+
+    def test_restored_solution_banks_identically(self):
+        original = partition(log_pattern())
+        restored = solution_from_dict(solution_to_dict(original))
+        for element in [(0, 0), (5, 7), (11, 3)]:
+            assert restored.bank_of(element) == original.bank_of(element)
+
+    def test_json_serializable(self):
+        payload = solution_to_dict(partition(log_pattern()))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_wrong_format_rejected(self):
+        payload = solution_to_dict(partition(log_pattern()))
+        payload["format"] = "something-else"
+        with pytest.raises(SerializationError):
+            solution_from_dict(payload)
+
+    def test_wrong_version_rejected(self):
+        payload = solution_to_dict(partition(log_pattern()))
+        payload["version"] = 99
+        with pytest.raises(SerializationError):
+            solution_from_dict(payload)
+
+    def test_inconsistent_payload_rejected(self):
+        """A tampered file claiming delta=0 with a conflicting hash fails."""
+        payload = solution_to_dict(partition(log_pattern()))
+        payload["n_banks"] = 4  # 13 elements cannot be conflict-free in 4 banks
+        with pytest.raises(SerializationError, match="inconsistent"):
+            solution_from_dict(payload)
+
+    def test_missing_key_rejected(self):
+        payload = solution_to_dict(partition(log_pattern()))
+        del payload["alpha"]
+        with pytest.raises(SerializationError):
+            solution_from_dict(payload)
+
+
+class TestFiles:
+    def test_solution_file_roundtrip(self, tmp_path):
+        path = tmp_path / "solution.json"
+        original = partition(log_pattern(), n_max=10)
+        save_solution(original, path)
+        assert load_solution(path) == original
+
+    def test_mapping_file_roundtrip(self, tmp_path):
+        path = tmp_path / "mapping.json"
+        original = BankMapping(solution=partition(se_pattern()), shape=(8, 10))
+        save_mapping(original, path)
+        restored = load_mapping(path)
+        assert restored.shape == original.shape
+        assert restored.solution == original.solution
+        assert restored.verify_bijective()
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_solution(path)
+
+    def test_mapping_dict_roundtrip(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(8, 10))
+        restored = mapping_from_dict(mapping_to_dict(mapping))
+        assert restored.shape == mapping.shape
+
+    def test_mapping_wrong_format(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(8, 10))
+        payload = mapping_to_dict(mapping)
+        payload["format"] = "nope"
+        with pytest.raises(SerializationError):
+            mapping_from_dict(payload)

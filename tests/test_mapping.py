@@ -1,0 +1,207 @@
+"""Unit tests for repro.core.mapping (Section 4.4 addressing + overhead)."""
+
+import pytest
+
+from repro.core import (
+    BankMapping,
+    Pattern,
+    bank_contents,
+    build_mapping,
+    max_overhead_elements,
+    ours_overhead_elements,
+    partition,
+)
+from repro.errors import DimensionMismatchError, MappingError
+from repro.patterns import log_pattern, se_pattern
+
+
+def make_mapping(pattern=None, shape=(12, 14), **kwargs):
+    solution = partition(pattern or log_pattern(), **kwargs)
+    return BankMapping(solution=solution, shape=shape)
+
+
+class TestOverheadFormulas:
+    def test_paper_log_sd_anchor(self):
+        # Section 2: 640 extra storage positions at 640x480, N = 13.
+        assert ours_overhead_elements((640, 480), 13) == 640
+
+    def test_zero_when_divisible(self):
+        assert ours_overhead_elements((640, 480), 8) == 0
+
+    def test_3d_pads_only_last_dim(self):
+        # 400 -> 405 for N = 27: 5 * 640 * 480.
+        assert ours_overhead_elements((640, 480, 400), 27) == 5 * 640 * 480
+
+    def test_max_overhead_bound(self):
+        for n in range(1, 30):
+            assert ours_overhead_elements((640, 480), n) <= max_overhead_elements(
+                (640, 480), n
+            )
+
+    def test_max_overhead_value(self):
+        assert max_overhead_elements((640, 480), 13) == 12 * 640
+
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            ours_overhead_elements((640, 480), 0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(DimensionMismatchError):
+            ours_overhead_elements((640, 0), 13)
+
+
+class TestBankMappingGeometry:
+    def test_bank_shape_pads_last_dim(self):
+        mapping = make_mapping(shape=(12, 14))
+        # 13 banks, w1 = 14 -> K = ceil(14/13) = 2.
+        assert mapping.rows_per_bank == 2
+        assert mapping.bank_shape == (12, 2)
+
+    def test_total_and_overhead(self):
+        mapping = make_mapping(shape=(12, 14))
+        assert mapping.original_elements == 168
+        assert mapping.total_bank_elements == 13 * 24
+        assert mapping.overhead_elements == 13 * 24 - 168
+
+    def test_overhead_matches_closed_form(self):
+        for shape in [(12, 14), (10, 26), (7, 13)]:
+            mapping = make_mapping(shape=shape)
+            assert mapping.overhead_elements == ours_overhead_elements(shape, 13)
+
+    def test_dimension_mismatch_raises(self):
+        solution = partition(log_pattern())
+        with pytest.raises(DimensionMismatchError):
+            BankMapping(solution=solution, shape=(12, 14, 5))
+
+    def test_build_mapping_helper(self):
+        mapping = build_mapping(partition(se_pattern()), (10, 10))
+        assert mapping.n_banks == 5
+
+
+class TestAddressing:
+    def test_bank_of_matches_solution(self):
+        mapping = make_mapping()
+        for element in [(0, 0), (3, 7), (11, 13)]:
+            assert mapping.bank_of(element) == mapping.solution.bank_of(element)
+
+    def test_out_of_range_element(self):
+        mapping = make_mapping()
+        with pytest.raises(MappingError):
+            mapping.bank_of((12, 0))
+        with pytest.raises(MappingError):
+            mapping.offset_of((0, 14))
+
+    def test_wrong_dimensionality(self):
+        mapping = make_mapping()
+        with pytest.raises(DimensionMismatchError):
+            mapping.address_of((1, 2, 3))
+
+    def test_offsets_within_bank_size(self):
+        mapping = make_mapping()
+        for element in mapping.iter_elements():
+            bank, offset = mapping.address_of(element)
+            assert 0 <= offset < mapping.bank_size(bank)
+
+
+class TestBijectivity:
+    def test_direct_scheme_exhaustive(self):
+        assert make_mapping(shape=(12, 14)).verify_bijective()
+
+    def test_odd_sizes(self):
+        # w1 not divisible by N, several shapes.
+        for shape in [(7, 15), (9, 13), (6, 27)]:
+            assert make_mapping(shape=shape).verify_bijective(), shape
+
+    def test_divisible_sizes_have_zero_overhead(self):
+        mapping = make_mapping(shape=(6, 26))
+        assert mapping.overhead_elements == 0
+        assert mapping.verify_bijective()
+
+    def test_constrained_same_size_scheme(self):
+        mapping = make_mapping(shape=(8, 21), n_max=10)
+        assert mapping.n_banks == 7
+        assert mapping.verify_bijective()
+
+    def test_two_level_scheme(self):
+        mapping = make_mapping(shape=(8, 20), n_max=10, same_size=False)
+        assert mapping.solution.scheme == "two-level"
+        assert mapping.verify_bijective()
+
+    def test_3d_mapping(self):
+        from repro.patterns import sobel3d_pattern
+
+        solution = partition(sobel3d_pattern())
+        mapping = BankMapping(solution=solution, shape=(5, 6, 29))
+        assert mapping.verify_bijective()
+
+    def test_sampled_verification_large_array(self):
+        mapping = make_mapping(shape=(640, 480))
+        assert mapping.verify_bijective(sample_limit=20000)
+
+    def test_detects_collisions_in_broken_mapping(self):
+        """A deliberately broken transform must be caught."""
+        from repro.core import LinearTransform, PartitionSolution
+
+        square = Pattern([(0, 0), (0, 1), (1, 0), (1, 1)])
+        # alpha = (0, 0) collapses the address computation entirely: every
+        # element of a row maps to the same (bank, offset).
+        broken = PartitionSolution(
+            pattern=square,
+            transform=LinearTransform(alpha=(0, 0)),
+            n_banks=4,
+            n_unconstrained=4,
+        )
+        mapping = BankMapping(solution=broken, shape=(4, 4))
+        with pytest.raises(MappingError):
+            mapping.verify_bijective()
+
+    def test_nondegenerate_transform_stays_bijective(self):
+        """Bank conflicts for a pattern do not imply address collisions:
+        alpha = (1, 1) conflicts on the unit square yet remains a valid
+        (bijective) storage mapping."""
+        from repro.core import LinearTransform, PartitionSolution
+
+        square = Pattern([(0, 0), (0, 1), (1, 0), (1, 1)])
+        conflicting = PartitionSolution(
+            pattern=square,
+            transform=LinearTransform(alpha=(1, 1)),
+            n_banks=4,
+            n_unconstrained=4,
+            delta_ii=1,
+        )
+        mapping = BankMapping(solution=conflicting, shape=(4, 4))
+        assert mapping.verify_bijective()
+
+
+class TestTwoLevelSizes:
+    def test_uneven_bank_sizes(self):
+        mapping = make_mapping(shape=(8, 26), n_max=10, same_size=False)
+        sizes = [mapping.bank_size(b) for b in range(mapping.n_banks)]
+        # 13 inner banks folded into 7: six banks hold 2 inner banks, one holds 1.
+        assert sorted(set(sizes)) == [mapping.inner_bank_size, 2 * mapping.inner_bank_size]
+        assert sizes.count(mapping.inner_bank_size) == 1
+
+    def test_total_matches_sum(self):
+        mapping = make_mapping(shape=(8, 26), n_max=10, same_size=False)
+        assert mapping.total_bank_elements == sum(
+            mapping.bank_size(b) for b in range(mapping.n_banks)
+        )
+
+    def test_bank_size_range_check(self):
+        mapping = make_mapping()
+        with pytest.raises(ValueError):
+            mapping.bank_size(13)
+
+
+class TestBankContents:
+    def test_every_element_stored_once(self):
+        mapping = make_mapping(shape=(6, 13))
+        contents = bank_contents(mapping)
+        stored = [e for bank in contents for e in bank if e != ()]
+        assert sorted(stored) == sorted(mapping.iter_elements())
+
+    def test_padding_slots_marked_empty(self):
+        mapping = make_mapping(shape=(6, 14))
+        contents = bank_contents(mapping)
+        padding = sum(1 for bank in contents for e in bank if e == ())
+        assert padding == mapping.overhead_elements

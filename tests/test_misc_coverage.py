@@ -1,0 +1,101 @@
+"""Coverage for remaining corners: report rendering, platforms, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import BankMapping, LinearTransform, partition
+from repro.eval import build_row, render_table1
+from repro.eval.table1 import Table1
+from repro.hw import DE2_115, Platform, ResourceEstimate
+from repro.hw.bram import BlockRAM
+from repro.patterns import log_pattern, se_pattern
+
+
+class TestReportRendering:
+    def test_without_paper_rows(self):
+        row = build_row("se", time_repetitions=1)
+        text = render_table1(Table1(rows=(row,)), include_paper=False)
+        assert "paper 31.1%" in text  # footer always cites the target
+        assert "\n          |  paper" not in text  # no inline paper rows
+
+    def test_improvement_row_present(self):
+        row = build_row("se", time_repetitions=1)
+        text = render_table1(Table1(rows=(row,)))
+        assert "impr%" in text
+
+
+class TestPlatformEdge:
+    def test_zero_capacity_platform(self):
+        empty = Platform(
+            name="null", block=BlockRAM(), total_blocks=0, total_luts=0,
+            total_multipliers=0,
+        )
+        estimate = ResourceEstimate(
+            memory_blocks=0, mux_luts=0, addr_luts=0, multipliers=0
+        )
+        util = empty.utilization(estimate)
+        assert util == {"blocks": 0.0, "luts": 0.0, "multipliers": 0.0}
+        assert empty.fits(estimate)
+
+    def test_negative_capacity_rejected(self):
+        from repro.errors import HardwareModelError
+
+        with pytest.raises(HardwareModelError):
+            Platform(
+                name="bad", block=BlockRAM(), total_blocks=-1, total_luts=0,
+                total_multipliers=0,
+            )
+
+    def test_de2_name(self):
+        assert "DE2-115" in DE2_115.name
+
+
+class TestSampledVerification:
+    def test_sampled_path_covers_tail(self):
+        """The stride sampler must include the padded tail slices."""
+        mapping = BankMapping(solution=partition(log_pattern()), shape=(40, 53))
+        sampled = list(mapping._sampled_elements(500))
+        tail_values = {e[-1] for e in sampled}
+        # last 2N slices of the final dimension must be present
+        assert 52 in tail_values and 52 - 25 in tail_values
+
+    def test_sampled_verify_on_wide_shape(self):
+        mapping = BankMapping(solution=partition(log_pattern()), shape=(100, 105))
+        assert mapping.verify_bijective(sample_limit=2000)
+
+
+class TestTransformDefaults:
+    def test_extents_default_empty(self):
+        t = LinearTransform(alpha=(5, 1))
+        assert t.extents == ()
+        assert t.ndim == 2
+
+    def test_transform_repr(self):
+        assert "alpha=(5, 1)" in repr(LinearTransform(alpha=(5, 1)))
+
+
+class TestSolutionReprAndProps:
+    def test_repr(self):
+        solution = partition(se_pattern())
+        text = repr(solution)
+        assert "N=5" in text and "ours" in text
+
+    def test_two_level_bank_indices_offset(self):
+        solution = partition(log_pattern(), n_max=10, same_size=False)
+        at_origin = sorted(solution.bank_indices())
+        shifted = sorted(solution.bank_indices((3, 5)))
+        # the conflict profile (sorted multiset of per-bank loads) matches
+        def loads(banks):
+            return sorted(banks.count(b) for b in set(banks))
+
+        assert loads(at_origin) == loads(shifted)
+
+
+class TestBankedMemoryMisc:
+    def test_repr_free_of_data(self):
+        from repro.hw import BankedMemory
+
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(6, 7))
+        memory = BankedMemory(mapping=mapping)
+        memory.load_array(np.zeros((6, 7), dtype=np.int64))
+        assert "_data" not in repr(memory.banks[0])

@@ -1,0 +1,73 @@
+"""Unit tests for repro.core.opcount."""
+
+import pytest
+
+from repro.core import NULL_COUNTER, OpCounter, counting
+from repro.core.opcount import resolve
+
+
+class TestOpCounter:
+    def test_total(self):
+        ops = OpCounter()
+        ops.add(2)
+        ops.mul()
+        assert ops.total == 3
+
+    def test_categories(self):
+        ops = OpCounter()
+        ops.sub()
+        ops.div(3)
+        ops.mod()
+        ops.abs_()
+        assert ops.counts == {"sub": 1, "div": 3, "mod": 1, "abs": 1}
+
+    def test_arithmetic_excludes_compares(self):
+        ops = OpCounter()
+        ops.add(5)
+        ops.compare(10)
+        assert ops.arithmetic == 5
+        assert ops.total == 15
+
+    def test_reset(self):
+        ops = OpCounter()
+        ops.add()
+        ops.reset()
+        assert ops.total == 0
+
+    def test_snapshot_is_copy(self):
+        ops = OpCounter()
+        ops.add()
+        snap = ops.snapshot()
+        snap["add"] = 99
+        assert ops.counts["add"] == 1
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().charge("add", -1)
+
+    def test_custom_category(self):
+        ops = OpCounter()
+        ops.charge("shift", 4)
+        assert ops.total == 4
+
+
+class TestNullCounter:
+    def test_discards_everything(self):
+        NULL_COUNTER.add(100)
+        assert NULL_COUNTER.total == 0
+
+    def test_still_validates(self):
+        with pytest.raises(ValueError):
+            NULL_COUNTER.charge("add", -5)
+
+    def test_resolve(self):
+        assert resolve(None) is NULL_COUNTER
+        ops = OpCounter()
+        assert resolve(ops) is ops
+
+
+class TestCountingContext:
+    def test_yields_fresh_counter(self):
+        with counting() as ops:
+            ops.add(3)
+        assert ops.total == 3

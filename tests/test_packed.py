@@ -1,0 +1,108 @@
+"""Tests for the zero-overhead tail-packed mapping (Section 4.4.2 option 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BankMapping,
+    PackedBankMapping,
+    packed_mapping,
+    partition,
+)
+from repro.errors import MappingError
+from repro.hw import BankedMemory
+from repro.patterns import log_pattern, se_pattern
+from repro.sim import simulate_sweep
+
+
+class TestZeroOverhead:
+    @pytest.mark.parametrize("shape", [(8, 20), (6, 14), (9, 13), (7, 25)])
+    def test_overhead_is_exactly_zero(self, shape):
+        mapping = packed_mapping(partition(log_pattern()), shape)
+        assert mapping.overhead_elements == 0
+        assert mapping.total_bank_elements == mapping.original_elements
+
+    def test_padded_variant_wastes_where_packed_does_not(self):
+        solution = partition(log_pattern())
+        padded = BankMapping(solution=solution, shape=(8, 20))
+        packed = packed_mapping(solution, (8, 20))
+        assert padded.overhead_elements > 0
+        assert packed.overhead_elements == 0
+
+    def test_tail_element_count(self):
+        mapping = packed_mapping(partition(log_pattern()), (8, 20))
+        # w_last = 20, N = 13, K = 1 -> tail rows 13..19 = 7 rows x 8
+        assert mapping.tail_elements == 7 * 8
+
+    def test_no_tail_when_divisible(self):
+        mapping = packed_mapping(partition(log_pattern()), (6, 26))
+        assert mapping.tail_elements == 0
+        assert mapping.overhead_elements == 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("shape", [(8, 20), (9, 13), (6, 7), (5, 31)])
+    def test_bijective(self, shape):
+        mapping = packed_mapping(partition(log_pattern()), shape)
+        assert mapping.verify_bijective()
+
+    def test_bank_of_unchanged(self):
+        """Packing changes offsets only; bank selection is identical."""
+        solution = partition(log_pattern())
+        padded = BankMapping(solution=solution, shape=(8, 20))
+        packed = packed_mapping(solution, (8, 20))
+        for element in padded.iter_elements():
+            assert padded.bank_of(element) == packed.bank_of(element)
+
+    def test_prefix_uses_closed_form(self):
+        """Elements below K*N get the same in-bank row as the padded
+        mapping when w_last is divisible (both reduce to Section 4.4.1)."""
+        solution = partition(se_pattern())
+        divisible = packed_mapping(solution, (4, 10))
+        reference = BankMapping(solution=solution, shape=(4, 10))
+        for element in divisible.iter_elements():
+            assert divisible.address_of(element) == reference.address_of(element)
+
+    def test_small_last_dimension(self):
+        """w_last < N: everything is tail, still bijective, still zero pad."""
+        mapping = packed_mapping(partition(log_pattern()), (6, 7))
+        assert mapping.prefix_rows == 0
+        assert mapping.tail_elements == 42
+        assert mapping.overhead_elements == 0
+        assert mapping.verify_bijective()
+
+    def test_simulates_single_cycle(self):
+        mapping = packed_mapping(partition(log_pattern()), (10, 20))
+        report = simulate_sweep(mapping)
+        assert report.worst_cycles == 1
+
+    def test_memory_roundtrip(self):
+        mapping = packed_mapping(partition(se_pattern()), (6, 11))
+        memory = BankedMemory(mapping=mapping)
+        data = np.arange(66, dtype=np.int64).reshape(6, 11)
+        memory.load_array(data)
+        assert np.array_equal(memory.dump_array(), data)
+
+    def test_full_utilization(self):
+        """Zero overhead means every slot of every bank is used."""
+        mapping = packed_mapping(partition(se_pattern()), (6, 11))
+        memory = BankedMemory(mapping=mapping)
+        memory.load_array(np.ones((6, 11), dtype=np.int64))
+        assert all(u == 1.0 for u in memory.utilization().values())
+
+
+class TestRestrictions:
+    def test_rejects_folded_schemes(self):
+        solution = partition(log_pattern(), n_max=10, same_size=False)
+        with pytest.raises(MappingError):
+            packed_mapping(solution, (8, 20))
+
+    def test_bank_sizes_sum_to_w(self):
+        mapping = packed_mapping(partition(log_pattern()), (8, 20))
+        assert sum(mapping.bank_size(b) for b in range(13)) == 160
+
+    def test_bank_sizes_irregular(self):
+        """The price of zero overhead: banks are no longer uniform."""
+        mapping = packed_mapping(partition(log_pattern()), (8, 20))
+        sizes = {mapping.bank_size(b) for b in range(13)}
+        assert len(sizes) > 1

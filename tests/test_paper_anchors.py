@@ -1,0 +1,122 @@
+"""The reproduction certificate: every exact paper anchor in one file.
+
+Each assertion here corresponds to a number printed in the paper's text
+(not measured quantities like wall time).  If this file passes, the
+implementation agrees with the publication on every verbatim-checkable
+fact.  The tolerance-based comparisons (storage blocks within rounding,
+op-count orders of magnitude) live in the benchmark harness.
+"""
+
+from repro.baselines import ltb_overhead_elements, ltb_partition
+from repro.core import (
+    derive_alpha,
+    fast_nc,
+    minimize_nf,
+    ours_overhead_elements,
+    partition,
+    same_size_sweep,
+)
+from repro.eval import (
+    PAPER_CASESTUDY_SWEEP,
+    PAPER_LOG_BANKS,
+    PAPER_TABLE1,
+)
+from repro.patterns import BENCHMARKS, EXPECTED_SIZES, benchmark_pattern, log_pattern
+
+
+class TestSection2:
+    """Motivational example (640x480 frame, LoG pattern)."""
+
+    def test_13_of_25_taps(self):
+        assert log_pattern().size == 13
+        assert log_pattern().bounding_box_volume == 25
+
+    def test_ours_640_extra_positions(self):
+        assert ours_overhead_elements((640, 480), 13) == 640
+
+    def test_ltb_5450_extra_elements(self):
+        assert ltb_overhead_elements((640, 480), 13) == 5450
+
+    def test_7_bank_two_cycle_alternative(self):
+        solution = partition(log_pattern(), n_max=10)
+        assert solution.n_banks == 7
+        banks = solution.bank_indices()
+        assert max(banks.count(b) for b in set(banks)) == 2
+
+
+class TestSection51CaseStudy:
+    def test_d0_d1_alpha(self):
+        transform = derive_alpha(log_pattern())
+        assert transform.extents == (5, 5)
+        assert transform.alpha == (5, 1)
+
+    def test_z_values(self):
+        shifted = log_pattern().translated((2, 2))
+        _, transform, z = minimize_nf(shifted)
+        assert sorted(z) == [14, 18, 19, 20, 22, 23, 24, 25, 26, 28, 29, 30, 34]
+
+    def test_nf_13(self):
+        n_f, _, _ = minimize_nf(log_pattern())
+        assert n_f == 13
+
+    def test_fig2b_bank_indices(self):
+        solution = partition(log_pattern().translated((2, 2)))
+        assert tuple(solution.bank_indices()) == PAPER_LOG_BANKS
+
+    def test_fast_approach_f2_nc7(self):
+        assert fast_nc(13, 10) == (7, 2)
+
+    def test_delta_table_n1_to_10(self):
+        sweep = same_size_sweep(log_pattern(), 10)
+        assert sweep.conflicts_by_n[1:] == PAPER_CASESTUDY_SWEEP
+
+    def test_minimum_delta_at_7_or_9(self):
+        sweep = same_size_sweep(log_pattern(), 10)
+        assert sweep.best_candidates == (7, 9)
+
+
+class TestTable1Structure:
+    def test_pattern_sizes(self):
+        for name in BENCHMARKS:
+            assert benchmark_pattern(name).size == EXPECTED_SIZES[name], name
+
+    def test_every_bank_count_both_algorithms(self):
+        for name in BENCHMARKS:
+            pattern = benchmark_pattern(name)
+            published = PAPER_TABLE1[name]
+            assert partition(pattern).n_banks == published["ours"].n_banks, name
+            assert (
+                ltb_partition(pattern).solution.n_banks
+                == published["ltb"].n_banks
+            ), name
+
+    def test_median_divides_every_resolution(self):
+        """'our bank number is 8, which can divide all array length so the
+        storage overhead is 0 for all memory sizes'."""
+        for w in (480, 720, 1080, 1600, 2160):
+            assert w % 8 == 0
+
+    def test_gaussian_ltb_divides_every_resolution(self):
+        """'LTB offers a solution of ... 10' with zero overhead rows."""
+        for w in (480, 720, 1080, 1600, 2160):
+            assert w % 10 == 0
+
+    def test_log_remainders_quoted_in_text(self):
+        """'⌈480/13⌉13−480 = 1' and '⌈1600/13⌉13−1600 = 12'."""
+        assert -(-480 // 13) * 13 - 480 == 1
+        assert -(-1600 // 13) * 13 - 1600 == 12
+
+
+class TestSection442:
+    def test_max_overhead_bound(self):
+        """ΔW ≤ (N−1)·∏_{k<n-1} w_k for every benchmark and resolution."""
+        from repro.core import max_overhead_elements
+        from repro.patterns import benchmark_shape
+
+        for name in BENCHMARKS:
+            n = partition(benchmark_pattern(name)).n_banks
+            for resolution in ("SD", "HD", "FullHD", "WQXGA", "4K"):
+                shape = benchmark_shape(name, resolution)
+                assert ours_overhead_elements(shape, n) <= max_overhead_elements(
+                    shape, n
+                ), (name, resolution)

@@ -1,0 +1,130 @@
+"""Unit tests for the benchmark pattern library."""
+
+import numpy as np
+import pytest
+
+from repro.core import partition
+from repro.patterns import (
+    BENCHMARKS,
+    EXPECTED_BANKS,
+    EXPECTED_SIZES,
+    RESOLUTIONS,
+    SOBEL3D_DEPTH,
+    all_benchmarks,
+    benchmark_pattern,
+    benchmark_shape,
+    kernel_for,
+    log_pattern,
+    prewitt_pattern,
+    se_pattern,
+    sobel2d_pattern,
+    sobel3d_pattern,
+)
+from repro.patterns import kernels
+
+
+class TestSizes:
+    def test_paper_element_counts(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            assert pattern.size == EXPECTED_SIZES[name], name
+
+    def test_log_is_5x5_diamond(self):
+        assert log_pattern().extents == (5, 5)
+
+    def test_prewitt_is_3x3_minus_center(self):
+        p = prewitt_pattern()
+        assert p.size == 8
+        assert not p.contains((1, 1))
+        assert p.extents == (3, 3)
+
+    def test_se_is_cross(self):
+        assert se_pattern().offsets == ((0, 1), (1, 0), (1, 1), (1, 2), (2, 1))
+
+    def test_sobel3d_is_cube_minus_center(self):
+        p = sobel3d_pattern()
+        assert p.ndim == 3
+        assert p.size == 26
+        assert not p.contains((1, 1, 1))
+
+    def test_sobel2d_for_workloads(self):
+        assert sobel2d_pattern().size == 8
+
+
+class TestExpectedBanks:
+    def test_ours_column(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            assert partition(pattern).n_banks == EXPECTED_BANKS[name][0], name
+
+
+class TestLookup:
+    def test_benchmark_pattern_case_insensitive(self):
+        assert benchmark_pattern("LoG").size == 13
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            benchmark_pattern("laplace")
+
+    def test_all_benchmarks_order(self):
+        names = [name for name, _ in all_benchmarks()]
+        assert names == list(BENCHMARKS)
+
+    def test_fresh_instances(self):
+        assert benchmark_pattern("log") is not benchmark_pattern("log")
+
+
+class TestShapes:
+    def test_2d_shapes(self):
+        assert benchmark_shape("log", "SD") == (640, 480)
+        assert benchmark_shape("canny", "4K") == (3840, 2160)
+
+    def test_sobel3d_gets_depth(self):
+        assert benchmark_shape("sobel3d", "HD") == (1280, 720, SOBEL3D_DEPTH)
+
+    def test_unknown_resolution(self):
+        with pytest.raises(KeyError):
+            benchmark_shape("log", "8K")
+
+    def test_all_resolutions_present(self):
+        assert set(RESOLUTIONS) == {"SD", "HD", "FullHD", "WQXGA", "4K"}
+
+
+class TestKernels:
+    def test_log_kernel_matches_paper_figure(self):
+        kernel = kernels.as_array(kernels.LOG_KERNEL)
+        assert kernel[2, 2] == 16
+        assert kernel.sum() == 0  # LoG kernels are zero-mean
+        assert np.count_nonzero(kernel) == 13
+
+    def test_kernels_induce_their_patterns(self):
+        for name in ("log", "canny", "se", "median", "gaussian"):
+            kernel = kernel_for(name)
+            nonzeros = {tuple(int(c) for c in t) for t in np.argwhere(kernel != 0)}
+            assert nonzeros <= set(
+                benchmark_pattern(name).normalized().offsets
+            ), name
+
+    def test_canny_kernel_is_dense_binomial(self):
+        kernel = kernels.as_array(kernels.CANNY_SMOOTHING_KERNEL)
+        assert np.count_nonzero(kernel) == 25
+        assert kernel[2, 2] == 36
+        assert kernel.sum() == 256
+
+    def test_sobel3d_kernel_taps(self):
+        kernel = kernels.sobel_3d_kernel()
+        assert kernel.shape == (3, 3, 3)
+        assert np.count_nonzero(kernel) == 26
+        assert kernel[1, 1, 1] == 0
+
+    def test_prewitt_kernel_representative(self):
+        assert np.count_nonzero(kernel_for("prewitt")) == 6
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            kernel_for("boxblur")
+
+    def test_all_kernels_listing(self):
+        names = [name for name, _ in kernels.all_kernels()]
+        assert "log" in names and "sobel_x" in names
+
+    def test_nonzero_count_helper(self):
+        assert kernels.nonzero_count(kernels.SE_MASK) == 5

@@ -1,0 +1,42 @@
+"""Tests for the full read+write banked pipeline workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads import box_image, noise_image, run_full_pipeline
+
+
+class TestFullPipeline:
+    def test_log_matches_golden(self):
+        report = run_full_pipeline(box_image(12, 13), "log")
+        assert report.matches_golden
+        assert report.read_banks == 13
+        assert report.write_banks == 1
+
+    def test_two_cycles_per_iteration(self):
+        """One read transaction + one write transaction per iteration."""
+        report = run_full_pipeline(noise_image(12, 13, seed=4), "log")
+        assert report.cycles_per_iteration == pytest.approx(2.0)
+
+    def test_constrained_reads_cost_more(self):
+        full = run_full_pipeline(box_image(12, 21), "log")
+        constrained = run_full_pipeline(box_image(12, 21), "log", n_max=10)
+        assert constrained.matches_golden
+        assert constrained.read_banks == 7
+        assert constrained.total_cycles > full.total_cycles
+
+    @pytest.mark.parametrize("operator", ["se", "median", "gaussian"])
+    def test_other_operators(self, operator):
+        report = run_full_pipeline(noise_image(13, 14, seed=5), operator)
+        assert report.matches_golden, operator
+
+    def test_output_shape_valid_mode(self):
+        report = run_full_pipeline(box_image(12, 13), "se")
+        assert report.output.shape == (10, 11)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(SimulationError):
+            run_full_pipeline(np.zeros((4, 4, 4)), "log")
+        with pytest.raises(SimulationError):
+            run_full_pipeline(box_image(12, 13), "sobel3d")

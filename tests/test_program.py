@@ -1,0 +1,105 @@
+"""Tests for program-level (multi-kernel) banking."""
+
+import pytest
+
+from repro.errors import HLSError
+from repro.hls import (
+    Program,
+    parse_kernel,
+    parse_program,
+    schedule_program,
+)
+
+TWO_PASS = """
+array X[64][64];
+for (i = 1; i <= 62; i++)
+  for (j = 1; j <= 62; j++)
+    Y[i][j] = X[i-1][j] + X[i+1][j];
+
+for (i = 1; i <= 62; i++)
+  for (j = 1; j <= 62; j++)
+    Z[i][j] = X[i][j-1] + X[i][j] + X[i][j+1];
+"""
+
+
+class TestParseProgram:
+    def test_splits_on_blank_lines(self):
+        program = parse_program(TWO_PASS)
+        assert len(program.nests) == 2
+
+    def test_read_arrays_across_kernels(self):
+        program = parse_program(TWO_PASS)
+        assert program.read_arrays == ("X",)
+
+    def test_patterns_of(self):
+        program = parse_program(TWO_PASS)
+        patterns = program.patterns_of("X")
+        assert [p.size for p in patterns] == [2, 3]
+
+    def test_patterns_of_unknown(self):
+        program = parse_program(TWO_PASS)
+        with pytest.raises(HLSError):
+            program.patterns_of("Q")
+
+    def test_empty_program(self):
+        with pytest.raises(HLSError):
+            parse_program("   \n  \n ")
+        with pytest.raises(HLSError):
+            Program(nests=())
+
+
+class TestScheduleProgram:
+    def test_joint_banking_serves_both_kernels(self):
+        schedule = schedule_program(parse_program(TWO_PASS))
+        # union of the vertical pair and horizontal triple = 5 taps
+        assert schedule.solution_for("X").n_banks == 5
+        assert schedule.kernel_iis == (1, 1)
+
+    def test_single_kernel_program_matches_nest_schedule(self):
+        from repro.hls import schedule_nest
+
+        source = "for (i = 1; i <= 6; i++) Y[i] = X[i-1] + X[i] + X[i+1];"
+        program = parse_program(source)
+        prog_schedule = schedule_program(program)
+        nest_schedule = schedule_nest(parse_kernel(source))
+        assert (
+            prog_schedule.solution_for("X").n_banks
+            == nest_schedule.solution_for("X").n_banks
+        )
+
+    def test_joint_never_fewer_banks_than_widest_kernel(self):
+        program = parse_program(TWO_PASS)
+        schedule = schedule_program(program)
+        widest = max(p.size for p in program.patterns_of("X"))
+        assert schedule.solution_for("X").n_banks >= widest
+
+    def test_individual_kernel_ii_never_worse_than_union(self):
+        """A kernel issuing a subset of the union pattern cannot conflict
+        more than the union does."""
+        schedule = schedule_program(parse_program(TWO_PASS), n_max=3)
+        union_delta = schedule.solution_for("X").delta_ii
+        assert all(ii <= union_delta + 1 for ii in schedule.kernel_iis)
+
+    def test_total_cycles_sum_kernels(self):
+        schedule = schedule_program(parse_program(TWO_PASS))
+        per_kernel = 62 * 62  # trip count at II = 1
+        assert schedule.total_cycles == 2 * (schedule.depth + per_kernel - 1)
+
+    def test_total_banks(self):
+        schedule = schedule_program(parse_program(TWO_PASS))
+        assert schedule.total_banks == 5
+
+    def test_unknown_array_lookup(self):
+        schedule = schedule_program(parse_program(TWO_PASS))
+        with pytest.raises(HLSError):
+            schedule.solution_for("Q")
+
+    def test_multi_array_program(self):
+        source = """
+        for (i = 1; i <= 6; i++) Y[i] = A[i-1] + A[i+1];
+
+        for (i = 1; i <= 6; i++) Z[i] = B[i] + B[i+1] + A[i];
+        """
+        schedule = schedule_program(parse_program(source))
+        assert schedule.solution_for("A").n_banks == 3  # union {-1, 0, +1}
+        assert schedule.solution_for("B").n_banks == 2

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These drive the paper's claims with randomized patterns and array shapes
+instead of the seven fixed benchmarks:
+
+* Theorem 1 — the derived transform separates *any* pattern.
+* Algorithm 1 — its ``N_f`` is conflict-free and minimal for the transform.
+* Mapping — ``(B, F)`` is injective for any pattern/shape combination,
+  and the measured overhead equals the closed-form Section 4.4.2 formula.
+* Conflict counts are loop-offset invariant.
+* The fast ``N_c`` fold always covers all inner banks within its rounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BankMapping,
+    Pattern,
+    check_theorem1,
+    delta_ii,
+    derive_alpha,
+    fast_nc,
+    minimize_nf,
+    offset_window,
+    ours_overhead_elements,
+    partition,
+    same_size_sweep,
+)
+
+# -- strategies -----------------------------------------------------------
+
+
+@st.composite
+def patterns(draw, max_dim: int = 3, max_extent: int = 6, max_size: int = 10):
+    """Random patterns: 1-3 dimensions, small bounding boxes."""
+    ndim = draw(st.integers(min_value=1, max_value=max_dim))
+    coordinate = st.integers(min_value=-max_extent, max_value=max_extent)
+    offset = st.tuples(*[coordinate] * ndim)
+    offsets = draw(
+        st.sets(offset, min_size=1, max_size=max_size)
+    )
+    return Pattern(offsets)
+
+
+@st.composite
+def patterns_2d(draw, max_extent: int = 5, max_size: int = 9):
+    coordinate = st.integers(min_value=0, max_value=max_extent)
+    offset = st.tuples(coordinate, coordinate)
+    offsets = draw(st.sets(offset, min_size=1, max_size=max_size))
+    return Pattern(offsets)
+
+
+# -- Theorem 1 ---------------------------------------------------------------
+
+
+@given(patterns())
+@settings(max_examples=150, deadline=None)
+def test_theorem1_derived_alpha_always_separates(pattern):
+    assert check_theorem1(pattern)
+
+
+@given(patterns(), st.tuples(st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50)))
+@settings(max_examples=80, deadline=None)
+def test_theorem1_translation_invariant(pattern, shift):
+    shifted = pattern.translated(shift[: pattern.ndim])
+    assert check_theorem1(shifted)
+    assert derive_alpha(pattern).alpha == derive_alpha(shifted).alpha
+
+
+# -- Algorithm 1 -------------------------------------------------------------
+
+
+@given(patterns())
+@settings(max_examples=100, deadline=None)
+def test_algorithm1_result_is_conflict_free(pattern):
+    n_f, _, z = minimize_nf(pattern)
+    residues = {v % n_f for v in z}
+    assert len(residues) == pattern.size
+
+
+@given(patterns(max_size=8))
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_result_is_minimal_for_alpha(pattern):
+    n_f, _, z = minimize_nf(pattern)
+    for n in range(pattern.size, n_f):
+        assert len({v % n for v in z}) < pattern.size
+
+
+@given(patterns())
+@settings(max_examples=80, deadline=None)
+def test_algorithm1_bounded_by_spread_plus_one(pattern):
+    n_f, _, z = minimize_nf(pattern)
+    assert n_f <= max(max(z) - min(z) + 1, pattern.size)
+
+
+# -- bank-limit schemes ------------------------------------------------------
+
+
+@given(st.integers(1, 64), st.integers(1, 32))
+def test_fast_nc_invariants(n_f, n_max):
+    n_c, rounds = fast_nc(n_f, n_max)
+    assert 1 <= n_c <= n_max
+    assert n_c * rounds >= n_f
+    assert rounds == math.ceil(n_f / n_max)
+
+
+@given(patterns_2d(), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_sweep_conflicts_bounded(pattern, n_max):
+    sweep = same_size_sweep(pattern, n_max)
+    m = pattern.size
+    for n in range(1, n_max + 1):
+        conflicts = sweep.conflicts_by_n[n]
+        assert math.ceil(m / n) <= conflicts <= m
+
+
+@given(patterns_2d(), st.integers(2, 12))
+@settings(max_examples=40, deadline=None)
+def test_partition_constrained_respects_nmax(pattern, n_max):
+    solution = partition(pattern, n_max=n_max)
+    assert solution.n_banks <= n_max
+    banks = solution.bank_indices()
+    worst = max(banks.count(b) for b in set(banks))
+    assert worst - 1 == solution.delta_ii
+
+
+# -- conflict offset invariance ---------------------------------------------
+
+
+@given(patterns_2d())
+@settings(max_examples=40, deadline=None)
+def test_delta_ii_offset_invariant(pattern):
+    solution = partition(pattern)
+    window = offset_window(2, solution.n_banks)
+    assert delta_ii(pattern, solution.bank_of, window) == 0
+
+
+# -- mapping bijectivity and overhead ----------------------------------------
+
+
+@st.composite
+def mapping_cases(draw):
+    pattern = draw(patterns_2d(max_extent=4, max_size=7))
+    extents = pattern.normalized().extents
+    w0 = draw(st.integers(max(extents[0], 2), 9))
+    w1 = draw(st.integers(max(extents[1], 2), 30))
+    return pattern.normalized(), (w0, w1)
+
+
+@given(mapping_cases())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mapping_bijective_for_random_cases(case):
+    pattern, shape = case
+    mapping = BankMapping(solution=partition(pattern), shape=shape)
+    assert mapping.verify_bijective()
+
+
+@given(mapping_cases())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mapping_overhead_matches_closed_form(case):
+    pattern, shape = case
+    solution = partition(pattern)
+    mapping = BankMapping(solution=solution, shape=shape)
+    assert mapping.overhead_elements == ours_overhead_elements(shape, solution.n_banks)
+
+
+@given(mapping_cases())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_mapping_overhead_bounded_by_paper_maximum(case):
+    pattern, shape = case
+    solution = partition(pattern)
+    mapping = BankMapping(solution=solution, shape=shape)
+    assert mapping.overhead_elements <= (solution.n_banks - 1) * shape[0]
+
+
+# -- constrained mapping bijectivity -----------------------------------------
+
+
+@given(mapping_cases(), st.integers(2, 6), st.booleans())
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_constrained_mappings_bijective(case, n_max, same_size):
+    pattern, shape = case
+    solution = partition(pattern, n_max=n_max, same_size=same_size)
+    mapping = BankMapping(solution=solution, shape=shape)
+    assert mapping.verify_bijective()
+
+
+# -- LTB cross-checks ----------------------------------------------------------
+
+
+@given(patterns_2d(max_extent=3, max_size=6))
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_ltb_never_more_banks_than_ours(pattern):
+    from repro.baselines import ltb_partition
+
+    ours = partition(pattern).n_banks
+    ltb = ltb_partition(pattern, n_max=ours).solution.n_banks
+    assert ltb <= ours
+    banks = [ltb_partition(pattern).solution.bank_of(d) for d in pattern.offsets]
+    assert len(set(banks)) == pattern.size

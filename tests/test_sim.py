@@ -1,0 +1,182 @@
+"""Unit tests for the simulation package (trace, memsim, engine, functional)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.errors import SimulationError
+from repro.patterns import kernel_for, log_pattern, se_pattern
+from repro.sim import (
+    PipelineModel,
+    banked_model,
+    banked_stencil,
+    golden_stencil,
+    iteration_domain,
+    pattern_trace,
+    serialized_model,
+    simulate_sweep,
+    simulate_unpartitioned,
+    speedup_vs_unpartitioned,
+    trace_addresses,
+    verify_banked_stencil,
+)
+
+
+class TestTrace:
+    def test_domain_matches_paper_bounds(self):
+        # Fig. 1(b) anchors the 5x5 window at its center, giving bounds
+        # 2..w-3; our canonical pattern is corner-anchored, so centering it
+        # reproduces the paper's loop bounds.
+        centered = log_pattern().translated((-2, -2))
+        domain = list(iteration_domain(centered, (10, 10)))
+        rows = {s[0] for s in domain}
+        assert min(rows) == 2 and max(rows) == 7
+
+    def test_domain_too_small_raises(self):
+        with pytest.raises(SimulationError):
+            list(iteration_domain(log_pattern(), (4, 10)))
+
+    def test_trace_reads_stay_in_bounds(self):
+        trace = pattern_trace(log_pattern(), (10, 12))
+        for iteration in trace:
+            for (r, c) in iteration.reads:
+                assert 0 <= r < 10 and 0 <= c < 12
+
+    def test_trace_limit(self):
+        trace = pattern_trace(log_pattern(), (20, 20), limit=5)
+        assert len(trace) == 5
+
+    def test_trace_step(self):
+        dense = pattern_trace(se_pattern(), (10, 10))
+        strided = pattern_trace(se_pattern(), (10, 10), step=2)
+        assert len(strided) < len(dense)
+
+    def test_flatten(self):
+        trace = pattern_trace(se_pattern(), (6, 6), limit=2)
+        assert len(list(trace_addresses(trace))) == 10
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(SimulationError):
+            pattern_trace(log_pattern(), (10, 10, 10))
+
+    def test_bad_step(self):
+        with pytest.raises(SimulationError):
+            pattern_trace(se_pattern(), (8, 8), step=0)
+
+
+class TestMemsim:
+    def test_unconstrained_is_single_cycle(self):
+        mapping = BankMapping(solution=partition(log_pattern()), shape=(12, 14))
+        report = simulate_sweep(mapping)
+        assert report.worst_cycles == 1
+        assert report.measured_ii == 1.0
+        assert report.measured_delta_ii == 0
+
+    def test_constrained_matches_claim(self):
+        solution = partition(log_pattern(), n_max=10)
+        mapping = BankMapping(solution=solution, shape=(12, 21))
+        report = simulate_sweep(mapping)
+        assert report.measured_delta_ii == solution.delta_ii == 1
+
+    def test_histogram_sums_to_iterations(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(9, 10))
+        report = simulate_sweep(mapping)
+        assert sum(report.cycle_histogram.values()) == report.iterations
+
+    def test_unpartitioned_baseline(self):
+        assert simulate_unpartitioned(13, 100) == 1300
+        assert simulate_unpartitioned(13, 100, ports=2) == 700
+
+    def test_unpartitioned_validation(self):
+        with pytest.raises(SimulationError):
+            simulate_unpartitioned(0, 10)
+
+    def test_speedup_equals_bank_parallelism(self):
+        mapping = BankMapping(solution=partition(log_pattern()), shape=(12, 14))
+        report = simulate_sweep(mapping)
+        assert speedup_vs_unpartitioned(report, 13) == pytest.approx(13.0)
+
+    def test_custom_array_verified(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(8, 8))
+        data = np.full((8, 8), 7, dtype=np.int64)
+        report = simulate_sweep(mapping, array=data)
+        assert report.iterations > 0
+
+
+class TestPipelineModel:
+    def test_total_cycles(self):
+        model = PipelineModel(iterations=100, base_ii=1, delta_ii=0, depth=5)
+        assert model.total_cycles == 5 + 99
+
+    def test_delta_scales_linearly(self):
+        base = PipelineModel(iterations=100, delta_ii=0)
+        slow = PipelineModel(iterations=100, delta_ii=1)
+        assert slow.total_cycles - base.total_cycles == 99
+
+    def test_speedup_over(self):
+        fast = banked_model(1000, 0)
+        slow = serialized_model(1000, 13)
+        assert fast.speedup_over(slow) > 12
+
+    def test_speedup_requires_same_trips(self):
+        with pytest.raises(SimulationError):
+            banked_model(10, 0).speedup_over(banked_model(20, 0))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PipelineModel(iterations=0)
+        with pytest.raises(SimulationError):
+            PipelineModel(iterations=1, base_ii=0)
+        with pytest.raises(SimulationError):
+            PipelineModel(iterations=1, delta_ii=-1)
+
+
+class TestFunctional:
+    def test_golden_log_on_impulse(self):
+        image = np.zeros((9, 9), dtype=np.int64)
+        image[4, 4] = 1
+        out = golden_stencil(image, kernel_for("log"))
+        # impulse response reproduces the flipped kernel; center tap:
+        assert out[2, 2] == 16
+
+    def test_golden_shape(self):
+        out = golden_stencil(np.zeros((10, 12)), kernel_for("log"))
+        assert out.shape == (6, 8)
+
+    def test_golden_validation(self):
+        with pytest.raises(SimulationError):
+            golden_stencil(np.zeros((3, 3)), kernel_for("log"))
+        with pytest.raises(SimulationError):
+            golden_stencil(np.zeros((9, 9, 9)), kernel_for("log"))
+
+    @pytest.mark.parametrize("operator", ["log", "se", "median", "gaussian"])
+    def test_banked_matches_golden(self, operator):
+        from repro.patterns import benchmark_pattern
+
+        rng = np.random.default_rng(1)
+        image = rng.integers(0, 255, (14, 15))
+        pattern = benchmark_pattern(operator)
+        mapping = BankMapping(solution=partition(pattern), shape=image.shape)
+        ok, result = verify_banked_stencil(mapping, image, kernel_for(operator))
+        assert ok
+        assert result.measured_ii == 1.0
+
+    def test_banked_constrained_still_correct(self):
+        rng = np.random.default_rng(2)
+        image = rng.integers(0, 255, (12, 21))
+        solution = partition(log_pattern(), n_max=10)
+        mapping = BankMapping(solution=solution, shape=image.shape)
+        ok, result = verify_banked_stencil(mapping, image, kernel_for("log"))
+        assert ok
+        assert result.worst_cycles == 2
+
+    def test_kernel_outside_pattern_rejected(self):
+        image = np.zeros((10, 10), dtype=np.int64)
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(10, 10))
+        with pytest.raises(SimulationError):
+            banked_stencil(mapping, image, kernel_for("log"))
+
+    def test_shape_mismatch_rejected(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(10, 10))
+        with pytest.raises(SimulationError):
+            banked_stencil(mapping, np.zeros((8, 8)), kernel_for("se"))

@@ -1,0 +1,115 @@
+"""Tests for the sweep-series generators and the CLI entry points."""
+
+import pytest
+
+from repro.eval.cli import main_casestudy, main_partition, main_table1
+from repro.eval.sweeps import (
+    bandwidth_vs_ports,
+    energy_vs_scheme,
+    overhead_vs_banks,
+    overhead_vs_resolution,
+    throughput_vs_unroll,
+)
+from repro.patterns import log_pattern, se_pattern
+
+
+class TestOverheadSweeps:
+    def test_vs_banks_ours_never_worse(self):
+        series = overhead_vs_banks((640, 480), range(2, 30))
+        for point in series:
+            assert point.ours_elements <= point.ltb_elements
+
+    def test_vs_banks_zero_at_divisors(self):
+        series = overhead_vs_banks((640, 480), [8, 12, 16])
+        assert all(p.ours_elements == 0 for p in series)
+
+    def test_vs_resolution_rows(self):
+        rows = overhead_vs_resolution(log_pattern(), 13)
+        assert len(rows) == 5
+        names = [r[0] for r in rows]
+        assert "SD" in names and "4K" in names
+        for _, ours, ltb in rows:
+            assert ours <= ltb
+
+
+class TestThroughputSweep:
+    def test_unroll_scales_throughput(self):
+        rows = throughput_vs_unroll(log_pattern(), [1, 2, 4])
+        throughputs = [r[3] for r in rows]
+        assert throughputs == sorted(throughputs)
+        assert throughputs[-1] > throughputs[0] * 3
+
+    def test_bank_cap_flattens_throughput(self):
+        capped = throughput_vs_unroll(log_pattern(), [1, 2, 4], n_max=13)
+        uncapped = throughput_vs_unroll(log_pattern(), [1, 2, 4])
+        assert capped[-1][3] < uncapped[-1][3]
+        assert all(banks <= 13 for _, banks, _, _ in capped)
+
+
+class TestEnergySweep:
+    def test_banked_wins(self):
+        rows = energy_vs_scheme(log_pattern(), (64, 65), iterations=500)
+        totals = {name: total for name, _, _, total in rows}
+        assert totals["banked"] < totals["multiport"]
+        assert totals["banked"] < totals["duplicate"]
+
+
+class TestBandwidthSweep:
+    def test_fold_series(self):
+        rows = bandwidth_vs_ports(log_pattern(), [1, 2, 3, 4])
+        assert rows[0] == (1, 13, 1)
+        assert rows[1] == (2, 7, 2)
+        assert rows[3] == (4, 4, 4)
+
+
+class TestCLI:
+    def test_casestudy_runs(self, capsys):
+        assert main_casestudy([]) == 0
+        out = capsys.readouterr().out
+        assert "(5, 1)" in out
+
+    def test_table1_subset(self, capsys):
+        assert main_table1(["--benchmarks", "se", "--repetitions", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "se" in out and "impr%" in out
+
+    def test_partition_benchmark(self, capsys):
+        assert main_partition(["--benchmark", "log", "--nmax", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "banks = 7" in out
+
+    def test_partition_mask_with_grid(self, capsys):
+        assert main_partition(["--mask", "010,111,010", "--grid"]) == 0
+        out = capsys.readouterr().out
+        assert "banks = 5" in out
+
+    def test_partition_kernel_file(self, tmp_path, capsys):
+        kernel = tmp_path / "kernel.c"
+        kernel.write_text(
+            "for (i = 1; i <= 6; i++) Y[i] = X[i-1] + X[i] + X[i+1];"
+        )
+        assert main_partition(["--kernel", str(kernel)]) == 0
+        out = capsys.readouterr().out
+        assert "banks = 3" in out
+
+    def test_partition_emit_c(self, capsys):
+        assert main_partition(
+            ["--benchmark", "se", "--shape", "32,32", "--emit-c"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "static inline int X_bank" in out
+
+    def test_partition_save(self, tmp_path, capsys):
+        from repro.io import load_solution
+
+        path = tmp_path / "sol.json"
+        assert main_partition(["--benchmark", "se", "--save", str(path)]) == 0
+        assert load_solution(path).n_banks == 5
+
+    def test_partition_requires_source(self):
+        with pytest.raises(SystemExit):
+            main_partition([])
+
+    def test_partition_emit_c_requires_shape(self):
+        with pytest.raises(SystemExit):
+            main_partition(["--benchmark", "se", "--emit-c"])

@@ -1,0 +1,53 @@
+"""Tests for the cross-validation harness itself."""
+
+import pytest
+
+from repro.eval.validation import (
+    SCHEMES,
+    ValidationCase,
+    main_validate,
+    run_validation,
+    validate_case,
+)
+
+
+class TestValidateCase:
+    def test_direct_log(self):
+        result = validate_case(
+            ValidationCase(benchmark="log", scheme="direct", shape=(8, 16))
+        )
+        assert result.passed, result.detail
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_all_schemes_on_se(self, scheme):
+        result = validate_case(
+            ValidationCase(benchmark="se", scheme=scheme, shape=(8, 12))
+        )
+        assert result.passed, (scheme, result.detail)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            validate_case(
+                ValidationCase(benchmark="log", scheme="magic", shape=(8, 16))
+            )
+
+
+class TestRunValidation:
+    def test_quick_subset_passes(self):
+        report = run_validation(["se", "median"], quick=True)
+        assert report.ok, report.summary()
+        assert report.passed > 0
+
+    def test_progress_callback(self):
+        seen = []
+        run_validation(["se"], schemes=("direct",), quick=True, progress=seen.append)
+        assert seen and all("se/direct" in s for s in seen)
+
+    def test_summary_format(self):
+        report = run_validation(["se"], schemes=("direct",), quick=True)
+        assert "passed" in report.summary()
+
+    def test_cli(self, capsys):
+        rc = main_validate(["--quick", "--benchmarks", "se"])
+        assert rc == 0
+        assert "0 failed" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Tests for the vectorized bulk address-translation path."""
+
+import numpy as np
+import pytest
+
+from repro.core import BankMapping, partition, widen_solution
+from repro.core.vectorized import (
+    bulk_addresses,
+    bulk_bank_of,
+    bulk_offset_of,
+    bulk_transform,
+    element_grid,
+    scatter_to_banks,
+    verify_bijective_bulk,
+    verify_bulk_matches_scalar,
+)
+from repro.errors import MappingError
+from repro.patterns import log_pattern, se_pattern
+
+
+def mapping_for(pattern=None, shape=(12, 14), **kwargs):
+    return BankMapping(solution=partition(pattern or log_pattern(), **kwargs), shape=shape)
+
+
+class TestElementGrid:
+    def test_covers_array_row_major(self):
+        grid = element_grid((2, 3))
+        assert grid.shape == (6, 2)
+        assert grid.tolist() == [[0, 0], [0, 1], [0, 2], [1, 0], [1, 1], [1, 2]]
+
+    def test_3d(self):
+        assert element_grid((2, 2, 2)).shape == (8, 3)
+
+
+class TestEquivalenceWithScalar:
+    def test_direct_scheme(self):
+        mapping = mapping_for()
+        assert verify_bulk_matches_scalar(mapping, sample=10_000)
+
+    def test_constrained_scheme(self):
+        mapping = mapping_for(shape=(10, 21), n_max=10)
+        assert verify_bulk_matches_scalar(mapping, sample=10_000)
+
+    def test_two_level_scheme(self):
+        mapping = mapping_for(shape=(8, 20), n_max=10, same_size=False)
+        assert verify_bulk_matches_scalar(mapping, sample=10_000)
+
+    def test_wide_scheme(self):
+        wide = widen_solution(partition(log_pattern()), 2)
+        mapping = BankMapping(solution=wide, shape=(8, 20))
+        assert verify_bulk_matches_scalar(mapping, sample=10_000)
+
+    def test_3d_mapping(self):
+        from repro.patterns import sobel3d_pattern
+
+        mapping = BankMapping(
+            solution=partition(sobel3d_pattern()), shape=(4, 5, 29)
+        )
+        assert verify_bulk_matches_scalar(mapping, sample=10_000)
+
+    def test_banks_match_exhaustively(self):
+        mapping = mapping_for(shape=(9, 13))
+        grid = element_grid(mapping.shape)
+        banks = bulk_bank_of(mapping, grid)
+        offsets = bulk_offset_of(mapping, grid)
+        for row, bank, offset in zip(grid, banks, offsets):
+            assert mapping.address_of(tuple(row)) == (bank, offset)
+
+
+class TestBulkVerification:
+    def test_bijective_large_frame(self):
+        """The vectorized check makes full-SD verification practical."""
+        mapping = mapping_for(shape=(640, 480))
+        assert verify_bijective_bulk(mapping)
+
+    def test_detects_broken_mapping(self):
+        from repro.core import LinearTransform, PartitionSolution, Pattern
+
+        broken = PartitionSolution(
+            pattern=Pattern([(0, 0)]),
+            transform=LinearTransform(alpha=(0, 0)),
+            n_banks=4,
+            n_unconstrained=4,
+        )
+        mapping = BankMapping(solution=broken, shape=(4, 4))
+        with pytest.raises(MappingError):
+            verify_bijective_bulk(mapping)
+
+    def test_shape_validation(self):
+        mapping = mapping_for()
+        with pytest.raises(MappingError):
+            bulk_transform(mapping, np.zeros((5, 3), dtype=np.int64))
+
+
+class TestScatter:
+    def test_values_land_where_scalar_says(self):
+        mapping = mapping_for(pattern=se_pattern(), shape=(6, 7))
+        data = np.arange(42, dtype=np.int64).reshape(6, 7)
+        banks = scatter_to_banks(mapping, data)
+        for element in mapping.iter_elements():
+            bank, offset = mapping.address_of(element)
+            assert banks[bank][offset] == data[element]
+
+    def test_bank_sizes(self):
+        mapping = mapping_for(pattern=se_pattern(), shape=(6, 7))
+        banks = scatter_to_banks(mapping, np.zeros((6, 7)))
+        assert [len(b) for b in banks] == [
+            mapping.bank_size(i) for i in range(mapping.n_banks)
+        ]
+
+    def test_shape_mismatch(self):
+        mapping = mapping_for()
+        with pytest.raises(MappingError):
+            scatter_to_banks(mapping, np.zeros((3, 3)))
+
+    def test_matches_banked_memory_load(self):
+        """The bulk scatter and the cycle-level memory agree bit for bit."""
+        from repro.hw import BankedMemory
+
+        mapping = mapping_for(pattern=se_pattern(), shape=(6, 11))
+        data = np.arange(66, dtype=np.int64).reshape(6, 11)
+        bulk = scatter_to_banks(mapping, data)
+        memory = BankedMemory(mapping=mapping)
+        memory.load_array(data)
+        for index, bank in enumerate(memory.banks):
+            for offset in range(bank.size):
+                stored = bank.peek(offset)
+                if stored is not None:
+                    assert bulk[index][offset] == stored

@@ -1,0 +1,91 @@
+"""Unit tests for ASCII visualization."""
+
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.errors import PatternError
+from repro.patterns import log_pattern, se_pattern, sobel3d_pattern
+from repro.viz import (
+    render_bank_grid,
+    render_bank_layout,
+    render_conflict_histogram,
+    render_pattern,
+    render_pattern_3d,
+)
+
+
+class TestRenderPattern:
+    def test_se_cross(self):
+        assert render_pattern(se_pattern()) == ".#.\n###\n.#."
+
+    def test_log_diamond(self):
+        art = render_pattern(log_pattern())
+        assert art.splitlines()[0] == "..#.."
+        assert art.count("#") == 13
+
+    def test_custom_glyphs(self):
+        art = render_pattern(se_pattern(), tap="X", empty=" ")
+        assert "X" in art and "#" not in art
+
+    def test_rejects_3d(self):
+        with pytest.raises(PatternError):
+            render_pattern(sobel3d_pattern())
+
+
+class TestRenderPattern3D:
+    def test_slices(self):
+        art = render_pattern_3d(sobel3d_pattern())
+        assert art.count("slice") == 3
+        assert art.count("#") == 26
+
+    def test_rejects_2d(self):
+        with pytest.raises(PatternError):
+            render_pattern_3d(log_pattern())
+
+
+class TestBankGrid:
+    def test_distinct_banks_in_window(self):
+        solution = partition(log_pattern())
+        art = render_bank_grid(solution, 5, 5)
+        assert len(art.splitlines()) == 5
+
+    def test_highlight_brackets(self):
+        solution = partition(log_pattern())
+        art = render_bank_grid(solution, 7, 7, highlight=log_pattern().translated((1, 1)))
+        assert art.count("[") == 13
+
+    def test_glyphs_beyond_ten(self):
+        solution = partition(log_pattern())
+        art = render_bank_grid(solution, 3, 13)
+        assert "a" in art  # bank 10 renders as 'a'
+
+    def test_rejects_3d(self):
+        solution = partition(sobel3d_pattern())
+        with pytest.raises(PatternError):
+            render_bank_grid(solution, 3, 3)
+
+
+class TestBankLayout:
+    def test_each_bank_one_line(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(6, 6))
+        art = render_bank_layout(mapping)
+        assert len(art.splitlines()) == 5
+        assert "bank  0:" in art
+
+    def test_padding_marked(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(4, 7))
+        art = render_bank_layout(mapping, max_width=200)
+        assert "(--)" in art
+
+    def test_truncation(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(8, 10))
+        art = render_bank_layout(mapping, max_width=30)
+        assert all(len(line) <= 30 for line in art.splitlines())
+
+
+class TestHistogram:
+    def test_bars(self):
+        art = render_conflict_histogram([13, 9, 5])
+        lines = art.splitlines()
+        assert lines[0].endswith("(13)")
+        assert "#" * 9 in lines[1]

@@ -1,0 +1,54 @@
+"""Tests for the utilization / heatmap visualizations."""
+
+import numpy as np
+import pytest
+
+from repro.core import BankMapping, partition
+from repro.hw import BankedMemory
+from repro.patterns import se_pattern
+from repro.viz import render_access_heatmap, render_utilization
+
+
+class TestUtilizationBars:
+    def test_full_and_half(self):
+        art = render_utilization({0: 1.0, 1: 0.5}, width=10)
+        lines = art.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert "100.0%" in lines[0]
+
+    def test_sorted_by_bank(self):
+        art = render_utilization({2: 0.1, 0: 0.2, 1: 0.3}, width=4)
+        banks = [int(line.split()[1]) for line in art.splitlines()]
+        assert banks == [0, 1, 2]
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_utilization({0: 1.0}, width=0)
+
+    def test_real_memory_utilization(self):
+        mapping = BankMapping(solution=partition(se_pattern()), shape=(6, 7))
+        memory = BankedMemory(mapping=mapping)
+        memory.load_array(np.ones((6, 7), dtype=np.int64))
+        art = render_utilization(memory.utilization())
+        assert art.count("bank") == 5
+
+
+class TestAccessHeatmap:
+    def test_peak_normalized(self):
+        art = render_access_heatmap([10, 5, 0], width=10)
+        lines = art.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+        assert lines[2].count("█") == 0
+
+    def test_empty_counts(self):
+        assert render_access_heatmap([], width=10) == ""
+
+    def test_all_zero(self):
+        art = render_access_heatmap([0, 0], width=10)
+        assert "█" not in art
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_access_heatmap([1], width=0)

@@ -1,0 +1,91 @@
+"""Unit tests for the workloads package (images + pipelines)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.workloads import (
+    box_image,
+    checkerboard_image,
+    detect_edges,
+    edge_density,
+    gradient_image,
+    multi_operator_suite,
+    noise_image,
+    volume,
+)
+
+
+class TestImages:
+    def test_gradient_shape_and_monotone(self):
+        img = gradient_image(16, 8)
+        assert img.shape == (16, 8)
+        assert (np.diff(img[:, 0]) >= 0).all()
+
+    def test_checkerboard_alternates(self):
+        img = checkerboard_image(16, 16, tile=4, low=0, high=255)
+        assert img[0, 0] == 0
+        assert img[4, 0] == 255
+        assert img[4, 4] == 0
+
+    def test_box_has_bright_center(self):
+        img = box_image(16, 16)
+        assert img[8, 8] == 255
+        assert img[0, 0] == 0
+
+    def test_noise_deterministic(self):
+        assert np.array_equal(noise_image(8, 8, seed=1), noise_image(8, 8, seed=1))
+        assert not np.array_equal(noise_image(8, 8, seed=1), noise_image(8, 8, seed=2))
+
+    def test_volume(self):
+        vol = volume(8, 8, 8)
+        assert vol.shape == (8, 8, 8)
+        assert vol[4, 4, 4] > vol[0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            gradient_image(0, 8)
+        with pytest.raises(SimulationError):
+            checkerboard_image(8, 8, tile=0)
+        with pytest.raises(SimulationError):
+            box_image(8, 8, box_fraction=0)
+        with pytest.raises(SimulationError):
+            volume(8, 8, 0)
+
+
+class TestDetectEdges:
+    def test_log_on_box_matches_golden(self):
+        report = detect_edges(box_image(14, 15), "log")
+        assert report.matches_golden
+        assert report.n_banks == 13
+        assert report.speedup == pytest.approx(13.0)
+
+    def test_constrained_run(self):
+        report = detect_edges(box_image(12, 21), "log", n_max=10)
+        assert report.matches_golden
+        assert report.n_banks == 7
+        assert report.speedup == pytest.approx(6.5)
+
+    def test_flat_image_quiet_response(self):
+        img = np.full((12, 13), 100, dtype=np.int64)
+        report = detect_edges(img, "log")
+        assert report.matches_golden
+        assert not report.output.any()  # zero-mean kernel on flat input
+
+    def test_edge_density_on_checkerboard_vs_flat(self):
+        busy = detect_edges(checkerboard_image(14, 14, tile=2), "log")
+        flat = detect_edges(np.full((14, 14), 7), "log")
+        assert edge_density(busy) > edge_density(flat)
+
+    def test_rejects_3d_operator(self):
+        with pytest.raises(SimulationError):
+            detect_edges(box_image(12, 12), "sobel3d")
+
+    def test_rejects_3d_image(self):
+        with pytest.raises(SimulationError):
+            detect_edges(np.zeros((4, 4, 4)), "log")
+
+    def test_multi_operator_suite(self):
+        reports = multi_operator_suite(box_image(14, 15), operators=("log", "se"))
+        assert set(reports) == {"log", "se"}
+        assert all(r.matches_golden for r in reports.values())

@@ -1,0 +1,81 @@
+"""Tests for the extended pattern zoo."""
+
+import pytest
+
+from repro.core import check_theorem1, partition, verify_conflict_free
+from repro.errors import PatternError
+from repro.patterns import (
+    ZOO,
+    bilinear_taps,
+    block_match,
+    dilated_cross,
+    fd_star,
+    kirsch,
+    roberts,
+    sad_window_pair,
+    separable_pair,
+    zoo_patterns,
+)
+
+
+class TestShapes:
+    def test_dilated_cross_geometry(self):
+        p = dilated_cross(arm=2, dilation=2)
+        assert p.size == 9
+        assert p.extents == (9, 9)  # big box, few taps
+
+    def test_dilated_cross_validation(self):
+        with pytest.raises(PatternError):
+            dilated_cross(arm=0)
+
+    def test_separable_pair(self):
+        h, v = separable_pair()
+        assert h.extents == (1, 5)
+        assert v.extents == (5, 1)
+
+    def test_block_match(self):
+        assert block_match(4).size == 16
+        with pytest.raises(PatternError):
+            block_match(0)
+
+    def test_fd_star(self):
+        assert fd_star(4).size == 9
+        with pytest.raises(PatternError):
+            fd_star(3)
+
+    def test_small_operators(self):
+        assert roberts().size == 4
+        assert kirsch().size == 9
+        assert bilinear_taps().size == 4
+
+    def test_sad_pair_two_clusters(self):
+        p = sad_window_pair(block=4, displacement=2)
+        assert p.size == 32
+        assert p.extents == (4, 10)
+
+
+class TestBanking:
+    def test_all_zoo_patterns_partition_conflict_free(self):
+        for name, pattern in zoo_patterns():
+            solution = partition(pattern)
+            assert verify_conflict_free(solution, window_radius=2), name
+            assert check_theorem1(pattern), name
+
+    def test_separable_passes_need_m_banks_each(self):
+        h, v = separable_pair()
+        assert partition(h).n_banks == 5
+        assert partition(v).n_banks == 5
+
+    def test_dense_blocks_are_tight(self):
+        # dense rectangles transform to consecutive z: N_f = m exactly
+        assert partition(block_match(4)).n_banks == 16
+        assert partition(kirsch()).n_banks == 9
+
+    def test_dilated_pays_a_gap(self):
+        """Sparse wide-box patterns are where the constant-time alpha is
+        least tight: 9 taps need 13 banks."""
+        solution = partition(dilated_cross())
+        assert solution.n_banks > dilated_cross().size
+
+    def test_registry_complete(self):
+        assert set(ZOO) == {name for name, _ in zoo_patterns()}
