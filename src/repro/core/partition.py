@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import PartitioningError
+from ..obs.tracer import span
 from .opcount import OpCounter, resolve
 from .pattern import Pattern
 from .transform import LinearTransform, derive_alpha
@@ -142,45 +143,50 @@ def minimize_nf(
         ``N_f ≤ M + 1`` because any ``N > M`` has no multiple inside ``E``.
     """
     counter = resolve(ops)
-    if transform is None:
-        transform = derive_alpha(pattern, ops)
-    z_values = transform.transform_pattern(pattern, ops)
-    m = pattern.size
-    if m == 1:
-        return 1, transform, z_values
+    with span("solve.minimize_nf", ops=counter, pattern=pattern.name or "?"):
+        with span("solve.transform", ops=counter):
+            if transform is None:
+                transform = derive_alpha(pattern, ops)
+            z_values = transform.transform_pattern(pattern, ops)
+        m = pattern.size
+        if m == 1:
+            return 1, transform, z_values
 
-    diffs = pairwise_differences(z_values, ops)
-    if 0 in diffs:
-        raise PartitioningError(
-            "transform does not separate the pattern (duplicate z values); "
-            "Theorem 1 guarantees this never happens for the derived alpha"
-        )
-    max_diff = max(diffs)
-    counter.compare(len(diffs))  # the max scan of line 10
+        with span("solve.qset_build", ops=counter):
+            diffs = pairwise_differences(z_values, ops)
+            if 0 in diffs:
+                raise PartitioningError(
+                    "transform does not separate the pattern (duplicate z values); "
+                    "Theorem 1 guarantees this never happens for the derived alpha"
+                )
+            max_diff = max(diffs)
+            counter.compare(len(diffs))  # the max scan of line 10
 
-    # E[d] = number of pairs at distance d (lines 11-16).  Building the
-    # histogram is memory traffic, not arithmetic; it is not charged.
-    occurrences = [0] * (max_diff + 1)
-    for d in diffs:
-        occurrences[d] += 1
+            # E[d] = number of pairs at distance d (lines 11-16).  Building
+            # the histogram is memory traffic, not arithmetic; not charged.
+            occurrences = [0] * (max_diff + 1)
+            for d in diffs:
+                occurrences[d] += 1
 
-    # Lines 17-25: grow N until no multiple of it is an observed difference.
-    n_f = m
-    k = 1
-    while True:
-        counter.mul()  # k * n_f
-        multiple = k * n_f
-        counter.compare()  # loop guard k*Nf <= M
-        if multiple > max_diff:
-            return n_f, transform, z_values
-        counter.compare()  # E[kNf] != 0
-        if occurrences[multiple] != 0:
-            counter.add()
-            n_f += 1
+        # Lines 17-25: grow N until no multiple of it is an observed difference.
+        with span("solve.select_n", ops=counter) as selection:
+            n_f = m
             k = 1
-        else:
-            counter.add()
-            k += 1
+            while True:
+                counter.mul()  # k * n_f
+                multiple = k * n_f
+                counter.compare()  # loop guard k*Nf <= M
+                if multiple > max_diff:
+                    selection.annotate(n_f=n_f)
+                    return n_f, transform, z_values
+                counter.compare()  # E[kNf] != 0
+                if occurrences[multiple] != 0:
+                    counter.add()
+                    n_f += 1
+                    k = 1
+                else:
+                    counter.add()
+                    k += 1
 
 
 def fast_nc(
@@ -260,23 +266,24 @@ def same_size_sweep(
     if n_max <= 0:
         raise ValueError(f"n_max must be positive, got {n_max}")
     counter = resolve(ops)
-    if transform is None:
-        transform = derive_alpha(pattern, ops)
-    z_values = transform.transform_pattern(pattern, ops)
+    with span("solve.bank_limit_sweep", ops=counter, n_max=n_max):
+        if transform is None:
+            transform = derive_alpha(pattern, ops)
+        z_values = transform.transform_pattern(pattern, ops)
 
-    conflicts: List[Optional[int]] = [None]
-    for n in range(1, n_max + 1):
-        counter.mod(len(z_values))
-        residues = [z % n for z in z_values]
-        conflicts.append(mode_count(residues, ops))
+        conflicts: List[Optional[int]] = [None]
+        for n in range(1, n_max + 1):
+            counter.mod(len(z_values))
+            residues = [z % n for z in z_values]
+            conflicts.append(mode_count(residues, ops))
 
-    best = min(c for c in conflicts if c is not None)
-    candidates = tuple(n for n in range(1, n_max + 1) if conflicts[n] == best)
-    return SweepResult(
-        conflicts_by_n=tuple(conflicts),
-        best_n=candidates[0],
-        best_candidates=candidates,
-    )
+        best = min(c for c in conflicts if c is not None)
+        candidates = tuple(n for n in range(1, n_max + 1) if conflicts[n] == best)
+        return SweepResult(
+            conflicts_by_n=tuple(conflicts),
+            best_n=candidates[0],
+            best_candidates=candidates,
+        )
 
 
 def same_size_nc(
@@ -313,6 +320,21 @@ def partition(
     >>> (sol.n_banks, sol.delta_ii)
     (7, 1)
     """
+    with span(
+        "solve.partition",
+        ops=resolve(ops),
+        pattern=pattern.name or "?",
+        n_max=n_max,
+    ):
+        return _partition_phases(pattern, n_max, same_size, ops)
+
+
+def _partition_phases(
+    pattern: Pattern,
+    n_max: int | None,
+    same_size: bool,
+    ops: OpCounter | None,
+) -> PartitionSolution:
     n_f, transform, _ = minimize_nf(pattern, ops=ops)
     if n_max is None or n_f <= n_max:
         return PartitionSolution(

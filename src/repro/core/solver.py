@@ -35,8 +35,9 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..errors import InfeasibleConstraintError
+from ..obs.tracer import span
 from .mapping import BankMapping, ours_overhead_elements
-from .opcount import OpCounter
+from .opcount import OpCounter, resolve
 from .partition import PartitionSolution, minimize_nf, same_size_sweep
 from .pattern import Pattern
 
@@ -136,6 +137,23 @@ def solve(
     >>> solve(log_pattern(), n_max=10).solution.n_banks
     7
     """
+    with span(
+        "solve.solve",
+        ops=resolve(ops),
+        pattern=pattern.name or "?",
+        objective=objective.value,
+    ):
+        return _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+
+
+def _solve_impl(
+    pattern: Pattern,
+    shape: Sequence[int] | None,
+    n_max: int | None,
+    objective: Objective,
+    delta_max: int,
+    ops: OpCounter | None,
+) -> SolverResult:
     if n_max is not None and n_max < 1:
         raise InfeasibleConstraintError(f"n_max must be at least 1, got {n_max}")
 

@@ -17,6 +17,8 @@ from ..core.mapping import ours_overhead_elements
 from ..core.opcount import OpCounter
 from ..core.partition import fast_nc, minimize_nf, partition, same_size_sweep
 from ..core.pattern import Pattern
+from ..obs.metrics import registry as obs_registry
+from ..obs.tracer import span
 from ..patterns.library import log_pattern
 
 
@@ -53,16 +55,24 @@ def run_case_study(shape: Tuple[int, int] = (640, 480), n_max: int = 10) -> Case
     """
     pattern = log_pattern().translated((2, 2))
 
-    ours_ops = OpCounter()
-    n_f, transform, z_values = minimize_nf(pattern, ops=ours_ops)
-    solution = partition(pattern)
-    bank_indices = tuple(solution.bank_of(delta) for delta in pattern.offsets)
+    with span("eval.casestudy"):
+        ours_ops = OpCounter()
+        n_f, transform, z_values = minimize_nf(pattern, ops=ours_ops)
+        solution = partition(pattern)
+        bank_indices = tuple(solution.bank_of(delta) for delta in pattern.offsets)
 
-    sweep = same_size_sweep(pattern, n_max, transform)
-    nc_fast, rounds = fast_nc(n_f, n_max)
+        sweep = same_size_sweep(pattern, n_max, transform)
+        nc_fast, rounds = fast_nc(n_f, n_max)
 
-    ltb_ops = OpCounter()
-    ltb = ltb_partition(pattern, ops=ltb_ops)
+        ltb_ops = OpCounter()
+        ltb = ltb_partition(pattern, ops=ltb_ops)
+
+    registry = obs_registry()
+    registry.absorb_ops("eval.casestudy.ours.ops", ours_ops)
+    registry.absorb_ops("eval.casestudy.ltb.ops", ltb_ops)
+    registry.gauge("eval.casestudy.n_f").set(n_f)
+    registry.gauge("eval.casestudy.same_size_nc").set(sweep.best_n)
+    registry.gauge("eval.casestudy.fast_nc").set(nc_fast)
 
     return CaseStudy(
         pattern=pattern,

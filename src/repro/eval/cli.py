@@ -4,13 +4,20 @@
 * ``repro-casestudy`` — regenerate the Sections 2 / 5.1 LoG walk-through.
 * ``repro-partition`` — partition a user-supplied pattern or kernel: the
   library as a standalone tool.
+* ``repro-profile`` — solve + simulate one pattern with full telemetry:
+  span tree, cycle histogram, per-bank conflict heatmap and attribution.
+
+Every command accepts ``--emit-metrics PATH`` to write the obs-layer
+snapshot (counters/gauges/histograms plus any recorded spans) as JSON, or
+as flat CSV when ``PATH`` ends in ``.csv``.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 from ..core.mapping import BankMapping
 from ..core.pattern import Pattern
@@ -19,6 +26,28 @@ from ..patterns.library import BENCHMARKS, benchmark_pattern
 from .casestudy import run_case_study
 from .report import render_case_study, render_table1
 from .table1 import build_table
+
+
+def _add_emit_metrics(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="write the telemetry snapshot to PATH (.json or .csv)",
+    )
+
+
+def _emit_metrics(path: Optional[str], conflicts=None, extra=None) -> None:
+    """Write the global registry/tracer snapshot when requested."""
+    if not path:
+        return
+    from ..obs.export import write_metrics_csv, write_metrics_json
+
+    if path.endswith(".csv"):
+        write_metrics_csv(path)
+    else:
+        write_metrics_json(path, conflicts=conflicts, extra=extra)
+    print(f"metrics written to {path}")
 
 
 def main_table1(argv: Sequence[str] | None = None) -> int:
@@ -42,9 +71,11 @@ def main_table1(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--no-paper", action="store_true", help="omit the published reference rows"
     )
+    _add_emit_metrics(parser)
     args = parser.parse_args(argv)
     table = build_table(args.benchmarks, time_repetitions=args.repetitions)
     print(render_table1(table, include_paper=not args.no_paper))
+    _emit_metrics(args.emit_metrics)
     return 0
 
 
@@ -54,8 +85,10 @@ def main_casestudy(argv: Sequence[str] | None = None) -> int:
         description="Regenerate the paper's LoG case study (Sections 2 and 5.1)."
     )
     parser.add_argument("--nmax", type=int, default=10, help="bank-count ceiling")
+    _add_emit_metrics(parser)
     args = parser.parse_args(argv)
     print(render_case_study(run_case_study(n_max=args.nmax)))
+    _emit_metrics(args.emit_metrics)
     return 0
 
 
@@ -107,7 +140,10 @@ def main_partition(argv: Sequence[str] | None = None) -> int:
         "--emit-c", action="store_true", help="print B(x)/F(x) helper functions in C"
     )
     parser.add_argument("--grid", action="store_true", help="print a bank-index grid")
+    _add_emit_metrics(parser)
     args = parser.parse_args(argv)
+
+    from ..obs.metrics import registry as obs_registry
 
     pattern = _pattern_from_args(args)
     shape = tuple(int(w) for w in args.shape.split(",")) if args.shape else None
@@ -117,6 +153,7 @@ def main_partition(argv: Sequence[str] | None = None) -> int:
         shape=shape,
         n_max=args.nmax,
         objective=Objective(args.objective),
+        ops=obs_registry().op_counter("cli.partition.ops"),
     )
     solution = result.solution
     print(f"pattern: {pattern.size} elements, {pattern.ndim} dimensions")
@@ -147,7 +184,157 @@ def main_partition(argv: Sequence[str] | None = None) -> int:
 
         save_solution(solution, args.save)
         print(f"solution written to {args.save}")
+    _emit_metrics(args.emit_metrics)
     return 0
+
+
+#: ``repro-profile avg2x2``-style synthetic pattern names.
+_AVG_RE = re.compile(r"(?:avg|rect)(\d+)x(\d+)$")
+
+
+def _profile_pattern(name: str) -> Pattern:
+    """Resolve a profile target: benchmark name, ``avgRxC``, or a 0/1 mask."""
+    key = name.lower()
+    if key in BENCHMARKS:
+        return benchmark_pattern(key)
+    match = _AVG_RE.fullmatch(key)
+    if match:
+        from ..patterns.generators import rectangle
+
+        rows, cols = int(match.group(1)), int(match.group(2))
+        return rectangle((rows, cols), name=key)
+    if set(key) <= set("01,"):
+        return Pattern.from_mask(
+            [[int(ch) for ch in row] for row in key.split(",")], name="mask"
+        )
+    raise SystemExit(
+        f"unknown pattern {name!r}: use a benchmark ({', '.join(sorted(BENCHMARKS))}), "
+        "an avgRxC window (e.g. avg2x2), or a 0/1 mask like 010,111,010"
+    )
+
+
+def _default_profile_shape(pattern: Pattern) -> Tuple[int, ...]:
+    """A shape big enough to sweep and small enough to simulate quickly."""
+    if pattern.ndim >= 3:
+        return tuple(max(3 * e, e + 4) for e in pattern.extents)
+    return tuple(max(4 * e, e + 8) for e in pattern.extents)
+
+
+def main_profile(argv: Sequence[str] | None = None) -> int:
+    """Profile one pattern end to end: solve, simulate, attribute.
+
+    Examples::
+
+        repro-profile avg2x2
+        repro-profile log --nmax 8 --shape 24,24
+        REPRO_OBS=1 repro-profile median --emit-metrics profile.json
+    """
+    parser = argparse.ArgumentParser(
+        description=(
+            "Solve and simulate one access pattern with telemetry enabled: "
+            "span tree, cycle histogram, per-bank conflict attribution."
+        )
+    )
+    parser.add_argument(
+        "pattern",
+        help="benchmark name, avgRxC window (e.g. avg2x2), or 0/1 mask rows",
+    )
+    parser.add_argument("--shape", default=None, help="array shape, e.g. 24,24")
+    parser.add_argument("--nmax", type=int, default=None, help="bank-count ceiling")
+    parser.add_argument("--step", type=int, default=1, help="domain stride")
+    parser.add_argument("--limit", type=int, default=None, help="iteration cap")
+    parser.add_argument(
+        "--ports", type=int, default=1, help="ports per bank (bank bandwidth B)"
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the per-element data-corruption check (faster timings)",
+    )
+    _add_emit_metrics(parser)
+    args = parser.parse_args(argv)
+
+    from .. import obs
+    from ..obs.report import (
+        render_conflict_report,
+        render_cycle_histogram,
+        render_span_tree,
+    )
+    from ..sim.memsim import simulate_sweep, speedup_vs_unpartitioned
+
+    obs.enable()
+    obs.reset()
+
+    pattern = _profile_pattern(args.pattern)
+    shape = (
+        tuple(int(w) for w in args.shape.split(","))
+        if args.shape
+        else _default_profile_shape(pattern)
+    )
+    if len(shape) != pattern.ndim:
+        raise SystemExit(
+            f"shape {shape} does not match pattern dimensionality {pattern.ndim}"
+        )
+
+    ops = obs.registry().op_counter("profile.solve.ops")
+    result = solve(pattern, shape=shape, n_max=args.nmax, ops=ops)
+    solution = result.solution
+    assert result.mapping is not None  # shape is always supplied here
+
+    ports = max(args.ports, solution.bank_ports)
+    conflicts = obs.ConflictTable(ports)
+    report = simulate_sweep(
+        result.mapping,
+        step=args.step,
+        limit=args.limit,
+        ports_per_bank=args.ports,
+        verify=not args.no_verify,
+        conflicts=conflicts,
+    )
+
+    print(
+        f"pattern {pattern.name or args.pattern}: {pattern.size} elements over "
+        f"shape {shape}"
+    )
+    print(
+        f"solution: N={solution.n_banks} (N_f={solution.n_unconstrained}), "
+        f"deltaII={solution.delta_ii}, scheme={solution.scheme}, "
+        f"solve ops={ops.total}"
+    )
+    print(
+        f"simulated: {report.iterations} iterations, II={report.measured_ii:.3f}, "
+        f"worst={report.worst_cycles} cycle(s), "
+        f"speedup vs single bank={speedup_vs_unpartitioned(report, pattern.size):.1f}x"
+    )
+    print()
+    print("span tree:")
+    print(render_span_tree(obs.tracer().records()))
+    print()
+    print("cycles per iteration:")
+    print(render_cycle_histogram(report.cycle_histogram))
+    print()
+    print(render_conflict_report(conflicts, n_banks=solution.n_banks))
+    consistent = conflicts.cycle_histogram == report.cycle_histogram
+    print(
+        "attribution totals vs simulation report: "
+        + ("consistent" if consistent else "MISMATCH")
+    )
+
+    _emit_metrics(
+        args.emit_metrics,
+        conflicts=conflicts,
+        extra={
+            "report": report.to_dict(),
+            "solution": {
+                "pattern": pattern.name or args.pattern,
+                "n_banks": solution.n_banks,
+                "n_unconstrained": solution.n_unconstrained,
+                "delta_ii": solution.delta_ii,
+                "scheme": solution.scheme,
+            },
+        },
+    )
+    return 0 if consistent and conflicts.verify_consistent() else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,13 +4,21 @@ Converts algorithm outputs into the units Table 1 reports: bank counts,
 storage overhead in 9 kb memory blocks, instrumented arithmetic-operation
 counts, and wall-clock execution time (averaged over repetitions, as the
 paper averages over 10000 runs).
+
+Every measured number is routed through the :mod:`repro.obs` metrics
+registry before it is returned: ``eval.<pattern>.<algorithm>.{n_banks,
+operations,time_ms}`` gauges, ``eval.<pattern>.<algorithm>.ops.*`` op-count
+counters, and an ``eval.solve_ms.<algorithm>`` timing histogram.  The
+:class:`AlgorithmRun` handed back is rebuilt *from* those registry values,
+so an ``--emit-metrics`` snapshot always carries exactly the numbers the
+rendered table printed.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Dict, Sequence
 
 from ..baselines.ltb import ltb_overhead_elements, ltb_partition
 from ..core.mapping import ours_overhead_elements
@@ -18,6 +26,8 @@ from ..core.opcount import OpCounter
 from ..core.partition import partition
 from ..core.pattern import Pattern
 from ..hw.bram import DEFAULT_ELEMENT_BITS, overhead_blocks
+from ..obs.metrics import registry as obs_registry
+from ..obs.tracer import span
 
 
 @dataclass(frozen=True)
@@ -41,6 +51,25 @@ class AlgorithmRun:
     operations: int
     time_ms: float
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form shared by exporters and benchmarks."""
+        return {
+            "algorithm": self.algorithm,
+            "n_banks": self.n_banks,
+            "operations": self.operations,
+            "time_ms": self.time_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AlgorithmRun":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            n_banks=int(payload["n_banks"]),
+            operations=int(payload["operations"]),
+            time_ms=float(payload["time_ms"]),
+        )
+
 
 def improvement(baseline: float, ours: float) -> float:
     """Relative saving in percent: ``(baseline − ours) / baseline · 100``.
@@ -54,20 +83,35 @@ def improvement(baseline: float, ours: float) -> float:
     return (baseline - ours) / baseline * 100.0
 
 
+def _register_run(
+    algorithm: str, pattern: Pattern, n_banks: int, ops: OpCounter, elapsed_s: float
+) -> AlgorithmRun:
+    """Publish one run's numbers to the registry, then read them back."""
+    registry = obs_registry()
+    base = f"eval.{pattern.name or 'pattern'}.{algorithm}"
+    registry.absorb_ops(f"{base}.ops", ops)
+    registry.gauge(f"{base}.n_banks").set(n_banks)
+    registry.gauge(f"{base}.operations").set(ops.arithmetic)
+    registry.gauge(f"{base}.time_ms").set(elapsed_s * 1000.0)
+    registry.histogram(f"eval.solve_ms.{algorithm}").observe(elapsed_s * 1000.0)
+    return AlgorithmRun(
+        algorithm=algorithm,
+        n_banks=int(registry.gauge(f"{base}.n_banks").value),
+        operations=int(registry.gauge(f"{base}.operations").value),
+        time_ms=registry.gauge(f"{base}.time_ms").value,
+    )
+
+
 def run_ours(pattern: Pattern, repetitions: int = 100) -> AlgorithmRun:
     """Run the paper's algorithm with instrumentation and timing."""
     ops = OpCounter()
-    solution = partition(pattern, ops=ops)
-    start = time.perf_counter()
-    for _ in range(repetitions):
-        partition(pattern)
-    elapsed = (time.perf_counter() - start) / repetitions
-    return AlgorithmRun(
-        algorithm="ours",
-        n_banks=solution.n_banks,
-        operations=ops.arithmetic,
-        time_ms=elapsed * 1000.0,
-    )
+    with span("eval.run_ours", pattern=pattern.name or "?"):
+        solution = partition(pattern, ops=ops)
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            partition(pattern)
+        elapsed = (time.perf_counter() - start) / repetitions
+    return _register_run("ours", pattern, solution.n_banks, ops, elapsed)
 
 
 def run_ltb(pattern: Pattern, repetitions: int = 3) -> AlgorithmRun:
@@ -77,17 +121,13 @@ def run_ltb(pattern: Pattern, repetitions: int = 3) -> AlgorithmRun:
     asymmetry is the experiment's point).
     """
     ops = OpCounter()
-    result = ltb_partition(pattern, ops=ops)
-    start = time.perf_counter()
-    for _ in range(repetitions):
-        ltb_partition(pattern)
-    elapsed = (time.perf_counter() - start) / repetitions
-    return AlgorithmRun(
-        algorithm="ltb",
-        n_banks=result.solution.n_banks,
-        operations=ops.arithmetic,
-        time_ms=elapsed * 1000.0,
-    )
+    with span("eval.run_ltb", pattern=pattern.name or "?"):
+        result = ltb_partition(pattern, ops=ops)
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            ltb_partition(pattern)
+        elapsed = (time.perf_counter() - start) / repetitions
+    return _register_run("ltb", pattern, result.solution.n_banks, ops, elapsed)
 
 
 def storage_blocks(

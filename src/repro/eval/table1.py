@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs.metrics import registry as obs_registry
+from ..obs.tracer import span
 from ..patterns.library import BENCHMARKS, benchmark_shape
 from .metrics import AlgorithmRun, improvement, run_ltb, run_ours, storage_blocks
 from .paper_data import RESOLUTION_ORDER
@@ -92,16 +94,22 @@ def build_row(
     if benchmark not in BENCHMARKS:
         raise KeyError(f"unknown benchmark {benchmark!r}")
     pattern = BENCHMARKS[benchmark]()
-    ours = run_ours(pattern, repetitions=time_repetitions)
-    ltb = run_ltb(pattern, repetitions=max(1, time_repetitions // 10))
+    with span("eval.table1.row", benchmark=benchmark):
+        ours = run_ours(pattern, repetitions=time_repetitions)
+        ltb = run_ltb(pattern, repetitions=max(1, time_repetitions // 10))
 
-    storage: Dict[str, Tuple[int, ...]] = {}
-    for algorithm, run in (("ours", ours), ("ltb", ltb)):
-        cells = []
-        for resolution in resolutions:
-            shape = benchmark_shape(benchmark, resolution)
-            cells.append(storage_blocks(shape, run.n_banks, algorithm))
-        storage[algorithm] = tuple(cells)
+        storage: Dict[str, Tuple[int, ...]] = {}
+        registry = obs_registry()
+        for algorithm, run in (("ours", ours), ("ltb", ltb)):
+            cells = []
+            for resolution in resolutions:
+                shape = benchmark_shape(benchmark, resolution)
+                blocks = storage_blocks(shape, run.n_banks, algorithm)
+                cells.append(blocks)
+                registry.gauge(
+                    f"eval.{benchmark}.{algorithm}.storage_blocks.{resolution}"
+                ).set(blocks)
+            storage[algorithm] = tuple(cells)
     return Table1Row(benchmark=benchmark, ours=ours, ltb=ltb, storage=storage)
 
 
@@ -111,5 +119,19 @@ def build_table(
 ) -> Table1:
     """Measure the full Table 1 (or a subset of rows)."""
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-    rows = tuple(build_row(name, time_repetitions=time_repetitions) for name in names)
-    return Table1(rows=rows)
+    with span("eval.table1.build", benchmarks=",".join(names)):
+        rows = tuple(
+            build_row(name, time_repetitions=time_repetitions) for name in names
+        )
+    table = Table1(rows=rows)
+    registry = obs_registry()
+    registry.gauge("eval.table1.average_storage_improvement").set(
+        table.average_storage_improvement
+    )
+    registry.gauge("eval.table1.average_operations_improvement").set(
+        table.average_operations_improvement
+    )
+    registry.gauge("eval.table1.average_time_improvement").set(
+        table.average_time_improvement
+    )
+    return table

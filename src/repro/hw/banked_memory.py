@@ -170,6 +170,14 @@ class BankedMemory:
             for bank in self.banks
         }
 
+    def conflict_counts(self) -> Dict[int, int]:
+        """Per-bank failed-claim tallies from the arbitration counters."""
+        return {bank.index: bank.conflicts for bank in self.banks}
+
+    def access_counts(self) -> Dict[int, int]:
+        """Per-bank served-access tallies (load balance of a finished run)."""
+        return {bank.index: bank.accesses for bank in self.banks}
+
     @property
     def total_conflicts(self) -> int:
         """Port-conflict events across all banks (from try_claim retries)."""

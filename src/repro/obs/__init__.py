@@ -1,0 +1,80 @@
+"""repro.obs — zero-dependency observability: spans, metrics, attribution.
+
+The telemetry layer behind every performance claim in the repo:
+
+* :func:`span` / :func:`tracer` — nested wall-clock + op-count spans,
+  recorded only when observability is on (``REPRO_OBS=1`` or
+  :func:`enable`), free otherwise.
+* :func:`registry` — process-wide counters, gauges and histograms
+  (always live; this is where Table 1 and the benchmarks put the numbers
+  they print).
+* :class:`ConflictTable` — per-bank and per-offset-pair bank-conflict
+  attribution filled by the cycle simulator.
+* :mod:`repro.obs.export` — JSON-lines span streams and JSON/CSV metric
+  snapshots (the ``--emit-metrics`` artifact).
+* :mod:`repro.obs.report` — span-tree and conflict-heatmap text reports
+  (the ``repro-profile`` output).
+
+Span/metric naming conventions are documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from .conflicts import ConflictTable, failed_claims
+from .export import (
+    SCHEMA,
+    metrics_document,
+    metrics_to_csv,
+    spans_to_jsonl,
+    write_metrics_csv,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TrackedOpCounter,
+    registry,
+)
+from .report import render_conflict_report, render_cycle_histogram, render_span_tree
+from .state import disable, enable, enabled, reset_from_env
+from .tracer import NULL_SPAN, Span, SpanRecord, Tracer, span, tracer
+
+
+def reset() -> None:
+    """Clear all recorded telemetry (spans and metrics), keep the switch."""
+    tracer().reset()
+    registry().reset()
+
+
+__all__ = [
+    "ConflictTable",
+    "failed_claims",
+    "SCHEMA",
+    "metrics_document",
+    "metrics_to_csv",
+    "spans_to_jsonl",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_spans_jsonl",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TrackedOpCounter",
+    "registry",
+    "render_conflict_report",
+    "render_cycle_histogram",
+    "render_span_tree",
+    "disable",
+    "enable",
+    "enabled",
+    "reset_from_env",
+    "reset",
+    "NULL_SPAN",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "tracer",
+]

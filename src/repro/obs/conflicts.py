@@ -1,0 +1,135 @@
+"""Bank-conflict attribution: *which* accesses fight over *which* bank.
+
+A cycle histogram says a sweep lost cycles; it does not say where.  This
+table answers that with two views filled in by the simulator as it replays
+a trace:
+
+* **per-bank** — failed port claims charged to each bank, computed with the
+  same arbitration arithmetic the hardware model uses (``k`` accesses on a
+  ``P``-port bank lose ``Σ_j max(0, k − j·P)`` claims), and cross-checked
+  against the banks' own conflict counters via :meth:`verify_consistent`.
+* **per-pair** — for every over-subscribed bank, the pattern-offset pairs
+  that landed on it together, counted once per iteration.  Because the
+  paper's direct scheme is translation-invariant, a hot pair here names the
+  exact two stencil taps a designer would re-map.
+
+The table also keeps the iteration cycle histogram it observed, so its
+totals can be checked against the :class:`~repro.sim.memsim.SimulationReport`
+produced by the same sweep (they must match exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Element = Tuple[int, ...]
+Pair = Tuple[Element, Element]
+
+
+def failed_claims(accesses: int, ports: int) -> int:
+    """Port claims that fail when ``accesses`` hit a ``ports``-wide bank.
+
+    Mirrors the retry loop in ``BankedMemory.parallel_read``: each cycle
+    serves ``ports`` requests and the rest retry, so the failure total is
+    ``Σ_{j≥1} max(0, accesses − j·ports)``.
+    """
+    if ports < 1:
+        raise ValueError(f"ports must be positive, got {ports}")
+    total = 0
+    remaining = accesses - ports
+    while remaining > 0:
+        total += remaining
+        remaining -= ports
+    return total
+
+
+class ConflictTable:
+    """Accumulates conflict attribution across a simulated sweep."""
+
+    def __init__(self, ports_per_bank: int = 1) -> None:
+        if ports_per_bank < 1:
+            raise ValueError(
+                f"ports_per_bank must be positive, got {ports_per_bank}"
+            )
+        self.ports_per_bank = ports_per_bank
+        self.per_bank: Dict[int, int] = {}
+        self.pair_counts: Dict[Pair, int] = {}
+        self.cycle_histogram: Dict[int, int] = {}
+        self.total_cycles = 0
+        self.iterations = 0
+        #: Per-bank conflict counts read back from the hardware model's own
+        #: arbitration counters (set by the simulator after the sweep).
+        self.observed_bank_conflicts: Optional[Dict[int, int]] = None
+
+    def record_iteration(
+        self,
+        offsets: Sequence[Element],
+        banks: Sequence[int],
+        cycles: int,
+    ) -> None:
+        """Attribute one iteration: pattern offsets, their banks, its cycles."""
+        if len(offsets) != len(banks):
+            raise ValueError(
+                f"{len(offsets)} offsets vs {len(banks)} bank indices"
+            )
+        self.iterations += 1
+        self.total_cycles += cycles
+        self.cycle_histogram[cycles] = self.cycle_histogram.get(cycles, 0) + 1
+
+        groups: Dict[int, List[Element]] = {}
+        for offset, bank in zip(offsets, banks):
+            groups.setdefault(bank, []).append(tuple(offset))
+        for bank, members in groups.items():
+            lost = failed_claims(len(members), self.ports_per_bank)
+            if not lost:
+                continue
+            self.per_bank[bank] = self.per_bank.get(bank, 0) + lost
+            members.sort()
+            for i in range(len(members) - 1):
+                for j in range(i + 1, len(members)):
+                    pair = (members[i], members[j])
+                    self.pair_counts[pair] = self.pair_counts.get(pair, 0) + 1
+
+    # -- consistency -------------------------------------------------------
+
+    @property
+    def total_conflicts(self) -> int:
+        """Failed port claims across all banks."""
+        return sum(self.per_bank.values())
+
+    def verify_consistent(self) -> bool:
+        """Attributed per-bank counts match the hardware's own counters.
+
+        Only meaningful after the simulator stored the observed counts;
+        returns True (vacuously) when it has not.
+        """
+        if self.observed_bank_conflicts is None:
+            return True
+        observed = {
+            b: c for b, c in self.observed_bank_conflicts.items() if c
+        }
+        return observed == self.per_bank
+
+    def hottest_pairs(self, limit: int = 10) -> List[Tuple[Pair, int]]:
+        """The ``limit`` most conflict-prone pattern-offset pairs."""
+        ranked = sorted(
+            self.pair_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:limit]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (tuple keys flattened to strings)."""
+        return {
+            "ports_per_bank": self.ports_per_bank,
+            "iterations": self.iterations,
+            "total_cycles": self.total_cycles,
+            "total_conflicts": self.total_conflicts,
+            "per_bank": {str(b): c for b, c in sorted(self.per_bank.items())},
+            "cycle_histogram": {
+                str(c): n for c, n in sorted(self.cycle_histogram.items())
+            },
+            "pairs": [
+                {"a": list(a), "b": list(b), "conflicts": count}
+                for (a, b), count in self.hottest_pairs(limit=len(self.pair_counts))
+            ],
+        }

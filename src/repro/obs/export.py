@@ -1,0 +1,98 @@
+"""Exporters: JSON-lines span events, JSON/CSV metric snapshots.
+
+Three formats, one schema:
+
+* ``*.jsonl`` — one JSON object per line, each a finished span event
+  (streamable; what a trace viewer or ``jq`` pipeline consumes).
+* ``*.json``  — a single document with top-level keys ``schema``,
+  ``counters``, ``gauges``, ``histograms``, ``spans`` (plus any harness
+  extras, e.g. a ``conflicts`` table).  This is the ``--emit-metrics``
+  artifact CI diffs between runs.
+* ``*.csv``   — the flat ``kind,name,field,value`` projection of the same
+  snapshot for spreadsheet users.
+
+Everything here is pure stdlib (``json``/``io``) so the exporters work in
+the most minimal environment the package supports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from .conflicts import ConflictTable
+from .metrics import MetricsRegistry, registry as _global_registry
+from .tracer import SpanRecord, Tracer, tracer as _global_tracer
+
+#: Version tag for the metrics-document layout.
+SCHEMA = "repro.obs/v1"
+
+
+def spans_to_jsonl(records: Sequence[SpanRecord]) -> str:
+    """Render finished spans as a JSON-lines event stream."""
+    return "\n".join(json.dumps(r.to_dict(), sort_keys=True) for r in records)
+
+
+def write_spans_jsonl(path: str, trace: Tracer | None = None) -> None:
+    """Write the tracer's finished spans to ``path`` as JSON lines."""
+    records = (trace or _global_tracer()).records()
+    with open(path, "w") as handle:
+        text = spans_to_jsonl(records)
+        handle.write(text + ("\n" if text else ""))
+
+
+def metrics_document(
+    metrics: MetricsRegistry | None = None,
+    trace: Tracer | None = None,
+    conflicts: ConflictTable | None = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the single-document snapshot shared by JSON export and CI."""
+    snapshot = (metrics or _global_registry()).snapshot()
+    document: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "spans": [r.to_dict() for r in (trace or _global_tracer()).records()],
+    }
+    if conflicts is not None:
+        document["conflicts"] = conflicts.to_dict()
+    if extra:
+        document.update(extra)
+    return document
+
+
+def write_metrics_json(
+    path: str,
+    metrics: MetricsRegistry | None = None,
+    trace: Tracer | None = None,
+    conflicts: ConflictTable | None = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the snapshot document to ``path``; returns what was written."""
+    document = metrics_document(metrics, trace, conflicts, extra)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def metrics_to_csv(metrics: MetricsRegistry | None = None) -> str:
+    """Flatten a registry snapshot to ``kind,name,field,value`` rows."""
+    snapshot = (metrics or _global_registry()).snapshot()
+    rows: List[str] = ["kind,name,field,value"]
+    for name, value in snapshot["counters"].items():
+        rows.append(f"counter,{name},value,{value}")
+    for name, value in snapshot["gauges"].items():
+        rows.append(f"gauge,{name},value,{value}")
+    for name, summary in snapshot["histograms"].items():
+        for fld, value in summary.items():
+            rows.append(f"histogram,{name},{fld},{value}")
+    return "\n".join(rows)
+
+
+def write_metrics_csv(path: str, metrics: MetricsRegistry | None = None) -> None:
+    """Write the flat CSV projection of the registry to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(metrics_to_csv(metrics) + "\n")

@@ -1,0 +1,197 @@
+"""Metrics registry: counters, gauges, and histograms with percentiles.
+
+Where the tracer answers "where did the time go", the registry answers
+"how much of everything happened": solver op counts, per-bank conflict
+tallies, per-iteration cycle distributions, Table 1 numbers.  Three metric
+kinds cover every consumer in the repo:
+
+* :class:`Counter` — monotonically increasing totals (op counts, conflicts).
+* :class:`Gauge` — last-value-wins observations (bank counts, improvements).
+* :class:`Histogram` — full distributions with ``p50``/``p95``/``max``
+  (cycles per iteration, solve times).
+
+The registry *absorbs* the existing :class:`~repro.core.opcount.OpCounter`
+protocol two ways: :meth:`MetricsRegistry.absorb_ops` merges a finished
+counter's snapshot under a name prefix, and :meth:`MetricsRegistry.op_counter`
+hands out a live :class:`TrackedOpCounter` that mirrors every charge into
+registry counters while still satisfying every ``ops=`` parameter in the
+solver APIs.
+
+Unlike spans, registry operations are not gated on ``REPRO_OBS``: harnesses
+that route their printed numbers through the registry (Table 1, the case
+study) always populate it, so an ``--emit-metrics`` file carries the same
+values the terminal shows.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from ..core.opcount import OpCounter
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got increment {n}")
+        self.value += n
+
+
+class Gauge:
+    """A last-value-wins observation."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A value distribution summarized as count/sum/p50/p95/max."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def observe(self, value: float, n: int = 1) -> None:
+        """Record ``value`` ``n`` times (``n`` collapses histogram merges)."""
+        if n < 1:
+            raise ValueError(f"observation multiplicity must be >= 1, got {n}")
+        self._values.extend([float(value)] * n)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self._values)
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil(n * p / 100)
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The exported shape: count, sum, mean, p50, p95, max."""
+        count = self.count
+        return {
+            "count": count,
+            "sum": self.sum,
+            "mean": (self.sum / count) if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe, name-keyed home for all three metric kinds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    # -- OpCounter integration -------------------------------------------
+
+    def absorb_ops(self, prefix: str, ops: OpCounter) -> None:
+        """Merge a finished op counter under ``prefix`` (one counter per
+        category plus ``<prefix>.total``)."""
+        snapshot = ops.snapshot()
+        for category, n in snapshot.items():
+            self.counter(f"{prefix}.{category}").inc(n)
+        self.counter(f"{prefix}.total").inc(sum(snapshot.values()))
+
+    def op_counter(self, prefix: str) -> "TrackedOpCounter":
+        """A live op counter mirroring every charge into this registry."""
+        return TrackedOpCounter(self, prefix)
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat JSON-friendly view of everything recorded so far."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: h.summary() for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class TrackedOpCounter(OpCounter):
+    """An :class:`OpCounter` whose charges also feed a metrics registry.
+
+    Drop-in for any ``ops=`` parameter: algorithm code keeps calling
+    ``ops.add()`` / ``ops.mod(n)`` and both the local snapshot *and* the
+    registry's ``<prefix>.<category>`` counters advance.
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        super().__init__()
+        self._registry = registry
+        self._prefix = prefix
+
+    def charge(self, category: str, n: int = 1) -> None:
+        super().charge(category, n)
+        self._registry.counter(f"{self._prefix}.{category}").inc(n)
+        self._registry.counter(f"{self._prefix}.total").inc(n)
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY

@@ -1,0 +1,104 @@
+"""Human-readable telemetry reports (span trees, conflict tables).
+
+Rendering follows the same conventions as :mod:`repro.viz.ascii_art`
+(``█``-bar charts, fixed-width label columns) but lives here so the obs
+package stays importable without the viz/numpy stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .conflicts import ConflictTable
+from .tracer import SpanRecord
+
+
+def render_span_tree(records: Sequence[SpanRecord], width: int = 44) -> str:
+    """Tree view of finished spans: name, wall-clock, op delta, attrs.
+
+    Roots appear in start order; children nest under their parent with
+    box-drawing guides.  ``width`` fixes the label column so durations
+    align into a scannable column.
+    """
+    if not records:
+        return "(no spans recorded — is observability enabled?)"
+    by_parent: Dict[Optional[int], List[SpanRecord]] = {}
+    for record in records:
+        by_parent.setdefault(record.parent_id, []).append(record)
+    for children in by_parent.values():
+        children.sort(key=lambda r: r.start)
+
+    lines: List[str] = []
+
+    def visit(record: SpanRecord, prefix: str, tail: bool, root: bool) -> None:
+        connector = "" if root else ("└─ " if tail else "├─ ")
+        label = prefix + connector + record.name
+        detail = f"{record.duration_ms:10.3f} ms"
+        if record.ops:
+            detail += f"  ops={record.ops}"
+        for key, value in record.attrs.items():
+            detail += f"  {key}={value}"
+        lines.append(f"{label:<{width}}{detail}")
+        children = by_parent.get(record.span_id, [])
+        child_prefix = prefix if root else prefix + ("   " if tail else "│  ")
+        for i, child in enumerate(children):
+            visit(child, child_prefix, i == len(children) - 1, root=False)
+
+    for i, root in enumerate(by_parent.get(None, [])):
+        visit(root, "", tail=i == len(by_parent.get(None, [])) - 1, root=True)
+    return "\n".join(lines)
+
+
+def render_conflict_report(
+    table: ConflictTable, n_banks: int | None = None, width: int = 40
+) -> str:
+    """Per-bank conflict heatmap plus the hottest offending offset pairs.
+
+    ``n_banks`` pads the bank axis so conflict-free banks still show a
+    (zero) row — the absence of conflicts is information too.
+    """
+    banks = sorted(table.per_bank)
+    top = (max(banks) + 1) if banks else 0
+    if n_banks is not None:
+        top = max(top, n_banks)
+    peak = max(table.per_bank.values(), default=0)
+
+    lines: List[str] = [
+        f"bank conflicts ({table.iterations} iterations, "
+        f"{table.ports_per_bank} port(s)/bank, "
+        f"{table.total_conflicts} failed claims)"
+    ]
+    for bank in range(top):
+        count = table.per_bank.get(bank, 0)
+        filled = round(count / peak * width) if peak else 0
+        bar = "█" * filled
+        lines.append(f"  bank {bank:3d} |{bar:<{width}}| {count}")
+
+    pairs = table.hottest_pairs()
+    if pairs:
+        lines.append("hottest pattern-offset pairs:")
+        for (a, b), count in pairs:
+            lines.append(f"  {a} <-> {b}: {count} conflicting iteration(s)")
+    else:
+        lines.append("no conflicting pairs: the sweep was fully parallel")
+
+    check = table.verify_consistent()
+    if table.observed_bank_conflicts is not None:
+        lines.append(
+            "attribution vs hardware counters: "
+            + ("consistent" if check else "MISMATCH")
+        )
+    return "\n".join(lines)
+
+
+def render_cycle_histogram(histogram: Dict[int, int], width: int = 40) -> str:
+    """Bar view of cycles-per-iteration counts (1 cycle = conflict-free)."""
+    if not histogram:
+        return "(empty histogram)"
+    peak = max(histogram.values())
+    lines = []
+    for cycles in sorted(histogram):
+        count = histogram[cycles]
+        filled = round(count / peak * width) if peak else 0
+        lines.append(f"  {cycles} cycle(s) |{'█' * filled:<{width}}| {count}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""The global observability switch.
+
+Telemetry must be free when nobody is looking: every instrumented hot path
+(the solver's N-selection loop, the simulator's sweep) guards its span and
+counter work behind :func:`enabled`, which is a single module-level boolean
+read.  The switch starts from the ``REPRO_OBS`` environment variable
+(``1``/``true``/``yes``/``on`` enable it) and can be flipped at runtime via
+:func:`enable` / :func:`disable` — e.g. ``repro-profile`` enables it for the
+duration of the run regardless of the environment.
+"""
+
+from __future__ import annotations
+
+import os
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def _from_env() -> bool:
+    return os.environ.get("REPRO_OBS", "").strip().lower() not in _FALSY
+
+
+_enabled: bool = _from_env()
+
+
+def enabled() -> bool:
+    """True when spans and sim-side attribution should be recorded."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn observability on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn observability off (instrumented paths revert to no-ops)."""
+    global _enabled
+    _enabled = False
+
+
+def reset_from_env() -> None:
+    """Re-read ``REPRO_OBS`` (used by tests to restore a known state)."""
+    global _enabled
+    _enabled = _from_env()

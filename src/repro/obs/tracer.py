@@ -1,0 +1,235 @@
+"""Span-based tracing: where the wall-clock time and operations go.
+
+A *span* is a named interval of work.  Spans nest (per thread) to form a
+tree — ``solve.partition`` contains ``solve.transform``, ``solve.qset_build``
+and ``solve.select_n`` — and each records wall-clock duration, an optional
+arithmetic-op delta (when an :class:`~repro.core.opcount.OpCounter` is
+attached), and free-form attributes.
+
+The public entry point is :func:`span`:
+
+>>> from repro.obs import enable, span, tracer
+>>> enable()
+>>> with span("demo.outer"):
+...     with span("demo.inner", items=3):
+...         pass
+>>> [r.name for r in tracer().records()]
+['demo.inner', 'demo.outer']
+
+When observability is disabled (the default unless ``REPRO_OBS`` is set),
+``span()`` returns a shared inert object: no allocation, no clock read, no
+lock — instrumented hot paths stay as fast as uninstrumented ones.
+
+Finished spans land in a process-wide, thread-safe registry ordered by
+completion time (children before parents, as usual for trace data); the
+per-thread nesting stack lives in thread-local storage so concurrent
+solves produce correctly-parented trees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.opcount import OpCounter
+from . import state
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    span_id / parent_id:
+        Tree structure; ``parent_id`` is None for roots.
+    name:
+        Dotted span name, e.g. ``"solve.select_n"``.
+    start:
+        ``time.perf_counter()`` at entry (process-relative seconds).
+    duration_ms:
+        Wall-clock milliseconds between entry and exit.
+    ops:
+        Arithmetic operations charged to the attached counter while the
+        span was open (0 when no counter was attached).
+    thread_id:
+        ``threading.get_ident()`` of the recording thread.
+    attrs:
+        Free-form annotations supplied at creation or via ``annotate``.
+    """
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    duration_ms: float
+    ops: int = 0
+    thread_id: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly event (attrs coerced to strings where needed)."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration_ms": self.duration_ms,
+            "ops": self.ops,
+            "thread_id": self.thread_id,
+            "attrs": {
+                k: (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
+                for k, v in self.attrs.items()
+            },
+        }
+
+
+class Tracer:
+    """Thread-safe registry of finished spans plus per-thread nesting."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: List[SpanRecord] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- nesting ----------------------------------------------------------
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current_parent(self) -> Optional[int]:
+        """Span id the next span would nest under (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def pop(self, span_id: int) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span_id:
+            stack.pop()
+
+    # -- registry ---------------------------------------------------------
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        """Finished spans in completion order (a snapshot copy)."""
+        with self._lock:
+            return list(self._records)
+
+    def reset(self) -> None:
+        """Drop all finished spans (nesting stacks are left alone)."""
+        with self._lock:
+            self._records.clear()
+
+
+class _NullSpan:
+    """Shared inert span used whenever observability is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live (open) span; use as a context manager."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_ops", "_ops_base", "_id", "_parent", "_start")
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        ops: Optional[OpCounter],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._ops = ops
+        self._ops_base = 0
+        self._id = tracer.next_id()
+        self._parent: Optional[int] = None
+        self._start = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach extra attributes to the span while it is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._parent = self._tracer.current_parent()
+        self._tracer.push(self._id)
+        if self._ops is not None:
+            self._ops_base = self._ops.total
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        self._tracer.pop(self._id)
+        ops_delta = (self._ops.total - self._ops_base) if self._ops is not None else 0
+        self._tracer.record(
+            SpanRecord(
+                span_id=self._id,
+                parent_id=self._parent,
+                name=self._name,
+                start=self._start,
+                duration_ms=(end - self._start) * 1000.0,
+                ops=ops_delta,
+                thread_id=threading.get_ident(),
+                attrs=self._attrs,
+            )
+        )
+        return False
+
+
+_TRACER = Tracer()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def span(name: str, ops: OpCounter | None = None, **attrs: Any):
+    """Open a span named ``name`` (a no-op object when obs is disabled).
+
+    Parameters
+    ----------
+    name:
+        Dotted span name; conventions in ``docs/OBSERVABILITY.md``.
+    ops:
+        Optional op counter whose ``total`` delta across the span is
+        captured into the record's ``ops`` field.
+    attrs:
+        Initial annotations (kept JSON-friendly by the exporter).
+    """
+    if not state.enabled():
+        return NULL_SPAN
+    return Span(_TRACER, name, ops, dict(attrs))

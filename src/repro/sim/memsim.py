@@ -6,12 +6,19 @@ parallel read actually took given port arbitration.  This closes the loop
 between the analytic ``δP`` (Definition 4) and observable hardware behaviour
 — every benchmark's headline claim ("one cycle per iteration") is validated
 here rather than assumed.
+
+Telemetry: with observability on (``REPRO_OBS=1`` or ``repro.obs.enable()``)
+the sweep records spans (``sim.simulate_sweep`` → load / trace / loop), a
+``sim.cycles_per_iteration`` histogram and per-bank conflict counters in the
+global registry, and — always, when the caller passes a
+:class:`~repro.obs.conflicts.ConflictTable` — full conflict attribution
+down to the pattern-offset pairs responsible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -19,6 +26,10 @@ from ..core.mapping import BankMapping
 from ..core.partition import PartitionSolution
 from ..errors import SimulationError
 from ..hw.banked_memory import BankedMemory
+from ..obs import state as obs_state
+from ..obs.conflicts import ConflictTable
+from ..obs.metrics import registry as obs_registry
+from ..obs.tracer import span
 from .trace import pattern_trace
 
 
@@ -38,6 +49,9 @@ class SimulationReport:
         cycles-per-iteration → iteration count.
     bank_utilization:
         Fraction of each bank's slots holding real data after load.
+    ports_per_bank:
+        Port width the memory was actually simulated with (after any
+        widening demanded by the solution's ``bank_ports``).
     """
 
     iterations: int
@@ -45,6 +59,7 @@ class SimulationReport:
     worst_cycles: int
     cycle_histogram: Dict[int, int]
     bank_utilization: Dict[int, float]
+    ports_per_bank: int = 1
 
     @property
     def measured_ii(self) -> float:
@@ -56,6 +71,39 @@ class SimulationReport:
         """Worst-case extra cycles: the empirical ``δP``."""
         return self.worst_cycles - 1
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly form (dict keys become strings; see ``from_dict``)."""
+        return {
+            "iterations": self.iterations,
+            "total_cycles": self.total_cycles,
+            "worst_cycles": self.worst_cycles,
+            "cycle_histogram": {
+                str(k): v for k, v in sorted(self.cycle_histogram.items())
+            },
+            "bank_utilization": {
+                str(k): v for k, v in sorted(self.bank_utilization.items())
+            },
+            "ports_per_bank": self.ports_per_bank,
+            "measured_ii": self.measured_ii,
+            "measured_delta_ii": self.measured_delta_ii,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimulationReport":
+        """Inverse of :meth:`to_dict` (derived fields are recomputed)."""
+        return cls(
+            iterations=int(payload["iterations"]),
+            total_cycles=int(payload["total_cycles"]),
+            worst_cycles=int(payload["worst_cycles"]),
+            cycle_histogram={
+                int(k): int(v) for k, v in payload["cycle_histogram"].items()
+            },
+            bank_utilization={
+                int(k): float(v) for k, v in payload["bank_utilization"].items()
+            },
+            ports_per_bank=int(payload.get("ports_per_bank", 1)),
+        )
+
 
 def simulate_sweep(
     mapping: BankMapping,
@@ -63,6 +111,8 @@ def simulate_sweep(
     step: int = 1,
     limit: int | None = None,
     ports_per_bank: int = 1,
+    verify: bool = True,
+    conflicts: ConflictTable | None = None,
 ) -> SimulationReport:
     """Sweep the solution's pattern across the array and measure cycles.
 
@@ -76,39 +126,89 @@ def simulate_sweep(
         Domain striding / truncation for large arrays.
     ports_per_bank:
         Bank bandwidth ``B`` (paper default 1).
+    verify:
+        Cross-check every read against the source array (a per-element
+        Python recomputation).  On by default; benchmarks that time the
+        sweep should pass ``verify=False`` so the check does not dominate
+        and distort the telemetry.
+    conflicts:
+        Optional :class:`~repro.obs.conflicts.ConflictTable` to fill with
+        per-bank / per-offset-pair attribution.  Its port width must match
+        the memory's effective width.  When omitted, attribution is still
+        collected (and mirrored into the metrics registry) whenever
+        observability is enabled.
     """
-    memory = BankedMemory(mapping=mapping, ports_per_bank=ports_per_bank)
-    if array is None:
-        array = np.arange(int(np.prod(mapping.shape)), dtype=np.int64).reshape(
-            mapping.shape
-        )
-    memory.load_array(array)
+    with span("sim.simulate_sweep", shape=mapping.shape):
+        memory = BankedMemory(mapping=mapping, ports_per_bank=ports_per_bank)
+        with span("sim.load_array"):
+            if array is None:
+                array = np.arange(
+                    int(np.prod(mapping.shape)), dtype=np.int64
+                ).reshape(mapping.shape)
+            memory.load_array(array)
 
-    solution: PartitionSolution = mapping.solution
-    trace = pattern_trace(solution.pattern, mapping.shape, step=step, limit=limit)
-
-    histogram: Dict[int, int] = {}
-    total = 0
-    worst = 0
-    for iteration in trace:
-        result = memory.parallel_read(list(iteration.reads))
-        expected = [int(array[e]) for e in iteration.reads]
-        if result.values != expected:
-            raise SimulationError(
-                f"data corruption at offset {iteration.offset}: "
-                f"got {result.values}, expected {expected}"
+        solution: PartitionSolution = mapping.solution
+        with span("sim.trace_build"):
+            trace = pattern_trace(
+                solution.pattern, mapping.shape, step=step, limit=limit
             )
-        histogram[result.cycles] = histogram.get(result.cycles, 0) + 1
-        total += result.cycles
-        worst = max(worst, result.cycles)
 
-    return SimulationReport(
-        iterations=len(trace),
-        total_cycles=total,
-        worst_cycles=worst,
-        cycle_histogram=histogram,
-        bank_utilization=memory.utilization(),
-    )
+        attribution = conflicts
+        if attribution is not None and attribution.ports_per_bank != memory.ports_per_bank:
+            raise SimulationError(
+                f"conflict table expects {attribution.ports_per_bank} port(s) "
+                f"but the memory serves {memory.ports_per_bank}"
+            )
+        obs_on = obs_state.enabled()
+        if attribution is None and obs_on:
+            attribution = ConflictTable(memory.ports_per_bank)
+        pattern_offsets = solution.pattern.offsets
+
+        histogram: Dict[int, int] = {}
+        total = 0
+        worst = 0
+        with span("sim.sweep_loop", iterations=len(trace), verify=verify):
+            for iteration in trace:
+                result = memory.parallel_read(list(iteration.reads))
+                if verify:
+                    expected = [int(array[e]) for e in iteration.reads]
+                    if result.values != expected:
+                        raise SimulationError(
+                            f"data corruption at offset {iteration.offset}: "
+                            f"got {result.values}, expected {expected}"
+                        )
+                histogram[result.cycles] = histogram.get(result.cycles, 0) + 1
+                total += result.cycles
+                worst = max(worst, result.cycles)
+                if attribution is not None:
+                    attribution.record_iteration(
+                        pattern_offsets, result.banks_touched, result.cycles
+                    )
+
+        if attribution is not None:
+            attribution.observed_bank_conflicts = memory.conflict_counts()
+        if obs_on:
+            reg = obs_registry()
+            cycles_hist = reg.histogram("sim.cycles_per_iteration")
+            for cycles, count in histogram.items():
+                cycles_hist.observe(cycles, count)
+            for bank, count in memory.conflict_counts().items():
+                if count:
+                    reg.counter(f"sim.bank.{bank}.conflicts").inc(count)
+            for bank, count in memory.access_counts().items():
+                if count:
+                    reg.counter(f"sim.bank.{bank}.accesses").inc(count)
+            reg.counter("sim.iterations").inc(len(trace))
+            reg.counter("sim.total_cycles").inc(total)
+
+        return SimulationReport(
+            iterations=len(trace),
+            total_cycles=total,
+            worst_cycles=worst,
+            cycle_histogram=histogram,
+            bank_utilization=memory.utilization(),
+            ports_per_bank=memory.ports_per_bank,
+        )
 
 
 def simulate_unpartitioned(
@@ -126,6 +226,13 @@ def simulate_unpartitioned(
 
 
 def speedup_vs_unpartitioned(report: SimulationReport, pattern_size: int) -> float:
-    """Measured speedup of the banked memory over a single bank."""
-    baseline = simulate_unpartitioned(pattern_size, report.iterations)
+    """Measured speedup of the banked memory over a single bank.
+
+    The baseline single-bank memory gets the same port width the banked
+    simulation ran with (``report.ports_per_bank``), so dual-port runs are
+    compared against a dual-port monolith — apples to apples.
+    """
+    baseline = simulate_unpartitioned(
+        pattern_size, report.iterations, ports=report.ports_per_bank
+    )
     return baseline / report.total_cycles

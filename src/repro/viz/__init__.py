@@ -2,20 +2,24 @@
 
 from .ascii_art import (
     render_access_heatmap,
-    render_utilization,
+    render_bank_bars,
     render_bank_grid,
     render_bank_layout,
+    render_conflict_heatmap,
     render_conflict_histogram,
     render_pattern,
     render_pattern_3d,
+    render_utilization,
 )
 
 __all__ = [
     "render_access_heatmap",
-    "render_utilization",
+    "render_bank_bars",
     "render_bank_grid",
     "render_bank_layout",
+    "render_conflict_heatmap",
     "render_conflict_histogram",
     "render_pattern",
     "render_pattern_3d",
+    "render_utilization",
 ]

@@ -7,7 +7,7 @@ reproduction is inspectable without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 from ..core.mapping import BankMapping, bank_contents
 from ..core.partition import PartitionSolution
@@ -125,20 +125,46 @@ def render_utilization(utilization: dict, width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def render_bank_bars(
+    counts: Union[Mapping[int, int], Sequence[int]],
+    width: int = 40,
+    label: str = "bank",
+) -> str:
+    """Generic per-bank bar chart shared by the heatmap renderers.
+
+    ``counts`` is either a dense sequence (index = bank) or a sparse
+    mapping (missing banks render as zero rows — the absence of activity
+    on a bank is information too).
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    if isinstance(counts, Mapping):
+        top = (max(counts) + 1) if counts else 0
+        dense = [counts.get(b, 0) for b in range(top)]
+    else:
+        dense = list(counts)
+    peak = max(dense) if dense else 0
+    lines = []
+    for bank, count in enumerate(dense):
+        filled = round(count / peak * width) if peak else 0
+        bar = "█" * filled
+        lines.append(f"{label} {bank:3d} |{bar:<{width}}| {count}")
+    return "\n".join(lines)
+
+
 def render_access_heatmap(
-    access_counts: Sequence[int], width: int = 40
+    access_counts: Union[Mapping[int, int], Sequence[int]], width: int = 40
 ) -> str:
     """Per-bank access-count bars: load balance of a finished simulation.
 
     A perfectly balanced banking shows equal bars; a hot bank (the cause
     of δ(II) > 0) sticks out immediately.
     """
-    if width < 1:
-        raise ValueError(f"width must be positive, got {width}")
-    peak = max(access_counts) if access_counts else 0
-    lines = []
-    for bank, count in enumerate(access_counts):
-        filled = round(count / peak * width) if peak else 0
-        bar = "█" * filled
-        lines.append(f"bank {bank:3d} |{bar:<{width}}| {count}")
-    return "\n".join(lines)
+    return render_bank_bars(access_counts, width=width)
+
+
+def render_conflict_heatmap(
+    conflict_counts: Union[Mapping[int, int], Sequence[int]], width: int = 40
+) -> str:
+    """Per-bank conflict bars from the simulator's arbitration counters."""
+    return render_bank_bars(conflict_counts, width=width)

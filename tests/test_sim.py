@@ -63,6 +63,29 @@ class TestTrace:
         with pytest.raises(SimulationError):
             pattern_trace(se_pattern(), (8, 8), step=0)
 
+    def test_step_and_limit_compose(self):
+        # limit truncates the *strided* domain: the first 5 of the 4x4 grid
+        # of even offsets, in row-major order.
+        trace = pattern_trace(se_pattern(), (10, 10), step=2, limit=5)
+        assert [it.offset for it in trace] == [
+            (0, 0), (0, 2), (0, 4), (0, 6), (2, 0)
+        ]
+
+    def test_limit_beyond_domain_is_harmless(self):
+        dense = pattern_trace(se_pattern(), (10, 10))
+        assert pattern_trace(se_pattern(), (10, 10), limit=10_000) == dense
+
+    def test_step_larger_than_domain(self):
+        # A stride that overshoots every dimension still yields the first
+        # offset of each range: exactly one iteration.
+        trace = pattern_trace(se_pattern(), (10, 10), step=100)
+        assert len(trace) == 1
+        assert trace[0].offset == (0, 0)
+
+    def test_limit_zero_empty_trace_raises(self):
+        with pytest.raises(SimulationError, match="empty trace"):
+            pattern_trace(se_pattern(), (10, 10), limit=0)
+
 
 class TestMemsim:
     def test_unconstrained_is_single_cycle(self):
@@ -100,6 +123,48 @@ class TestMemsim:
         mapping = BankMapping(solution=partition(se_pattern()), shape=(8, 8))
         data = np.full((8, 8), 7, dtype=np.int64)
         report = simulate_sweep(mapping, array=data)
+        assert report.iterations > 0
+
+    def test_speedup_ports_aware(self):
+        # Dual-port banks must be compared against a dual-port monolith:
+        # the baseline serves ceil(13/2) = 7 reads per cycle, not 13.
+        mapping = BankMapping(solution=partition(log_pattern()), shape=(12, 14))
+        report = simulate_sweep(mapping, ports_per_bank=2)
+        assert report.ports_per_bank == 2
+        assert report.measured_ii == 1.0
+        assert speedup_vs_unpartitioned(report, 13) == pytest.approx(7.0)
+
+    def test_report_roundtrip(self):
+        import json
+
+        solution = partition(log_pattern(), n_max=10)
+        mapping = BankMapping(solution=solution, shape=(12, 21))
+        report = simulate_sweep(mapping)
+        payload = report.to_dict()
+        json.dumps(payload)  # must be JSON-friendly as-is
+        restored = type(report).from_dict(payload)
+        assert restored == report
+        assert restored.measured_ii == report.measured_ii
+        assert restored.measured_delta_ii == report.measured_delta_ii
+
+    def test_verify_flag_gates_corruption_check(self):
+        memory_array = np.arange(72, dtype=np.int64).reshape(8, 9)
+
+        class LyingMapping(BankMapping):
+            """Routes one element to the wrong bank slot."""
+
+            def offset_of(self, element, ops=None):
+                offset = super().offset_of(element, ops)
+                if tuple(element) == (4, 4):
+                    return (offset + 1) % self.bank_size(self.bank_of(element))
+                return offset
+
+        lying = LyingMapping(solution=partition(se_pattern()), shape=(8, 9))
+        with pytest.raises(SimulationError):
+            simulate_sweep(lying, array=memory_array)
+        # Opting out of verification trades the safety net for speed: the
+        # same corrupted mapping now completes (with bogus data).
+        report = simulate_sweep(lying, array=memory_array, verify=False)
         assert report.iterations > 0
 
 
