@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench validate table1 casestudy examples all
+.PHONY: install test bench bench-perf validate table1 casestudy examples all
 
 install:
 	python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Implementation-speed trajectory (scalar vs vectorized, cold vs warm
+# cache); writes BENCH_perf.json at the repo root.  Use PRESET=full for
+# the acceptance workload (512x512 stencil).
+bench-perf:
+	PYTHONPATH=src python benchmarks/bench_perf_suite.py --preset $(or $(PRESET),small)
 
 validate:
 	python -m repro.eval.validation --quick

@@ -23,3 +23,27 @@ def emit(*lines: str) -> None:
     """Print benchmark report rows (visible with pytest -s)."""
     for line in lines:
         print(line)
+
+
+def bench_jobs() -> int | None:
+    """Worker count for parallel-capable benches (``REPRO_BENCH_JOBS``).
+
+    Defaults to serial so timing benches stay comparable run to run; CI
+    sets it to spread Table-1-style regenerations across cores.
+    """
+    import os
+
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    return int(raw) if raw else None
+
+
+def time_call(fn, *args, repeat: int = 3, **kwargs) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn(*args, **kwargs)``."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best

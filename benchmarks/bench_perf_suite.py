@@ -1,0 +1,193 @@
+"""Performance trajectory suite: time the hot paths, write ``BENCH_perf.json``.
+
+Unlike the ``bench_*`` pytest benches (which regenerate *paper numbers*),
+this suite tracks the *implementation's* speed across PRs: solver, sweep,
+and simulator timings for scalar vs vectorized engines and cold vs warm
+cache, written as one JSON document at the repo root so CI can archive the
+trajectory.
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --preset small
+    PYTHONPATH=src python benchmarks/bench_perf_suite.py --preset full
+
+The ``full`` preset includes the acceptance workload: a 512×512 image
+swept by the 3×3 stencil, where the vectorized engine must beat the scalar
+reference by ≥ 10× while producing a bit-identical report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import partition, same_size_sweep, solve, solve_cache
+from repro.core.mapping import BankMapping
+from repro.core.pattern import Pattern
+from repro.patterns.generators import rectangle
+from repro.patterns.library import log_pattern, median_pattern
+from repro.sim import simulate_sweep
+
+#: (name, pattern factory, simulation shape) per preset.
+PRESETS: Dict[str, List[Any]] = {
+    "small": [
+        ("stencil3x3_64", lambda: rectangle((3, 3), name="avg3x3"), (64, 64)),
+        ("log_48", log_pattern, (48, 48)),
+    ],
+    "full": [
+        ("stencil3x3_512", lambda: rectangle((3, 3), name="avg3x3"), (512, 512)),
+        ("log_256", log_pattern, (256, 256)),
+        ("median_256", median_pattern, (256, 256)),
+    ],
+}
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _bench_simulate(
+    name: str, pattern: Pattern, shape: Sequence[int], repeat: int
+) -> Dict[str, Any]:
+    solution = partition(pattern, cache=False)
+    mapping = BankMapping(solution=solution, shape=tuple(shape))
+    # verify=False for the timing runs: the scalar verify path re-derives
+    # every element in Python and would otherwise dominate both engines.
+    scalar_s = _best_of(
+        lambda: simulate_sweep(mapping, verify=False, engine="scalar"), repeat
+    )
+    vector_s = _best_of(
+        lambda: simulate_sweep(mapping, verify=False, engine="vectorized"), repeat
+    )
+    scalar_report = simulate_sweep(mapping, verify=False, engine="scalar")
+    vector_report = simulate_sweep(mapping, verify=False, engine="vectorized")
+    return {
+        "workload": name,
+        "shape": list(shape),
+        "pattern_elements": pattern.size,
+        "iterations": scalar_report.iterations,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "reports_identical": scalar_report == vector_report,
+    }
+
+
+def _bench_solve(name: str, pattern: Pattern, repeat: int) -> Dict[str, Any]:
+    solve_cache.clear()
+    cold_s = _best_of(lambda: solve(pattern, n_max=8, cache=False), repeat)
+    solve_cache.clear()
+    solve(pattern, n_max=8)  # prime
+    warm_s = _best_of(lambda: solve(pattern, n_max=8), repeat)
+    cache = solve_cache.cache()
+    return {
+        "workload": name,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s else float("inf"),
+        "cache_hits": cache.hits,
+        "cache_misses": cache.misses,
+    }
+
+
+def _bench_sweep(name: str, pattern: Pattern, n_max: int, repeat: int) -> Dict[str, Any]:
+    scalar_s = _best_of(
+        lambda: same_size_sweep(pattern, n_max, engine="scalar"), repeat
+    )
+    vector_s = _best_of(
+        lambda: same_size_sweep(pattern, n_max, engine="vectorized"), repeat
+    )
+    identical = same_size_sweep(pattern, n_max, engine="scalar") == same_size_sweep(
+        pattern, n_max, engine="vectorized"
+    )
+    return {
+        "workload": name,
+        "n_max": n_max,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "results_identical": identical,
+    }
+
+
+def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
+    """Execute every bench in ``preset`` and return the JSON document."""
+    workloads = PRESETS[preset]
+    doc: Dict[str, Any] = {
+        "preset": preset,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "simulate": [],
+        "solve": [],
+        "sweep": [],
+    }
+    for name, factory, shape in workloads:
+        pattern = factory()
+        doc["simulate"].append(_bench_simulate(name, pattern, shape, repeat))
+        doc["solve"].append(_bench_solve(name, pattern, repeat))
+        doc["sweep"].append(
+            _bench_sweep(name, pattern, n_max=max(64, 4 * pattern.size), repeat=repeat)
+        )
+    return doc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time solve/sweep/simulate hot paths; write BENCH_perf.json."
+    )
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="small", help="workload size"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="best-of repetitions per timing"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_perf.json"),
+        help="output path (default: BENCH_perf.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    doc = run_suite(args.preset, repeat=args.repeat)
+    Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+
+    for row in doc["simulate"]:
+        print(
+            f"simulate {row['workload']}: scalar {row['scalar_s']:.3f}s, "
+            f"vectorized {row['vectorized_s']:.3f}s "
+            f"({row['speedup']:.1f}x, identical={row['reports_identical']})"
+        )
+    for row in doc["solve"]:
+        print(
+            f"solve {row['workload']}: cold {row['cold_s'] * 1e3:.2f}ms, "
+            f"warm {row['warm_s'] * 1e6:.1f}us ({row['speedup']:.0f}x)"
+        )
+    for row in doc["sweep"]:
+        print(
+            f"sweep {row['workload']} (n_max={row['n_max']}): "
+            f"scalar {row['scalar_s'] * 1e3:.2f}ms, "
+            f"vectorized {row['vectorized_s'] * 1e3:.2f}ms ({row['speedup']:.1f}x)"
+        )
+    print(f"written: {args.output}")
+
+    ok = all(r["reports_identical"] for r in doc["simulate"]) and all(
+        r["results_identical"] for r in doc["sweep"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ Public surface:
 * :class:`~repro.core.opcount.OpCounter` — arithmetic-op instrumentation.
 """
 
+from . import cache as solve_cache
 from .analysis import (
     GapSurvey,
     bounding_box_bound,
@@ -40,8 +41,10 @@ from .mapping import (
     max_overhead_elements,
     ours_overhead_elements,
 )
+from .cache import SolveCache
 from .opcount import NULL_COUNTER, OpCounter, counting
 from .partition import (
+    SWEEP_ENGINES,
     PartitionSolution,
     SweepResult,
     fast_nc,
@@ -64,6 +67,9 @@ from .transform import (
 )
 
 __all__ = [
+    "SolveCache",
+    "solve_cache",
+    "SWEEP_ENGINES",
     "GapSurvey",
     "bounding_box_bound",
     "exhaustive_min_banks",

@@ -1,0 +1,147 @@
+"""Canonical solve cache: never re-solve a translated copy of a pattern.
+
+Sweeps over resolutions, unroll factors, or bank budgets call the solver
+over and over with patterns that differ only by translation — and Theorem
+1's proof removes the common ``α·s`` term, so the *solution* (transform,
+bank count, ``δP``, scheme) is identical for every translate.  This module
+memoizes :func:`repro.core.solver.solve` and
+:func:`repro.core.partition.partition` on the translation-normalized
+pattern plus every argument that can change the answer:
+
+* ``solve`` key — normalized offsets, the array's innermost extent (the
+  only shape component the solution can depend on, via
+  ``Objective.STORAGE``'s divisor set), ``n_max``, the objective, and
+  ``delta_max``.
+* ``partition`` key — normalized offsets, ``n_max``, ``same_size``.
+
+Only the :class:`~repro.core.partition.PartitionSolution` is stored; a hit
+re-attaches the caller's own pattern (``dataclasses.replace``) and the
+caller rebuilds any shape-specific mapping/overhead, which is cheap
+arithmetic.  Calls carrying an :class:`~repro.core.opcount.OpCounter`
+bypass the cache entirely — an op count answered from memory would falsify
+the paper's hardware-cost comparison.
+
+Hits and misses are mirrored into the :mod:`repro.obs` metrics registry as
+``solve.cache.hits`` / ``solve.cache.misses`` (visible via
+``--emit-metrics``).  Escape hatches: per call ``solve(..., cache=False)``
+or globally ``REPRO_SOLVE_CACHE=0``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from ..obs.metrics import registry as obs_registry
+from .partition import PartitionSolution
+from .pattern import Pattern
+
+_FALSY = ("", "0", "false", "no", "off")
+
+#: Default number of cached solutions; old entries evict LRU-first.
+DEFAULT_MAXSIZE = 1024
+
+
+def enabled() -> bool:
+    """Whether the process-wide cache is on (``REPRO_SOLVE_CACHE``, default on).
+
+    Read from the environment on every call so tests and CLI wrappers can
+    flip it without touching module state.
+    """
+    return os.environ.get("REPRO_SOLVE_CACHE", "1").strip().lower() not in _FALSY
+
+
+class SolveCache:
+    """A small thread-safe LRU of canonical partitioning solutions."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, PartitionSolution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, pattern: Pattern) -> Optional[PartitionSolution]:
+        """Look up a solution and re-attach the caller's pattern on a hit."""
+        with self._lock:
+            solution = self._entries.get(key)
+            if solution is None:
+                self.misses += 1
+                obs_registry().counter("solve.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            obs_registry().counter("solve.cache.hits").inc()
+        if solution.pattern == pattern:
+            return solution
+        return dataclasses.replace(solution, pattern=pattern)
+
+    def put(self, key: Hashable, solution: PartitionSolution) -> None:
+        with self._lock:
+            self._entries[key] = solution
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+
+_cache = SolveCache()
+
+
+def cache() -> SolveCache:
+    """The process-wide cache instance."""
+    return _cache
+
+
+def clear() -> None:
+    """Drop all cached solutions and reset the local hit/miss tallies."""
+    _cache.clear()
+
+
+def _normalized_offsets(pattern: Pattern) -> Tuple[Tuple[int, ...], ...]:
+    return pattern.normalized().offsets
+
+
+def solve_key(
+    pattern: Pattern,
+    shape: Optional[Tuple[int, ...]],
+    n_max: Optional[int],
+    objective_value: str,
+    delta_max: int,
+) -> Hashable:
+    """Cache key for :func:`repro.core.solver.solve`.
+
+    Only the innermost extent enters the key: it is the single shape
+    component that can steer the solution (``Objective.STORAGE`` candidates
+    are divisors of ``w[-1]``); everything else about the shape only
+    affects the mapping, which is rebuilt per call.
+    """
+    tail = int(shape[-1]) if shape else None
+    return (
+        "solve",
+        _normalized_offsets(pattern),
+        tail,
+        n_max,
+        objective_value,
+        delta_max,
+    )
+
+
+def partition_key(
+    pattern: Pattern, n_max: Optional[int], same_size: bool
+) -> Hashable:
+    """Cache key for :func:`repro.core.partition.partition`."""
+    return ("partition", _normalized_offsets(pattern), n_max, bool(same_size))

@@ -23,11 +23,16 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import PartitioningError
 from ..obs.tracer import span
 from .opcount import OpCounter, resolve
 from .pattern import Pattern
 from .transform import LinearTransform, derive_alpha
+
+#: Engine names accepted by :func:`same_size_sweep`.
+SWEEP_ENGINES = ("auto", "scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -249,11 +254,66 @@ def mode_count(values: Sequence[int], ops: OpCounter | None = None) -> int:
     return max(histogram.values())
 
 
+def _sweep_conflicts_scalar(
+    z_values: Sequence[int],
+    n_max: int,
+    counter: OpCounter,
+    ops: OpCounter | None,
+) -> List[Optional[int]]:
+    """Reference per-N loop: one pass over the ``z`` values per candidate."""
+    conflicts: List[Optional[int]] = [None]
+    for n in range(1, n_max + 1):
+        counter.mod(len(z_values))
+        residues = [z % n for z in z_values]
+        conflicts.append(mode_count(residues, ops))
+    return conflicts
+
+
+def _sweep_conflicts_vectorized(
+    z_values: Sequence[int], n_max: int, counter: OpCounter
+) -> List[Optional[int]]:
+    """All candidate N in one broadcasted pass.
+
+    ``residues[i, j] = z_j % n_i`` lives in ``[0, n_max)``, so one
+    ``bincount`` over ``row · n_max + residue`` keys yields every per-N
+    residue histogram at once; the mode (conflict count) is a row max and
+    the distinct-residue count (what :func:`mode_count` charges as a
+    compare) is a row nonzero count.  The hardware-cost model must not
+    notice the execution strategy, so the charges mirror the scalar loop
+    exactly: ``mod(m)`` + ``compare(distinct)`` per candidate.
+
+    Candidate blocks are bounded by the bulk chunk budget so the
+    ``(block, m)`` residue matrix never blows up for extreme ``n_max``.
+    """
+    from .vectorized import chunk_budget  # local: avoids an import cycle
+
+    z = np.asarray(z_values, dtype=np.int64)
+    m = len(z_values)
+    conflicts: List[Optional[int]] = [None]
+    block = max(1, chunk_budget() // max(m, 1))
+    for lo in range(1, n_max + 1, block):
+        hi = min(lo + block - 1, n_max)
+        ns = np.arange(lo, hi + 1, dtype=np.int64)
+        rows = len(ns)
+        residues = z[None, :] % ns[:, None]
+        keys = np.repeat(np.arange(rows, dtype=np.int64), m) * n_max
+        keys += residues.reshape(-1)
+        counts = np.bincount(keys, minlength=rows * n_max).reshape(rows, n_max)
+        modes = counts.max(axis=1)
+        distinct = (counts > 0).sum(axis=1)
+        for i in range(rows):
+            counter.mod(m)
+            counter.compare(int(distinct[i]))
+            conflicts.append(int(modes[i]))
+    return conflicts
+
+
 def same_size_sweep(
     pattern: Pattern,
     n_max: int,
     transform: LinearTransform | None = None,
     ops: OpCounter | None = None,
+    engine: str = "auto",
 ) -> SweepResult:
     """Evaluate ``δP|N + 1`` for every ``N = 1 … N_max`` and pick the best.
 
@@ -262,20 +322,28 @@ def same_size_sweep(
     conflict count is computed — the mode count of ``{(α·Δ^(i)) % N}``
     equals the mode count at any loop offset, so a single evaluation per
     ``N`` suffices (this offset-invariance is property-tested).
+
+    ``engine`` selects the execution strategy: ``"vectorized"`` (the
+    ``"auto"`` default) evaluates all candidates in one broadcasted NumPy
+    pass, ``"scalar"`` keeps the reference per-N loop.  Results and op
+    charges are identical (property-tested).
     """
     if n_max <= 0:
         raise ValueError(f"n_max must be positive, got {n_max}")
+    if engine not in SWEEP_ENGINES:
+        raise ValueError(
+            f"unknown sweep engine {engine!r}; choose one of {SWEEP_ENGINES}"
+        )
     counter = resolve(ops)
     with span("solve.bank_limit_sweep", ops=counter, n_max=n_max):
         if transform is None:
             transform = derive_alpha(pattern, ops)
         z_values = transform.transform_pattern(pattern, ops)
 
-        conflicts: List[Optional[int]] = [None]
-        for n in range(1, n_max + 1):
-            counter.mod(len(z_values))
-            residues = [z % n for z in z_values]
-            conflicts.append(mode_count(residues, ops))
+        if engine == "scalar" or not z_values:
+            conflicts = _sweep_conflicts_scalar(z_values, n_max, counter, ops)
+        else:
+            conflicts = _sweep_conflicts_vectorized(z_values, n_max, counter)
 
         best = min(c for c in conflicts if c is not None)
         candidates = tuple(n for n in range(1, n_max + 1) if conflicts[n] == best)
@@ -302,6 +370,7 @@ def partition(
     n_max: int | None = None,
     same_size: bool = True,
     ops: OpCounter | None = None,
+    cache: bool = True,
 ) -> PartitionSolution:
     """End-to-end partitioner: the paper's full flow for one pattern.
 
@@ -310,6 +379,11 @@ def partition(
     3. If ``n_max`` is given and ``N_f > n_max``, fall back to either the
        same-size sweep (default; uniform bank sizes, minimal ``δP``) or the
        fast two-level modulo scheme.
+
+    Solutions are memoized on the translation-normalized pattern (see
+    :mod:`repro.core.cache`); pass ``cache=False`` — or set
+    ``REPRO_SOLVE_CACHE=0`` — to force a fresh solve.  Instrumented calls
+    (``ops`` given) always solve fresh so op counts stay honest.
 
     Examples
     --------
@@ -320,13 +394,24 @@ def partition(
     >>> (sol.n_banks, sol.delta_ii)
     (7, 1)
     """
+    from . import cache as solve_cache  # local: cache imports this module
+
+    use_cache = cache and ops is None and solve_cache.enabled()
+    if use_cache:
+        key = solve_cache.partition_key(pattern, n_max, same_size)
+        hit = solve_cache.cache().get(key, pattern)
+        if hit is not None:
+            return hit
     with span(
         "solve.partition",
         ops=resolve(ops),
         pattern=pattern.name or "?",
         n_max=n_max,
     ):
-        return _partition_phases(pattern, n_max, same_size, ops)
+        solution = _partition_phases(pattern, n_max, same_size, ops)
+    if use_cache:
+        solve_cache.cache().put(key, solution)
+    return solution
 
 
 def _partition_phases(

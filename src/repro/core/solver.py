@@ -36,6 +36,7 @@ from typing import Optional, Sequence, Tuple
 
 from ..errors import InfeasibleConstraintError
 from ..obs.tracer import span
+from . import cache as solve_cache
 from .mapping import BankMapping, ours_overhead_elements
 from .opcount import OpCounter, resolve
 from .partition import PartitionSolution, minimize_nf, same_size_sweep
@@ -96,6 +97,22 @@ def _make_solution(
     )
 
 
+def _finish_result(
+    solution: PartitionSolution, shape: Sequence[int] | None
+) -> SolverResult:
+    """Attach the shape-specific consequences (mapping, overhead).
+
+    Cheap arithmetic on top of a solution — this is the part a cache hit
+    still recomputes, since it is the only part that depends on the full
+    shape rather than the canonical pattern.
+    """
+    mapping = BankMapping(solution=solution, shape=tuple(shape)) if shape else None
+    overhead = (
+        ours_overhead_elements(tuple(shape), solution.n_banks) if shape else 0
+    )
+    return SolverResult(solution=solution, mapping=mapping, overhead_elements=overhead)
+
+
 def solve(
     pattern: Pattern,
     shape: Sequence[int] | None = None,
@@ -103,6 +120,7 @@ def solve(
     objective: Objective = Objective.LATENCY,
     delta_max: int = 0,
     ops: OpCounter | None = None,
+    cache: bool = True,
 ) -> SolverResult:
     """Solve Problem 1 for one pattern under the chosen objective order.
 
@@ -121,7 +139,13 @@ def solve(
         Latency budget for :data:`Objective.BANKS`: the largest acceptable
         ``δP``.  Ignored by the other policies.
     ops:
-        Optional arithmetic-op instrumentation.
+        Optional arithmetic-op instrumentation.  Instrumented calls always
+        bypass the cache — a memoized answer would report zero hardware
+        ops and falsify the paper's cost comparison.
+    cache:
+        Look up / store the solution in the canonical solve cache
+        (:mod:`repro.core.cache`).  ``False`` forces a fresh solve;
+        ``REPRO_SOLVE_CACHE=0`` disables caching process-wide.
 
     Raises
     ------
@@ -137,13 +161,28 @@ def solve(
     >>> solve(log_pattern(), n_max=10).solution.n_banks
     7
     """
+    use_cache = cache and ops is None and solve_cache.enabled()
+    if use_cache:
+        key = solve_cache.solve_key(
+            pattern,
+            tuple(shape) if shape else None,
+            n_max,
+            objective.value,
+            delta_max,
+        )
+        hit = solve_cache.cache().get(key, pattern)
+        if hit is not None:
+            return _finish_result(hit, shape)
     with span(
         "solve.solve",
         ops=resolve(ops),
         pattern=pattern.name or "?",
         objective=objective.value,
     ):
-        return _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+        result = _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+    if use_cache:
+        solve_cache.cache().put(key, result.solution)
+    return result
 
 
 def _solve_impl(
@@ -208,11 +247,7 @@ def _solve_impl(
             pattern, transform, chosen, n_f, sweep.conflicts_by_n[chosen] - 1  # type: ignore[operator]
         )
 
-    mapping = BankMapping(solution=solution, shape=tuple(shape)) if shape else None
-    overhead = (
-        ours_overhead_elements(tuple(shape), solution.n_banks) if shape else 0
-    )
-    return SolverResult(solution=solution, mapping=mapping, overhead_elements=overhead)
+    return _finish_result(solution, shape)
 
 
 def solve_joint(
@@ -222,6 +257,7 @@ def solve_joint(
     objective: Objective = Objective.LATENCY,
     delta_max: int = 0,
     ops: OpCounter | None = None,
+    cache: bool = True,
 ) -> SolverResult:
     """Partition one array accessed by *several* patterns simultaneously.
 
@@ -257,4 +293,5 @@ def solve_joint(
         objective=objective,
         delta_max=delta_max,
         ops=ops,
+        cache=cache,
     )

@@ -14,18 +14,94 @@ checkable at runtime via :func:`verify_bulk_matches_scalar`).
 
 from __future__ import annotations
 
-from typing import Tuple
+import os
+from typing import Iterator, Tuple
 
 import numpy as np
 
 from ..errors import MappingError
 from .mapping import BankMapping
 
+#: Default number of coordinate rows materialized per bulk chunk.  A chunk
+#: is a ``(chunk, n)`` int64 block, so the default caps transient memory at
+#: a few megabytes regardless of the array size.  Override per call or via
+#: the ``REPRO_BULK_CHUNK`` environment variable.
+DEFAULT_CHUNK_ELEMENTS = 1 << 18
+
+#: Hard ceiling on a *fully materialized* element grid.  Above this,
+#: :func:`element_grid` refuses and callers must stream chunks via
+#: :func:`iter_element_chunks`.  Override via ``REPRO_BULK_MAX``.
+DEFAULT_MAX_GRID_ELEMENTS = 1 << 26
+
+
+def chunk_budget(chunk: int | None = None) -> int:
+    """Resolve the bulk chunk size: explicit arg > env var > default."""
+    if chunk is not None:
+        if chunk < 1:
+            raise MappingError(f"chunk size must be positive, got {chunk}")
+        return chunk
+    env = os.environ.get("REPRO_BULK_CHUNK", "").strip()
+    if env:
+        value = int(env)
+        if value < 1:
+            raise MappingError(f"REPRO_BULK_CHUNK must be positive, got {value}")
+        return value
+    return DEFAULT_CHUNK_ELEMENTS
+
+
+def _max_grid_elements() -> int:
+    env = os.environ.get("REPRO_BULK_MAX", "").strip()
+    return int(env) if env else DEFAULT_MAX_GRID_ELEMENTS
+
+
+def grid_size(shape: Tuple[int, ...]) -> int:
+    """Number of elements in an array of ``shape``."""
+    total = 1
+    for w in shape:
+        total *= int(w)
+    return total
+
 
 def element_grid(shape: Tuple[int, ...]) -> "np.ndarray":
-    """All element coordinates of an array, shape ``(W, n)`` row-major."""
-    grids = np.indices(shape).reshape(len(shape), -1)
-    return grids.T
+    """All element coordinates of an array, shape ``(W, n)`` row-major.
+
+    Assembled chunk-wise into one preallocated output so the transient
+    footprint stays bounded, and guarded against shapes whose full grid
+    would not fit in memory at all — stream those with
+    :func:`iter_element_chunks` instead.
+    """
+    total = grid_size(shape)
+    cap = _max_grid_elements()
+    if total > cap:
+        raise MappingError(
+            f"element grid of shape {tuple(shape)} has {total} elements, above "
+            f"the materialization cap of {cap}; process it in bounded chunks "
+            "with iter_element_chunks() (or raise REPRO_BULK_MAX)"
+        )
+    out = np.empty((total, len(shape)), dtype=np.int64)
+    for start, block in iter_element_chunks(shape):
+        out[start : start + len(block)] = block
+    return out
+
+
+def iter_element_chunks(
+    shape: Tuple[int, ...], chunk: int | None = None
+) -> Iterator[Tuple[int, "np.ndarray"]]:
+    """Stream the element grid in row-major order, bounded chunks at a time.
+
+    Yields ``(start, block)`` pairs where ``block`` is a ``(k, n)`` int64
+    coordinate array covering linear (row-major) indices
+    ``start … start + k - 1``.  Peak memory is ``O(chunk · n)`` regardless
+    of the array size, which is what makes whole-frame bulk operations safe
+    on shapes whose full grid would exceed memory.
+    """
+    total = grid_size(shape)
+    size = chunk_budget(chunk)
+    dims = tuple(int(w) for w in shape)
+    for start in range(0, total, size):
+        stop = min(start + size, total)
+        linear = np.arange(start, stop, dtype=np.int64)
+        yield start, np.stack(np.unravel_index(linear, dims), axis=1)
 
 
 def bulk_transform(mapping: BankMapping, elements: "np.ndarray") -> "np.ndarray":
@@ -140,16 +216,18 @@ def scatter_to_banks(mapping: BankMapping, array: "np.ndarray") -> list:
         raise MappingError(
             f"array shape {data.shape} does not match mapping shape {mapping.shape}"
         )
-    elements = element_grid(mapping.shape)
-    banks, offsets = bulk_addresses(mapping, elements)
     values = data.reshape(-1)
-    result = []
-    for bank in range(mapping.n_banks):
-        size = mapping.bank_size(bank)
-        storage = np.zeros(size, dtype=values.dtype)
-        mask = banks == bank
-        storage[offsets[mask]] = values[mask]
-        result.append(storage)
+    result = [
+        np.zeros(mapping.bank_size(bank), dtype=values.dtype)
+        for bank in range(mapping.n_banks)
+    ]
+    for start, elements in iter_element_chunks(mapping.shape):
+        banks, offsets = bulk_addresses(mapping, elements)
+        chunk_values = values[start : start + len(elements)]
+        for bank in range(mapping.n_banks):
+            mask = banks == bank
+            if mask.any():
+                result[bank][offsets[mask]] = chunk_values[mask]
     return result
 
 
@@ -165,13 +243,15 @@ def verify_bijective_bulk(mapping: BankMapping) -> bool:
     MappingError
         If any two elements collide (reported as a count).
     """
-    elements = element_grid(mapping.shape)
-    banks, offsets = bulk_addresses(mapping, elements)
     sizes = np.array([mapping.bank_size(b) for b in range(mapping.n_banks)])
-    if (offsets < 0).any() or (offsets >= sizes[banks]).any():
-        raise MappingError("offset outside its bank's allocation")
     stride = int(sizes.max())
-    global_address = banks.astype(np.int64) * stride + offsets
+    pieces = []
+    for _, elements in iter_element_chunks(mapping.shape):
+        banks, offsets = bulk_addresses(mapping, elements)
+        if (offsets < 0).any() or (offsets >= sizes[banks]).any():
+            raise MappingError("offset outside its bank's allocation")
+        pieces.append(banks.astype(np.int64) * stride + offsets)
+    global_address = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
     unique = np.unique(global_address)
     if len(unique) != len(global_address):
         raise MappingError(
@@ -181,11 +261,15 @@ def verify_bijective_bulk(mapping: BankMapping) -> bool:
 
 
 def verify_bulk_matches_scalar(mapping: BankMapping, sample: int = 256) -> bool:
-    """Spot-check that the vectorized path agrees with the scalar one."""
-    elements = element_grid(mapping.shape)
-    if len(elements) > sample:
-        stride = max(1, len(elements) // sample)
-        elements = elements[::stride]
+    """Spot-check that the vectorized path agrees with the scalar one.
+
+    Deliberately sampling-based: it never materializes the full grid, so it
+    stays cheap (and safe) even on shapes far beyond the chunk budget.
+    """
+    total = grid_size(mapping.shape)
+    stride = max(1, total // sample) if total > sample else 1
+    linear = np.arange(0, total, stride, dtype=np.int64)
+    elements = np.stack(np.unravel_index(linear, mapping.shape), axis=1)
     banks, offsets = bulk_addresses(mapping, elements)
     for row, bank, offset in zip(elements, banks, offsets):
         expected = mapping.address_of(tuple(int(c) for c in row))

@@ -1,6 +1,7 @@
 """Evaluation harnesses regenerating the paper's tables and case study."""
 
 from .casestudy import CaseStudy, run_case_study
+from .parallel import resolve_jobs, run_parallel
 from .metrics import (
     AlgorithmRun,
     geometric_mean,
@@ -31,6 +32,8 @@ from .validation import (
 __all__ = [
     "CaseStudy",
     "run_case_study",
+    "resolve_jobs",
+    "run_parallel",
     "AlgorithmRun",
     "geometric_mean",
     "improvement",

@@ -28,6 +28,16 @@ from .report import render_case_study, render_table1
 from .table1 import build_table
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for independent rows (default: serial)",
+    )
+
+
 def _add_emit_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--emit-metrics",
@@ -71,9 +81,12 @@ def main_table1(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--no-paper", action="store_true", help="omit the published reference rows"
     )
+    _add_jobs(parser)
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
-    table = build_table(args.benchmarks, time_repetitions=args.repetitions)
+    table = build_table(
+        args.benchmarks, time_repetitions=args.repetitions, jobs=args.jobs
+    )
     print(render_table1(table, include_paper=not args.no_paper))
     _emit_metrics(args.emit_metrics)
     return 0
@@ -85,9 +98,91 @@ def main_casestudy(argv: Sequence[str] | None = None) -> int:
         description="Regenerate the paper's LoG case study (Sections 2 and 5.1)."
     )
     parser.add_argument("--nmax", type=int, default=10, help="bank-count ceiling")
+    _add_jobs(parser)
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
-    print(render_case_study(run_case_study(n_max=args.nmax)))
+    print(render_case_study(run_case_study(n_max=args.nmax, jobs=args.jobs)))
+    _emit_metrics(args.emit_metrics)
+    return 0
+
+
+def main_sweeps(argv: Sequence[str] | None = None) -> int:
+    """Run the figure-style parameter sweeps for one benchmark pattern.
+
+    Examples::
+
+        repro-sweeps --benchmark log --banks 2-16
+        repro-sweeps --benchmark se --factors 1,2,4,8 --jobs 4
+    """
+    parser = argparse.ArgumentParser(
+        description=(
+            "Parameter sweeps: overhead vs banks (with achieved deltaII), "
+            "overhead vs resolution, throughput vs unroll factor."
+        )
+    )
+    parser.add_argument(
+        "--benchmark", choices=sorted(BENCHMARKS), default="log", help="pattern"
+    )
+    parser.add_argument("--shape", default="640,480", help="array shape for overhead")
+    parser.add_argument("--banks", default="2-16", help="bank-count range, e.g. 2-16")
+    parser.add_argument(
+        "--factors", default="1,2,4", help="comma-separated unroll factors"
+    )
+    parser.add_argument(
+        "--nmax", type=int, default=None, help="bank ceiling for the unroll series"
+    )
+    _add_jobs(parser)
+    _add_emit_metrics(parser)
+    args = parser.parse_args(argv)
+
+    from ..obs.metrics import registry as obs_registry
+    from .sweeps import overhead_vs_banks, overhead_vs_resolution, throughput_vs_unroll
+
+    pattern = benchmark_pattern(args.benchmark)
+    shape = tuple(int(w) for w in args.shape.split(","))
+    try:
+        lo, hi = (int(part) for part in args.banks.split("-"))
+    except ValueError:
+        raise SystemExit(f"--banks expects LO-HI, got {args.banks!r}")
+    factors = [int(f) for f in args.factors.split(",")]
+    registry = obs_registry()
+
+    points = overhead_vs_banks(
+        shape, range(lo, hi + 1), pattern=pattern, jobs=args.jobs
+    )
+    print(f"overhead vs banks ({args.benchmark}, shape {shape}):")
+    print(f"{'N':>4} {'ours':>10} {'ltb':>10} {'deltaII':>8}")
+    for point in points:
+        registry.gauge(f"sweeps.overhead.{point.n_banks}.ours").set(point.ours_elements)
+        registry.gauge(f"sweeps.overhead.{point.n_banks}.ltb").set(point.ltb_elements)
+        if point.delta_ii is not None:
+            registry.gauge(
+                f"sweeps.overhead.{point.n_banks}.delta_ii"
+            ).set(point.delta_ii)
+        print(
+            f"{point.n_banks:>4} {point.ours_elements:>10} {point.ltb_elements:>10} "
+            f"{point.delta_ii if point.delta_ii is not None else '-':>8}"
+        )
+
+    print()
+    print(f"throughput vs unroll (n_max={args.nmax}):")
+    print(f"{'factor':>6} {'banks':>6} {'II':>4} {'elems/cycle':>12}")
+    for factor, banks, ii, throughput in throughput_vs_unroll(
+        pattern, factors, n_max=args.nmax, jobs=args.jobs
+    ):
+        registry.gauge(f"sweeps.unroll.{factor}.banks").set(banks)
+        registry.gauge(f"sweeps.unroll.{factor}.ii").set(ii)
+        registry.gauge(f"sweeps.unroll.{factor}.throughput").set(throughput)
+        print(f"{factor:>6} {banks:>6} {ii:>4} {throughput:>12.2f}")
+
+    print()
+    print("overhead vs resolution (9 kb blocks):")
+    print(f"{'resolution':>12} {'ours':>6} {'ltb':>6}")
+    for name, ours, ltb in overhead_vs_resolution(pattern, jobs=args.jobs):
+        registry.gauge(f"sweeps.resolution.{name}.ours").set(ours)
+        registry.gauge(f"sweeps.resolution.{name}.ltb").set(ltb)
+        print(f"{name:>12} {ours:>6} {ltb:>6}")
+
     _emit_metrics(args.emit_metrics)
     return 0
 
@@ -251,6 +346,13 @@ def main_profile(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="skip the per-element data-corruption check (faster timings)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=["auto", "scalar", "vectorized"],
+        default="auto",
+        help="simulation engine (identical reports; scalar shows the "
+        "reference span tree, vectorized the fast path)",
+    )
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
 
@@ -290,6 +392,7 @@ def main_profile(argv: Sequence[str] | None = None) -> int:
         ports_per_bank=args.ports,
         verify=not args.no_verify,
         conflicts=conflicts,
+        engine=args.engine,
     )
 
     print(

@@ -1,0 +1,54 @@
+"""Process-parallel sweep execution with deterministic result order.
+
+The evaluation harnesses are embarrassingly parallel — Table 1 rows, sweep
+points, and case-study chains are independent solves — but each worker
+must keep three properties the serial code guarantees:
+
+* **Deterministic ordering** — results come back in the order of the
+  input items (``executor.map`` semantics), never in completion order, so
+  parallel output is byte-identical to serial output.
+* **Per-worker cache reuse** — worker processes persist for the lifetime
+  of the pool, so the canonical solve cache (:mod:`repro.core.cache`)
+  inside each worker warms up across the items it handles.
+* **Metrics round-trip** — the process-global registry in a worker is
+  invisible to the parent.  Task functions that record metrics should
+  reset their registry, do the work, and return a
+  :meth:`~repro.obs.metrics.MetricsRegistry.dump` alongside the result;
+  the parent merges dumps in result order (see
+  :func:`repro.eval.table1.build_table` for the pattern).
+
+``jobs=None``/``0``/``1`` (and single-item workloads) run serially in the
+calling process — no pool, no pickling, identical code path for tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
+    """Effective worker count: clamp to the workload, treat <=1 as serial."""
+    if jobs is None or jobs <= 1 or n_items <= 1:
+        return 1
+    return min(jobs, n_items)
+
+
+def run_parallel(
+    fn: Callable[[Item], Result],
+    items: Sequence[Item],
+    jobs: Optional[int] = None,
+) -> List[Result]:
+    """Map ``fn`` over ``items`` on ``jobs`` worker processes.
+
+    ``fn`` must be a top-level (picklable) function.  Results preserve the
+    order of ``items`` regardless of which worker finishes first.
+    """
+    workers = resolve_jobs(jobs, len(items))
+    if workers == 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items))

@@ -8,12 +8,13 @@ overhead vs resolution, throughput vs unroll factor, energy vs scheme.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines.ltb import ltb_overhead_elements
 from ..core.mapping import BankMapping, ours_overhead_elements
 from ..core.partition import partition, widen_solution
 from ..core.pattern import Pattern
+from ..core.solver import solve
 from ..hw.bram import overhead_blocks
 from ..hw.energy import (
     EnergyModel,
@@ -23,15 +24,22 @@ from ..hw.energy import (
 )
 from ..patterns.generators import unrolled
 from ..patterns.library import RESOLUTIONS
+from .parallel import run_parallel
 
 
 @dataclass(frozen=True)
 class OverheadPoint:
-    """One point of an overhead-vs-banks series."""
+    """One point of an overhead-vs-banks series.
+
+    ``delta_ii`` is populated only when the series was computed for a
+    concrete pattern (it is the solver's achieved ``δP`` under the point's
+    bank budget); pure-geometry series leave it ``None``.
+    """
 
     n_banks: int
     ours_elements: int
     ltb_elements: int
+    delta_ii: Optional[int] = None
 
     @property
     def ratio(self) -> float:
@@ -40,22 +48,51 @@ class OverheadPoint:
         return self.ltb_elements / self.ours_elements
 
 
+def _overhead_point_task(
+    task: Tuple[Tuple[int, ...], int, Optional[Pattern]]
+) -> OverheadPoint:
+    shape, n, pattern = task
+    delta = None
+    if pattern is not None:
+        delta = solve(pattern, n_max=n).solution.delta_ii
+    return OverheadPoint(
+        n_banks=n,
+        ours_elements=ours_overhead_elements(shape, n),
+        ltb_elements=ltb_overhead_elements(shape, n),
+        delta_ii=delta,
+    )
+
+
 def overhead_vs_banks(
-    shape: Sequence[int], bank_range: Sequence[int]
+    shape: Sequence[int],
+    bank_range: Sequence[int],
+    pattern: Pattern | None = None,
+    jobs: int | None = None,
 ) -> List[OverheadPoint]:
-    """Padding overhead of both strategies across bank counts."""
-    return [
-        OverheadPoint(
-            n_banks=n,
-            ours_elements=ours_overhead_elements(tuple(shape), n),
-            ltb_elements=ltb_overhead_elements(tuple(shape), n),
-        )
-        for n in bank_range
-    ]
+    """Padding overhead of both strategies across bank counts.
+
+    With a ``pattern``, each point additionally reports the achieved
+    ``δP`` under that bank budget (a :func:`repro.core.solver.solve` per
+    point — memoized by the canonical cache, so a warm re-run is pure
+    lookups).  ``jobs`` fans the points out over worker processes.
+    """
+    tasks = [(tuple(shape), n, pattern) for n in bank_range]
+    return run_parallel(_overhead_point_task, tasks, jobs=jobs)
+
+
+def _resolution_row_task(
+    task: Tuple[str, Tuple[int, ...], int]
+) -> Tuple[str, int, int]:
+    name, shape, banks = task
+    ours = overhead_blocks(ours_overhead_elements(shape, banks))
+    ltb = overhead_blocks(ltb_overhead_elements(shape, banks))
+    return (name, ours, ltb)
 
 
 def overhead_vs_resolution(
-    pattern: Pattern, algorithm_banks: int | None = None
+    pattern: Pattern,
+    algorithm_banks: int | None = None,
+    jobs: int | None = None,
 ) -> List[Tuple[str, int, int]]:
     """(resolution, ours blocks, ltb blocks) across the Table 1 sizes.
 
@@ -65,16 +102,25 @@ def overhead_vs_resolution(
     banks = (
         algorithm_banks if algorithm_banks is not None else partition(pattern).n_banks
     )
-    rows = []
-    for name, shape in RESOLUTIONS.items():
-        ours = overhead_blocks(ours_overhead_elements(shape, banks))
-        ltb = overhead_blocks(ltb_overhead_elements(shape, banks))
-        rows.append((name, ours, ltb))
-    return rows
+    tasks = [(name, shape, banks) for name, shape in RESOLUTIONS.items()]
+    return run_parallel(_resolution_row_task, tasks, jobs=jobs)
+
+
+def _unroll_row_task(
+    task: Tuple[Pattern, int, Optional[int]]
+) -> Tuple[int, int, int, float]:
+    pattern, factor, n_max = task
+    widened = unrolled(pattern, factor) if factor > 1 else pattern
+    solution = partition(widened, n_max=n_max)
+    ii = solution.delta_ii + 1
+    return (factor, solution.n_banks, ii, factor * pattern.size / ii)
 
 
 def throughput_vs_unroll(
-    pattern: Pattern, factors: Sequence[int], n_max: int | None = None
+    pattern: Pattern,
+    factors: Sequence[int],
+    n_max: int | None = None,
+    jobs: int | None = None,
 ) -> List[Tuple[int, int, int, float]]:
     """(factor, banks, II, elements-per-cycle) for unrolled variants.
 
@@ -82,14 +128,8 @@ def throughput_vs_unroll(
     ``factor · m / II`` — the series shows bandwidth scaling linearly with
     banks until ``n_max`` caps it.
     """
-    rows = []
-    m = pattern.size
-    for factor in factors:
-        widened = unrolled(pattern, factor) if factor > 1 else pattern
-        solution = partition(widened, n_max=n_max)
-        ii = solution.delta_ii + 1
-        rows.append((factor, solution.n_banks, ii, factor * m / ii))
-    return rows
+    tasks = [(pattern, factor, n_max) for factor in factors]
+    return run_parallel(_unroll_row_task, tasks, jobs=jobs)
 
 
 def energy_vs_scheme(

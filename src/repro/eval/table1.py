@@ -10,13 +10,14 @@ convention.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
 from ..patterns.library import BENCHMARKS, benchmark_shape
 from .metrics import AlgorithmRun, improvement, run_ltb, run_ours, storage_blocks
 from .paper_data import RESOLUTION_ORDER
+from .parallel import run_parallel
 
 
 @dataclass(frozen=True)
@@ -113,16 +114,48 @@ def build_row(
     return Table1Row(benchmark=benchmark, ours=ours, ltb=ltb, storage=storage)
 
 
+def _build_row_task(task: Tuple[str, int]) -> Tuple[Table1Row, Dict[str, Any]]:
+    """Worker entry: one row, plus the metrics it recorded.
+
+    Runs in a forked worker whose process-global registry is an opaque copy
+    of the parent's — so it is reset first, and everything the row records
+    travels home in the returned dump for the parent to merge.
+    """
+    benchmark, time_repetitions = task
+    registry = obs_registry()
+    registry.reset()
+    row = build_row(benchmark, time_repetitions=time_repetitions)
+    return row, registry.dump()
+
+
 def build_table(
     benchmarks: Sequence[str] | None = None,
     time_repetitions: int = 20,
+    jobs: int | None = None,
 ) -> Table1:
-    """Measure the full Table 1 (or a subset of rows)."""
+    """Measure the full Table 1 (or a subset of rows).
+
+    ``jobs`` > 1 measures rows on that many worker processes; results (and
+    the metrics each row publishes) come back in benchmark order, so the
+    table and the registry match a serial run.
+    """
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
-    with span("eval.table1.build", benchmarks=",".join(names)):
-        rows = tuple(
-            build_row(name, time_repetitions=time_repetitions) for name in names
-        )
+    with span("eval.table1.build", benchmarks=",".join(names), jobs=jobs):
+        if jobs is not None and jobs > 1:
+            outcomes = run_parallel(
+                _build_row_task,
+                [(name, time_repetitions) for name in names],
+                jobs=jobs,
+            )
+            registry = obs_registry()
+            for _, dump in outcomes:
+                registry.merge(dump)
+            rows = tuple(row for row, _ in outcomes)
+        else:
+            rows = tuple(
+                build_row(name, time_repetitions=time_repetitions)
+                for name in names
+            )
     table = Table1(rows=rows)
     registry = obs_registry()
     registry.gauge("eval.table1.average_storage_improvement").set(

@@ -169,6 +169,40 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    # -- cross-process transport ------------------------------------------
+
+    def dump(self) -> Dict[str, Any]:
+        """Lossless, picklable export for shipping across process borders.
+
+        Unlike :meth:`snapshot`, histograms carry their raw value lists so
+        the receiver can :meth:`merge` them without degrading percentiles.
+        """
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: list(h._values) for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, dump: Dict[str, Any]) -> None:
+        """Fold a :meth:`dump` from another process into this registry.
+
+        Counters and histogram observations add; gauges are last-write-wins
+        (the merge order is the caller's deterministic result order, so the
+        outcome matches a serial run).
+        """
+        for name, value in dump.get("counters", {}).items():
+            if value:
+                self.counter(name).inc(value)
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, values in dump.get("histograms", {}).items():
+            metric = self.histogram(name)
+            for value in values:
+                metric.observe(value)
+
 
 class TrackedOpCounter(OpCounter):
     """An :class:`OpCounter` whose charges also feed a metrics registry.

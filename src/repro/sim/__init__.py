@@ -8,14 +8,26 @@ from .functional import (
     verify_banked_stencil,
 )
 from .memsim import (
+    ENGINES,
     SimulationReport,
     simulate_sweep,
     simulate_unpartitioned,
     speedup_vs_unpartitioned,
 )
-from .trace import TraceIteration, iteration_domain, pattern_trace, trace_addresses
+from .trace import (
+    TraceIteration,
+    domain_ranges,
+    iteration_domain,
+    pattern_trace,
+    trace_addresses,
+)
+from .vectorized import SweepStats, simulate_sweep_vectorized
 
 __all__ = [
+    "ENGINES",
+    "SweepStats",
+    "simulate_sweep_vectorized",
+    "domain_ranges",
     "PipelineModel",
     "banked_model",
     "serialized_model",

@@ -31,6 +31,10 @@ from ..obs.conflicts import ConflictTable
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
 from .trace import pattern_trace
+from .vectorized import SweepStats, simulate_sweep_vectorized
+
+#: Engine names accepted by :func:`simulate_sweep`.
+ENGINES = ("auto", "scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -105,6 +109,113 @@ class SimulationReport:
         )
 
 
+def _vectorized_capable(mapping: BankMapping) -> bool:
+    """Whether the bulk engine's closed forms are valid for this mapping.
+
+    The vectorized path recomputes ``B(x)``/``F(x)`` from the mapping's
+    *formulas*, so a subclass that overrides the scalar address methods
+    (tests use exactly this to inject corruption) would silently diverge.
+    Only the stock mapping types are eligible; anything else replays
+    through the scalar reference.
+    """
+    from ..core.packed import PackedBankMapping
+
+    return type(mapping) in (BankMapping, PackedBankMapping)
+
+
+def _simulate_sweep_scalar(
+    mapping: BankMapping,
+    array: "np.ndarray" | None,
+    step: int,
+    limit: int | None,
+    ports_per_bank: int,
+    verify: bool,
+    attribution: ConflictTable | None,
+) -> SweepStats:
+    """Reference engine: replay the trace through :class:`BankedMemory`."""
+    memory = BankedMemory(mapping=mapping, ports_per_bank=ports_per_bank)
+    with span("sim.load_array"):
+        if array is None:
+            array = np.arange(
+                int(np.prod(mapping.shape)), dtype=np.int64
+            ).reshape(mapping.shape)
+        memory.load_array(array)
+
+    solution: PartitionSolution = mapping.solution
+    with span("sim.trace_build"):
+        trace = pattern_trace(
+            solution.pattern, mapping.shape, step=step, limit=limit
+        )
+    pattern_offsets = solution.pattern.offsets
+
+    histogram: Dict[int, int] = {}
+    total = 0
+    worst = 0
+    with span("sim.sweep_loop", iterations=len(trace), verify=verify):
+        for iteration in trace:
+            result = memory.parallel_read(list(iteration.reads))
+            if verify:
+                expected = [int(array[e]) for e in iteration.reads]
+                if result.values != expected:
+                    raise SimulationError(
+                        f"data corruption at offset {iteration.offset}: "
+                        f"got {result.values}, expected {expected}"
+                    )
+            histogram[result.cycles] = histogram.get(result.cycles, 0) + 1
+            total += result.cycles
+            worst = max(worst, result.cycles)
+            if attribution is not None:
+                attribution.record_iteration(
+                    pattern_offsets, result.banks_touched, result.cycles
+                )
+
+    return SweepStats(
+        iterations=len(trace),
+        total_cycles=total,
+        worst_cycles=worst,
+        cycle_histogram=histogram,
+        bank_utilization=memory.utilization(),
+        ports_per_bank=memory.ports_per_bank,
+        bank_conflicts=memory.conflict_counts(),
+        bank_accesses=memory.access_counts(),
+    )
+
+
+def _publish_report(
+    stats: SweepStats, attribution: ConflictTable | None, obs_on: bool
+) -> SimulationReport:
+    """Shared tail: attribution totals, registry mirroring, report build.
+
+    Both engines funnel through here, so what the outside world sees (the
+    report fields and every metric name) is engine-independent by
+    construction.
+    """
+    if attribution is not None:
+        attribution.observed_bank_conflicts = dict(stats.bank_conflicts)
+    if obs_on:
+        reg = obs_registry()
+        cycles_hist = reg.histogram("sim.cycles_per_iteration")
+        for cycles, count in stats.cycle_histogram.items():
+            cycles_hist.observe(cycles, count)
+        for bank, count in stats.bank_conflicts.items():
+            if count:
+                reg.counter(f"sim.bank.{bank}.conflicts").inc(count)
+        for bank, count in stats.bank_accesses.items():
+            if count:
+                reg.counter(f"sim.bank.{bank}.accesses").inc(count)
+        reg.counter("sim.iterations").inc(stats.iterations)
+        reg.counter("sim.total_cycles").inc(stats.total_cycles)
+
+    return SimulationReport(
+        iterations=stats.iterations,
+        total_cycles=stats.total_cycles,
+        worst_cycles=stats.worst_cycles,
+        cycle_histogram=stats.cycle_histogram,
+        bank_utilization=stats.bank_utilization,
+        ports_per_bank=stats.ports_per_bank,
+    )
+
+
 def simulate_sweep(
     mapping: BankMapping,
     array: "np.ndarray" | None = None,
@@ -113,6 +224,7 @@ def simulate_sweep(
     ports_per_bank: int = 1,
     verify: bool = True,
     conflicts: ConflictTable | None = None,
+    engine: str = "auto",
 ) -> SimulationReport:
     """Sweep the solution's pattern across the array and measure cycles.
 
@@ -127,88 +239,66 @@ def simulate_sweep(
     ports_per_bank:
         Bank bandwidth ``B`` (paper default 1).
     verify:
-        Cross-check every read against the source array (a per-element
-        Python recomputation).  On by default; benchmarks that time the
-        sweep should pass ``verify=False`` so the check does not dominate
-        and distort the telemetry.
+        Cross-check every read against the source array.  On by default;
+        benchmarks that time the sweep should pass ``verify=False`` so the
+        check does not dominate and distort the telemetry.
     conflicts:
         Optional :class:`~repro.obs.conflicts.ConflictTable` to fill with
         per-bank / per-offset-pair attribution.  Its port width must match
         the memory's effective width.  When omitted, attribution is still
         collected (and mirrored into the metrics registry) whenever
         observability is enabled.
+    engine:
+        ``"auto"`` (default) uses the vectorized fast path for stock
+        mapping types and the scalar reference for anything else;
+        ``"scalar"``/``"vectorized"`` force an engine.  Both produce
+        bit-identical reports; forcing ``"vectorized"`` on a mapping
+        subclass with overridden address methods is an error.
     """
-    with span("sim.simulate_sweep", shape=mapping.shape):
-        memory = BankedMemory(mapping=mapping, ports_per_bank=ports_per_bank)
-        with span("sim.load_array"):
-            if array is None:
-                array = np.arange(
-                    int(np.prod(mapping.shape)), dtype=np.int64
-                ).reshape(mapping.shape)
-            memory.load_array(array)
-
-        solution: PartitionSolution = mapping.solution
-        with span("sim.trace_build"):
-            trace = pattern_trace(
-                solution.pattern, mapping.shape, step=step, limit=limit
-            )
-
-        attribution = conflicts
-        if attribution is not None and attribution.ports_per_bank != memory.ports_per_bank:
-            raise SimulationError(
-                f"conflict table expects {attribution.ports_per_bank} port(s) "
-                f"but the memory serves {memory.ports_per_bank}"
-            )
-        obs_on = obs_state.enabled()
-        if attribution is None and obs_on:
-            attribution = ConflictTable(memory.ports_per_bank)
-        pattern_offsets = solution.pattern.offsets
-
-        histogram: Dict[int, int] = {}
-        total = 0
-        worst = 0
-        with span("sim.sweep_loop", iterations=len(trace), verify=verify):
-            for iteration in trace:
-                result = memory.parallel_read(list(iteration.reads))
-                if verify:
-                    expected = [int(array[e]) for e in iteration.reads]
-                    if result.values != expected:
-                        raise SimulationError(
-                            f"data corruption at offset {iteration.offset}: "
-                            f"got {result.values}, expected {expected}"
-                        )
-                histogram[result.cycles] = histogram.get(result.cycles, 0) + 1
-                total += result.cycles
-                worst = max(worst, result.cycles)
-                if attribution is not None:
-                    attribution.record_iteration(
-                        pattern_offsets, result.banks_touched, result.cycles
-                    )
-
-        if attribution is not None:
-            attribution.observed_bank_conflicts = memory.conflict_counts()
-        if obs_on:
-            reg = obs_registry()
-            cycles_hist = reg.histogram("sim.cycles_per_iteration")
-            for cycles, count in histogram.items():
-                cycles_hist.observe(cycles, count)
-            for bank, count in memory.conflict_counts().items():
-                if count:
-                    reg.counter(f"sim.bank.{bank}.conflicts").inc(count)
-            for bank, count in memory.access_counts().items():
-                if count:
-                    reg.counter(f"sim.bank.{bank}.accesses").inc(count)
-            reg.counter("sim.iterations").inc(len(trace))
-            reg.counter("sim.total_cycles").inc(total)
-
-        return SimulationReport(
-            iterations=len(trace),
-            total_cycles=total,
-            worst_cycles=worst,
-            cycle_histogram=histogram,
-            bank_utilization=memory.utilization(),
-            ports_per_bank=memory.ports_per_bank,
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r}; choose one of {ENGINES}"
         )
+    if engine == "auto":
+        engine = "vectorized" if _vectorized_capable(mapping) else "scalar"
+    elif engine == "vectorized" and not _vectorized_capable(mapping):
+        raise SimulationError(
+            "engine='vectorized' supports stock BankMapping types only; "
+            f"{type(mapping).__name__} overrides scalar address methods the "
+            "bulk path cannot honor — use engine='scalar'"
+        )
+
+    if ports_per_bank < 1:
+        raise SimulationError(
+            f"ports_per_bank must be positive, got {ports_per_bank}"
+        )
+    effective_ports = max(ports_per_bank, mapping.solution.bank_ports)
+    attribution = conflicts
+    if attribution is not None and attribution.ports_per_bank != effective_ports:
+        raise SimulationError(
+            f"conflict table expects {attribution.ports_per_bank} port(s) "
+            f"but the memory serves {effective_ports}"
+        )
+    obs_on = obs_state.enabled()
+    if attribution is None and obs_on:
+        attribution = ConflictTable(effective_ports)
+
+    with span("sim.simulate_sweep", shape=mapping.shape, engine=engine):
+        if engine == "vectorized":
+            stats = simulate_sweep_vectorized(
+                mapping,
+                array=array,
+                step=step,
+                limit=limit,
+                ports_per_bank=ports_per_bank,
+                verify=verify,
+                attribution=attribution,
+            )
+        else:
+            stats = _simulate_sweep_scalar(
+                mapping, array, step, limit, ports_per_bank, verify, attribution
+            )
+        return _publish_report(stats, attribution, obs_on)
 
 
 def simulate_unpartitioned(

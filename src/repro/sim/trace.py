@@ -26,14 +26,14 @@ class TraceIteration:
     reads: Tuple[Element, ...]
 
 
-def iteration_domain(
+def domain_ranges(
     pattern: Pattern, shape: Sequence[int], step: int = 1
-) -> Iterator[Element]:
-    """Loop offsets ``s`` keeping the whole pattern inside the array.
+) -> List[range]:
+    """Per-dimension loop ranges keeping the whole pattern inside the array.
 
-    Mirrors the paper's Fig. 1(b) loop bounds (``i = 3 … 638`` etc. come
-    from keeping the 5×5 window in a 640×480 frame).  ``step`` strides the
-    domain for cheap sampling of huge arrays.
+    The validated building block shared by the scalar trace generator and
+    the vectorized simulator: both must agree exactly on the iteration
+    domain, so both derive it from this one function.
     """
     if step < 1:
         raise SimulationError(f"step must be positive, got {step}")
@@ -52,7 +52,19 @@ def iteration_domain(
                 f"array of shape {dims} too small for pattern extent along dim {j}"
             )
         ranges.append(range(start, stop, step))
-    return itertools.product(*ranges)
+    return ranges
+
+
+def iteration_domain(
+    pattern: Pattern, shape: Sequence[int], step: int = 1
+) -> Iterator[Element]:
+    """Loop offsets ``s`` keeping the whole pattern inside the array.
+
+    Mirrors the paper's Fig. 1(b) loop bounds (``i = 3 … 638`` etc. come
+    from keeping the 5×5 window in a 640×480 frame).  ``step`` strides the
+    domain for cheap sampling of huge arrays.
+    """
+    return itertools.product(*domain_ranges(pattern, shape, step))
 
 
 def pattern_trace(

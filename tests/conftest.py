@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import Pattern, partition
+from repro.core import Pattern, partition, solve_cache
 from repro.patterns import (
     canny_pattern,
     gaussian_pattern,
@@ -14,6 +14,18 @@ from repro.patterns import (
     se_pattern,
     sobel3d_pattern,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_solve_cache():
+    """Isolate every test from memoized solutions (and their counters).
+
+    Span- and op-count assertions would otherwise depend on whether an
+    earlier test already solved the same pattern.
+    """
+    solve_cache.clear()
+    yield
+    solve_cache.clear()
 
 
 @pytest.fixture
