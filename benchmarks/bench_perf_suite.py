@@ -29,11 +29,18 @@ from typing import Any, Dict, List, Optional, Sequence
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core import partition, same_size_sweep, solve, solve_cache
+from repro.baselines import (
+    BlockScheme,
+    CyclicScheme,
+    block_mapping,
+    cyclic_mapping,
+    ltb_partition,
+)
+from repro.core import OpCounter, partition, same_size_sweep, solve, solve_cache
 from repro.core.mapping import BankMapping
 from repro.core.pattern import Pattern
-from repro.patterns.generators import rectangle
-from repro.patterns.library import log_pattern, median_pattern
+from repro.patterns.generators import rectangle, unrolled
+from repro.patterns.library import gaussian_pattern, log_pattern, median_pattern
 from repro.sim import simulate_sweep
 
 #: (name, pattern factory, simulation shape) per preset.
@@ -46,6 +53,22 @@ PRESETS: Dict[str, List[Any]] = {
         ("stencil3x3_512", lambda: rectangle((3, 3), name="avg3x3"), (512, 512)),
         ("log_256", log_pattern, (256, 256)),
         ("median_256", median_pattern, (256, 256)),
+    ],
+}
+
+#: (name, pattern factory) for the LTB search bench.  The full preset adds
+#: the unrolled acceptance workloads, where the vectorized engine must beat
+#: the scalar enumeration by >= 20x with bit-identical results.
+LTB_WORKLOADS: Dict[str, List[Any]] = {
+    "small": [
+        ("median", median_pattern),
+        ("gaussian", gaussian_pattern),
+    ],
+    "full": [
+        ("median", median_pattern),
+        ("gaussian", gaussian_pattern),
+        ("gaussian_unroll2", lambda: unrolled(gaussian_pattern(), 2)),
+        ("median_unroll5", lambda: unrolled(median_pattern(), 5)),
     ],
 }
 
@@ -123,6 +146,68 @@ def _bench_sweep(name: str, pattern: Pattern, n_max: int, repeat: int) -> Dict[s
     }
 
 
+def _bench_ltb_search(name: str, pattern: Pattern, repeat: int) -> Dict[str, Any]:
+    scalar_s = _best_of(lambda: ltb_partition(pattern, engine="scalar"), repeat)
+    vector_s = _best_of(lambda: ltb_partition(pattern, engine="vectorized"), repeat)
+    scalar_ops, vector_ops = OpCounter(), OpCounter()
+    scalar = ltb_partition(pattern, ops=scalar_ops, engine="scalar")
+    vector = ltb_partition(pattern, ops=vector_ops, engine="vectorized")
+    identical = (
+        scalar.solution.n_banks == vector.solution.n_banks
+        and scalar.solution.transform.alpha == vector.solution.transform.alpha
+        and scalar.vectors_tried == vector.vectors_tried
+        and scalar.candidates_tried == vector.candidates_tried
+        and scalar_ops.counts == vector_ops.counts
+    )
+    return {
+        "workload": name,
+        "pattern_elements": pattern.size,
+        "solution": {
+            "n_banks": vector.solution.n_banks,
+            "alpha": list(vector.solution.transform.alpha),
+        },
+        "vectors_tried": vector.vectors_tried,
+        "scalar_s": scalar_s,
+        "vectorized_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "reports_identical": identical,
+    }
+
+
+def _bench_baseline_sim(
+    name: str, shape: Sequence[int], repeat: int
+) -> List[Dict[str, Any]]:
+    """Time the registered cyclic/block bulk kernels against scalar replay."""
+    pattern = rectangle((3, 3), name="avg3x3")
+    mappings = [
+        ("cyclic", cyclic_mapping(CyclicScheme(dim=0, n_banks=8, ndim=2), pattern, shape)),
+        ("block", block_mapping(BlockScheme(dim=0, n_banks=4, shape=tuple(shape)), pattern)),
+    ]
+    rows = []
+    for scheme_name, mapping in mappings:
+        scalar_s = _best_of(
+            lambda: simulate_sweep(mapping, verify=False, engine="scalar"), repeat
+        )
+        vector_s = _best_of(
+            lambda: simulate_sweep(mapping, verify=False, engine="vectorized"), repeat
+        )
+        scalar_report = simulate_sweep(mapping, verify=False, engine="scalar")
+        vector_report = simulate_sweep(mapping, verify=False, engine="vectorized")
+        rows.append(
+            {
+                "workload": f"{name}_{scheme_name}",
+                "scheme": scheme_name,
+                "shape": list(shape),
+                "n_banks": mapping.n_banks,
+                "scalar_s": scalar_s,
+                "vectorized_s": vector_s,
+                "speedup": scalar_s / vector_s if vector_s else float("inf"),
+                "reports_identical": scalar_report == vector_report,
+            }
+        )
+    return rows
+
+
 def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     """Execute every bench in ``preset`` and return the JSON document."""
     workloads = PRESETS[preset]
@@ -133,6 +218,8 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         "simulate": [],
         "solve": [],
         "sweep": [],
+        "ltb_search": [],
+        "baseline_sim": [],
     }
     for name, factory, shape in workloads:
         pattern = factory()
@@ -141,6 +228,12 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         doc["sweep"].append(
             _bench_sweep(name, pattern, n_max=max(64, 4 * pattern.size), repeat=repeat)
         )
+    for name, factory in LTB_WORKLOADS[preset]:
+        doc["ltb_search"].append(_bench_ltb_search(name, factory(), repeat))
+    baseline_shape = (64, 64) if preset == "small" else (256, 256)
+    doc["baseline_sim"].extend(
+        _bench_baseline_sim(f"stencil3x3_{baseline_shape[0]}", baseline_shape, repeat)
+    )
     return doc
 
 
@@ -181,10 +274,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"scalar {row['scalar_s'] * 1e3:.2f}ms, "
             f"vectorized {row['vectorized_s'] * 1e3:.2f}ms ({row['speedup']:.1f}x)"
         )
+    for row in doc["ltb_search"]:
+        print(
+            f"ltb_search {row['workload']}: scalar {row['scalar_s'] * 1e3:.2f}ms, "
+            f"vectorized {row['vectorized_s'] * 1e3:.2f}ms "
+            f"({row['speedup']:.1f}x, N={row['solution']['n_banks']}, "
+            f"identical={row['reports_identical']})"
+        )
+    for row in doc["baseline_sim"]:
+        print(
+            f"baseline_sim {row['workload']}: scalar {row['scalar_s'] * 1e3:.2f}ms, "
+            f"vectorized {row['vectorized_s'] * 1e3:.2f}ms "
+            f"({row['speedup']:.1f}x, identical={row['reports_identical']})"
+        )
     print(f"written: {args.output}")
 
-    ok = all(r["reports_identical"] for r in doc["simulate"]) and all(
-        r["results_identical"] for r in doc["sweep"]
+    ok = (
+        all(r["reports_identical"] for r in doc["simulate"])
+        and all(r["results_identical"] for r in doc["sweep"])
+        and all(r["reports_identical"] for r in doc["ltb_search"])
+        and all(r["reports_identical"] for r in doc["baseline_sim"])
     )
     return 0 if ok else 1
 

@@ -15,12 +15,48 @@ checkable at runtime via :func:`verify_bulk_matches_scalar`).
 from __future__ import annotations
 
 import os
-from typing import Iterator, Tuple
+from typing import Callable, Dict, Iterator, Tuple
 
 import numpy as np
 
 from ..errors import MappingError
 from .mapping import BankMapping
+
+#: A bulk address kernel: ``(mapping, (k, n) elements) -> (banks, offsets)``.
+BulkKernel = Callable[
+    [BankMapping, "np.ndarray"], Tuple["np.ndarray", "np.ndarray"]
+]
+
+#: Registered bulk kernels for mapping types whose address math is *not*
+#: the stock closed forms (e.g. the baseline cyclic/block mappings).  Keyed
+#: by exact type — a subclass of a registered type does NOT inherit the
+#: kernel, mirroring the simulator's conservative dispatch: overriding a
+#: scalar address method silently invalidates the batch math.
+_BULK_KERNELS: Dict[type, BulkKernel] = {}
+
+
+def register_bulk_kernel(mapping_type: type, kernel: BulkKernel) -> None:
+    """Register a vectorized ``(B(x), F(x))`` kernel for a mapping type.
+
+    Registration makes the type eligible for every bulk consumer at once:
+    :func:`bulk_addresses` (hence the vectorized simulator's ``auto``
+    dispatch), :func:`scatter_to_banks`, and both bulk verifiers.  The
+    kernel must agree with the type's scalar ``address_of`` for all
+    in-range elements — :func:`verify_bulk_matches_scalar` spot-checks
+    exactly that.
+    """
+    if not (isinstance(mapping_type, type) and issubclass(mapping_type, BankMapping)):
+        raise MappingError(
+            f"bulk kernels require a BankMapping subclass, got {mapping_type!r}"
+        )
+    if not callable(kernel):
+        raise MappingError(f"bulk kernel for {mapping_type.__name__} is not callable")
+    _BULK_KERNELS[mapping_type] = kernel
+
+
+def has_bulk_kernel(mapping_type: type) -> bool:
+    """Whether ``mapping_type`` (exactly, not via inheritance) has a kernel."""
+    return mapping_type in _BULK_KERNELS
 
 #: Default number of coordinate rows materialized per bulk chunk.  A chunk
 #: is a ``(chunk, n)`` int64 block, so the default caps transient memory at
@@ -199,7 +235,19 @@ def _bulk_offset_packed(mapping, elements: "np.ndarray") -> "np.ndarray":
 def bulk_addresses(
     mapping: BankMapping, elements: "np.ndarray"
 ) -> Tuple["np.ndarray", "np.ndarray"]:
-    """Vectorized ``(B(x), F(x))`` pair for a batch of elements."""
+    """Vectorized ``(B(x), F(x))`` pair for a batch of elements.
+
+    Dispatches to a registered bulk kernel when the mapping's exact type
+    has one (see :func:`register_bulk_kernel`); otherwise uses the stock
+    closed forms.
+    """
+    kernel = _BULK_KERNELS.get(type(mapping))
+    if kernel is not None:
+        banks, offsets = kernel(mapping, np.asarray(elements, dtype=np.int64))
+        return (
+            np.asarray(banks, dtype=np.int64),
+            np.asarray(offsets, dtype=np.int64),
+        )
     return bulk_bank_of(mapping, elements), bulk_offset_of(mapping, elements)
 
 

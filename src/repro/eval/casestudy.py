@@ -15,7 +15,12 @@ from typing import Tuple
 from ..baselines.ltb import ltb_overhead_elements, ltb_partition
 from ..core.mapping import ours_overhead_elements
 from ..core.opcount import OpCounter
-from ..core.partition import fast_nc, minimize_nf, partition, same_size_sweep
+from ..core.partition import (
+    fast_nc,
+    minimize_nf,
+    partition,
+    same_size_sweep,
+)
 from ..core.pattern import Pattern
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
@@ -43,6 +48,7 @@ class CaseStudy:
     same_size_delta: int
     ours_operations: int
     ltb_operations: int
+    ltb_vectors_tried: int
     ours_overhead_elements: int
     ltb_overhead_elements: int
 
@@ -60,22 +66,31 @@ def _ours_chain_task(task):
 
 
 def _ltb_chain_task(task):
-    """Worker half 2: the (much slower) LTB baseline."""
-    pattern, _ = task
+    """Worker half 2: the (much slower) LTB baseline.
+
+    The task payload carries the chain-wide bank ceiling and the search
+    engine; the worker *honors* the ceiling instead of re-deriving (or,
+    as this task once did, silently discarding) it.  The bound is valid by
+    construction — see :func:`run_case_study`.
+    """
+    pattern, bound, engine = task
     ltb_ops = OpCounter()
-    ltb = ltb_partition(pattern, ops=ltb_ops)
-    return (ltb.solution.n_banks, ltb_ops)
+    ltb = ltb_partition(pattern, n_max=bound, ops=ltb_ops, engine=engine)
+    return (ltb.solution.n_banks, ltb.vectors_tried, ltb_ops)
 
 
 def _case_chain_task(task):
-    kind, pattern, n_max = task
+    kind, pattern, bound, engine = task
     if kind == "ours":
-        return _ours_chain_task((pattern, n_max))
-    return _ltb_chain_task((pattern, n_max))
+        return _ours_chain_task((pattern, bound))
+    return _ltb_chain_task((pattern, bound, engine))
 
 
 def run_case_study(
-    shape: Tuple[int, int] = (640, 480), n_max: int = 10, jobs: int | None = None
+    shape: Tuple[int, int] = (640, 480),
+    n_max: int = 10,
+    jobs: int | None = None,
+    ltb_engine: str = "auto",
 ) -> CaseStudy:
     """Execute the full LoG case study at the paper's SD resolution.
 
@@ -85,17 +100,28 @@ def run_case_study(
 
     ``jobs`` > 1 runs the two independent algorithm chains (ours, LTB) on
     separate worker processes; the numbers are identical to a serial run.
+
+    The LTB chain runs under a shared ceiling derived once by the parent:
+    our unconstrained ``N_f``.  It is a sound bound — at ``N = N_f`` the
+    component-wise residues ``α mod N_f`` form a valid candidate vector, so
+    the exhaustive search always terminates at or below it.  (The
+    case-study ``n_max`` itself is the *folding* ceiling of the ours chain
+    and would be too tight: LoG's LTB minimum is 13 > 10.)
     """
     pattern = log_pattern().translated((2, 2))
+    ltb_bound = partition(pattern).n_banks
 
     with span("eval.casestudy", jobs=jobs):
         chains = run_parallel(
             _case_chain_task,
-            [("ours", pattern, n_max), ("ltb", pattern, n_max)],
+            [
+                ("ours", pattern, n_max, None),
+                ("ltb", pattern, ltb_bound, ltb_engine),
+            ],
             jobs=jobs,
         )
         (n_f, transform, z_values, bank_indices, sweep, nc_fast, rounds, ours_ops) = chains[0]
-        ltb_banks, ltb_ops = chains[1]
+        ltb_banks, ltb_vectors, ltb_ops = chains[1]
 
     registry = obs_registry()
     registry.absorb_ops("eval.casestudy.ours.ops", ours_ops)
@@ -103,6 +129,7 @@ def run_case_study(
     registry.gauge("eval.casestudy.n_f").set(n_f)
     registry.gauge("eval.casestudy.same_size_nc").set(sweep.best_n)
     registry.gauge("eval.casestudy.fast_nc").set(nc_fast)
+    registry.gauge("eval.casestudy.ltb.vectors_tried").set(ltb_vectors)
 
     return CaseStudy(
         pattern=pattern,
@@ -118,6 +145,7 @@ def run_case_study(
         same_size_delta=sweep.conflicts_by_n[sweep.best_n] - 1,  # type: ignore[operator]
         ours_operations=ours_ops.total,
         ltb_operations=ltb_ops.total,
+        ltb_vectors_tried=ltb_vectors,
         ours_overhead_elements=ours_overhead_elements(shape, n_f),
         ltb_overhead_elements=ltb_overhead_elements(shape, ltb_banks),
     )

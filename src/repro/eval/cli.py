@@ -38,6 +38,16 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_ltb_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ltb-engine",
+        choices=["auto", "scalar", "vectorized"],
+        default="auto",
+        help="LTB search engine for the instrumented run (identical results; "
+        "reported LTB times always measure the scalar reference)",
+    )
+
+
 def _add_emit_metrics(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--emit-metrics",
@@ -82,10 +92,14 @@ def main_table1(argv: Sequence[str] | None = None) -> int:
         "--no-paper", action="store_true", help="omit the published reference rows"
     )
     _add_jobs(parser)
+    _add_ltb_engine(parser)
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
     table = build_table(
-        args.benchmarks, time_repetitions=args.repetitions, jobs=args.jobs
+        args.benchmarks,
+        time_repetitions=args.repetitions,
+        jobs=args.jobs,
+        ltb_engine=args.ltb_engine,
     )
     print(render_table1(table, include_paper=not args.no_paper))
     _emit_metrics(args.emit_metrics)
@@ -99,9 +113,16 @@ def main_casestudy(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--nmax", type=int, default=10, help="bank-count ceiling")
     _add_jobs(parser)
+    _add_ltb_engine(parser)
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
-    print(render_case_study(run_case_study(n_max=args.nmax, jobs=args.jobs)))
+    print(
+        render_case_study(
+            run_case_study(
+                n_max=args.nmax, jobs=args.jobs, ltb_engine=args.ltb_engine
+            )
+        )
+    )
     _emit_metrics(args.emit_metrics)
     return 0
 

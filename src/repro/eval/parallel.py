@@ -16,6 +16,10 @@ must keep three properties the serial code guarantees:
   :meth:`~repro.obs.metrics.MetricsRegistry.dump` alongside the result;
   the parent merges dumps in result order (see
   :func:`repro.eval.table1.build_table` for the pattern).
+* **Config in the payload** — workers inherit no CLI state or parent
+  globals, so every knob a task needs (engine selection such as
+  ``ltb_engine``, repetition counts, chain bounds) must travel inside the
+  task tuple itself, not via module-level configuration.
 
 ``jobs=None``/``0``/``1`` (and single-item workloads) run serially in the
 calling process — no pool, no pickling, identical code path for tests.

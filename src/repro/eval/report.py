@@ -69,6 +69,7 @@ def render_case_study(study: CaseStudy) -> str:
         "   (paper: 7 of (7, 9))",
         f"  ours ops / LTB ops   = {study.ours_operations} / {study.ltb_operations}"
         "   (paper: 92 / 1053)",
+        f"  LTB vectors tried    = {study.ltb_vectors_tried}",
         f"  ours / LTB overhead  = {study.ours_overhead_elements} / "
         f"{study.ltb_overhead_elements} elements   (paper: 640 / 5450)",
     ]

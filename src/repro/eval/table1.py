@@ -90,14 +90,24 @@ def build_row(
     benchmark: str,
     resolutions: Sequence[str] = RESOLUTION_ORDER,
     time_repetitions: int = 20,
+    ltb_engine: str = "auto",
 ) -> Table1Row:
-    """Measure one benchmark end to end."""
+    """Measure one benchmark end to end.
+
+    ``ltb_engine`` selects the LTB search engine for the instrumented run;
+    the reported LTB milliseconds always time the scalar reference (see
+    :func:`~repro.eval.metrics.run_ltb`).
+    """
     if benchmark not in BENCHMARKS:
         raise KeyError(f"unknown benchmark {benchmark!r}")
     pattern = BENCHMARKS[benchmark]()
     with span("eval.table1.row", benchmark=benchmark):
         ours = run_ours(pattern, repetitions=time_repetitions)
-        ltb = run_ltb(pattern, repetitions=max(1, time_repetitions // 10))
+        ltb = run_ltb(
+            pattern,
+            repetitions=max(1, time_repetitions // 10),
+            engine=ltb_engine,
+        )
 
         storage: Dict[str, Tuple[int, ...]] = {}
         registry = obs_registry()
@@ -114,17 +124,23 @@ def build_row(
     return Table1Row(benchmark=benchmark, ours=ours, ltb=ltb, storage=storage)
 
 
-def _build_row_task(task: Tuple[str, int]) -> Tuple[Table1Row, Dict[str, Any]]:
+def _build_row_task(
+    task: Tuple[str, int, str]
+) -> Tuple[Table1Row, Dict[str, Any]]:
     """Worker entry: one row, plus the metrics it recorded.
 
     Runs in a forked worker whose process-global registry is an opaque copy
     of the parent's — so it is reset first, and everything the row records
-    travels home in the returned dump for the parent to merge.
+    travels home in the returned dump for the parent to merge.  All
+    configuration (including the LTB engine) travels in the task payload:
+    workers inherit no CLI state.
     """
-    benchmark, time_repetitions = task
+    benchmark, time_repetitions, ltb_engine = task
     registry = obs_registry()
     registry.reset()
-    row = build_row(benchmark, time_repetitions=time_repetitions)
+    row = build_row(
+        benchmark, time_repetitions=time_repetitions, ltb_engine=ltb_engine
+    )
     return row, registry.dump()
 
 
@@ -132,6 +148,7 @@ def build_table(
     benchmarks: Sequence[str] | None = None,
     time_repetitions: int = 20,
     jobs: int | None = None,
+    ltb_engine: str = "auto",
 ) -> Table1:
     """Measure the full Table 1 (or a subset of rows).
 
@@ -144,7 +161,7 @@ def build_table(
         if jobs is not None and jobs > 1:
             outcomes = run_parallel(
                 _build_row_task,
-                [(name, time_repetitions) for name in names],
+                [(name, time_repetitions, ltb_engine) for name in names],
                 jobs=jobs,
             )
             registry = obs_registry()
@@ -153,7 +170,11 @@ def build_table(
             rows = tuple(row for row, _ in outcomes)
         else:
             rows = tuple(
-                build_row(name, time_repetitions=time_repetitions)
+                build_row(
+                    name,
+                    time_repetitions=time_repetitions,
+                    ltb_engine=ltb_engine,
+                )
                 for name in names
             )
     table = Table1(rows=rows)

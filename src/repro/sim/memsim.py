@@ -110,17 +110,23 @@ class SimulationReport:
 
 
 def _vectorized_capable(mapping: BankMapping) -> bool:
-    """Whether the bulk engine's closed forms are valid for this mapping.
+    """Whether the bulk engine's batch math is valid for this mapping.
 
     The vectorized path recomputes ``B(x)``/``F(x)`` from the mapping's
     *formulas*, so a subclass that overrides the scalar address methods
     (tests use exactly this to inject corruption) would silently diverge.
-    Only the stock mapping types are eligible; anything else replays
-    through the scalar reference.
+    Eligible are the stock mapping types plus any type with a registered
+    bulk kernel (:func:`repro.core.vectorized.register_bulk_kernel` — the
+    baseline cyclic/block mappings register theirs at import).  Kernel
+    lookup is by exact type, so subclasses of registered types also fall
+    back to the scalar reference.
     """
     from ..core.packed import PackedBankMapping
+    from ..core.vectorized import has_bulk_kernel
 
-    return type(mapping) in (BankMapping, PackedBankMapping)
+    return type(mapping) in (BankMapping, PackedBankMapping) or has_bulk_kernel(
+        type(mapping)
+    )
 
 
 def _simulate_sweep_scalar(
@@ -263,9 +269,10 @@ def simulate_sweep(
         engine = "vectorized" if _vectorized_capable(mapping) else "scalar"
     elif engine == "vectorized" and not _vectorized_capable(mapping):
         raise SimulationError(
-            "engine='vectorized' supports stock BankMapping types only; "
-            f"{type(mapping).__name__} overrides scalar address methods the "
-            "bulk path cannot honor — use engine='scalar'"
+            "engine='vectorized' supports stock BankMapping types and types "
+            f"with a registered bulk kernel only; {type(mapping).__name__} "
+            "overrides scalar address methods the bulk path cannot honor — "
+            "use engine='scalar' (or register_bulk_kernel for the type)"
         )
 
     if ports_per_bank < 1:

@@ -1,0 +1,127 @@
+"""Scalar-vs-vectorized equivalence of the LTB search engines.
+
+The vectorized engine must be indistinguishable from the published scalar
+enumeration in every observable: the winning ``(N, α)`` (lexicographic
+first hit), ``vectors_tried``/``candidates_tried``, and the *exact*
+per-kind :class:`~repro.core.opcount.OpCounter` charges — including on the
+failure path, where ``n_max`` exhaustion must raise with identical charges
+at any chunk boundary.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import LTB_ENGINES, ltb_chunk_budget, ltb_partition
+from repro.core import OpCounter, Pattern
+from repro.errors import PartitioningError
+from repro.patterns import gaussian_pattern, log_pattern, median_pattern
+
+
+def _run(pattern, engine, **kwargs):
+    """One instrumented run: (result, counter) for an engine."""
+    ops = OpCounter()
+    result = ltb_partition(pattern, ops=ops, engine=engine, **kwargs)
+    return result, ops
+
+
+def _assert_equivalent(pattern, **kwargs):
+    scalar, scalar_ops = _run(pattern, "scalar")
+    vector, vector_ops = _run(pattern, "vectorized", **kwargs)
+    assert vector.solution.n_banks == scalar.solution.n_banks
+    assert vector.solution.transform.alpha == scalar.solution.transform.alpha
+    assert vector.vectors_tried == scalar.vectors_tried
+    assert vector.candidates_tried == scalar.candidates_tried
+    assert vector_ops.counts == scalar_ops.counts
+    return scalar
+
+
+@st.composite
+def patterns_2d(draw, max_extent: int = 4, max_size: int = 6):
+    coordinate = st.integers(min_value=-max_extent, max_value=max_extent)
+    offset = st.tuples(coordinate, coordinate)
+    offsets = draw(st.sets(offset, min_size=1, max_size=max_size))
+    return Pattern(offsets)
+
+
+class TestEquivalence:
+    def test_benchmarks(self, all_benchmarks):
+        for name, pattern in all_benchmarks:
+            _assert_equivalent(pattern)
+
+    def test_single_element_pattern(self):
+        # m = 1: no duplicate scan; the first vector (0,)*n always wins.
+        result = _assert_equivalent(Pattern([(0, 0)]))
+        assert result.solution.n_banks == 1
+        assert result.vectors_tried == 1
+
+    def test_one_dimensional(self):
+        _assert_equivalent(Pattern([(0,), (1,), (3,)]))
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(pattern=patterns_2d())
+    def test_random_patterns(self, pattern):
+        _assert_equivalent(pattern)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 9, 10, 100])
+    def test_chunk_boundaries(self, chunk):
+        # The LoG hit lands at different positions within a block for each
+        # budget; charges and the first hit must not move.
+        _assert_equivalent(log_pattern(), chunk=chunk)
+
+    def test_chunk_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LTB_CHUNK", "7")
+        assert ltb_chunk_budget() == 7
+        _assert_equivalent(gaussian_pattern())
+
+    def test_auto_matches_vectorized(self):
+        pattern = median_pattern()
+        auto, auto_ops = _run(pattern, "auto")
+        vector, vector_ops = _run(pattern, "vectorized")
+        assert auto == vector
+        assert auto_ops.counts == vector_ops.counts
+
+
+class TestExhaustion:
+    @pytest.mark.parametrize("chunk", [1, 3, 50, None])
+    def test_nmax_exhaustion_charges_match_scalar(self, chunk):
+        # LoG needs 13 banks; capping at 12 exhausts every candidate N.
+        pattern = log_pattern()
+        scalar_ops = OpCounter()
+        with pytest.raises(PartitioningError):
+            ltb_partition(pattern, n_max=12, ops=scalar_ops, engine="scalar")
+        vector_ops = OpCounter()
+        with pytest.raises(PartitioningError):
+            ltb_partition(
+                pattern, n_max=12, ops=vector_ops, engine="vectorized", chunk=chunk
+            )
+        assert vector_ops.counts == scalar_ops.counts
+
+
+class TestValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown LTB engine"):
+            ltb_partition(log_pattern(), engine="simd")
+
+    def test_engine_names(self):
+        assert LTB_ENGINES == ("auto", "scalar", "vectorized")
+
+    @pytest.mark.parametrize("chunk", [0, -4])
+    def test_nonpositive_chunk_rejected(self, chunk):
+        with pytest.raises(ValueError, match="chunk budget"):
+            ltb_chunk_budget(chunk)
+
+    def test_nonpositive_chunk_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LTB_CHUNK", "0")
+        with pytest.raises(ValueError, match="REPRO_LTB_CHUNK"):
+            ltb_chunk_budget()
+
+    def test_explicit_chunk_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LTB_CHUNK", "11")
+        assert ltb_chunk_budget(5) == 5
