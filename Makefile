@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-perf validate table1 casestudy examples all
+.PHONY: install test bench bench-perf validate table1 casestudy examples serve all
 
 install:
 	python setup.py develop
@@ -28,5 +28,10 @@ casestudy:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+# Long-lived partitioning service (docs/SERVING.md).  STORE= sets the
+# persistent solution store directory; PORT=0 binds an ephemeral port.
+serve:
+	PYTHONPATH=src python -m repro.serve.cli --port $(or $(PORT),8642) $(if $(STORE),--store-dir $(STORE))
 
 all: install test bench validate examples

@@ -208,6 +208,60 @@ def _bench_baseline_sim(
     return rows
 
 
+def _percentile_ms(latencies_s: List[float], fraction: float) -> float:
+    """Nearest-rank percentile of a latency sample, in milliseconds."""
+    ordered = sorted(latencies_s)
+    rank = max(0, min(len(ordered) - 1, int(fraction * len(ordered))))
+    return ordered[rank] * 1e3
+
+
+def _bench_serve(preset: str) -> List[Dict[str, Any]]:
+    """Round-trip latency/throughput against a live in-process server.
+
+    Cold phase: every request is a distinct solve (same ``log`` pattern,
+    varying ``n_max`` — translations share a solve key, so ``n_max`` is the
+    knob that makes keys distinct).  Warm phase: a *new* server against the
+    same store directory with the in-memory cache cleared, so every request
+    is answered from the on-disk store — the restart story the store exists
+    for.
+    """
+    import tempfile
+
+    from repro.serve import ServeClient, serve_in_thread
+
+    n_keys = 8 if preset == "small" else 16
+    n_max_values = list(range(4, 4 + n_keys))
+    rows: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as store_dir:
+        for phase in ("cold_store", "warm_store"):
+            solve_cache.clear()  # the store, not the memo dict, should answer
+            latencies: List[float] = []
+            started = time.perf_counter()
+            with serve_in_thread(store_dir=store_dir) as srv:
+                with ServeClient(port=srv.port) as client:
+                    for n_max in n_max_values:
+                        t0 = time.perf_counter()
+                        client.solve(benchmark="log", n_max=n_max)
+                        latencies.append(time.perf_counter() - t0)
+                    store_stats = client.healthz()["store"]
+            total_s = time.perf_counter() - started
+            rows.append(
+                {
+                    "workload": f"log_nmax_sweep_{phase}",
+                    "phase": phase,
+                    "requests": len(latencies),
+                    "distinct_keys": len(n_max_values),
+                    "rps": len(latencies) / sum(latencies),
+                    "p50_ms": _percentile_ms(latencies, 0.50),
+                    "p99_ms": _percentile_ms(latencies, 0.99),
+                    "total_s": total_s,
+                    "store_entries": store_stats["entries"],
+                    "store_hits": store_stats["hits"],
+                }
+            )
+    return rows
+
+
 def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     """Execute every bench in ``preset`` and return the JSON document."""
     workloads = PRESETS[preset]
@@ -220,6 +274,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         "sweep": [],
         "ltb_search": [],
         "baseline_sim": [],
+        "serve": [],
     }
     for name, factory, shape in workloads:
         pattern = factory()
@@ -234,6 +289,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     doc["baseline_sim"].extend(
         _bench_baseline_sim(f"stencil3x3_{baseline_shape[0]}", baseline_shape, repeat)
     )
+    doc["serve"].extend(_bench_serve(preset))
     return doc
 
 
@@ -286,6 +342,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"baseline_sim {row['workload']}: scalar {row['scalar_s'] * 1e3:.2f}ms, "
             f"vectorized {row['vectorized_s'] * 1e3:.2f}ms "
             f"({row['speedup']:.1f}x, identical={row['reports_identical']})"
+        )
+    for row in doc["serve"]:
+        print(
+            f"serve {row['workload']}: {row['requests']} reqs, "
+            f"{row['rps']:.0f} rps, p50 {row['p50_ms']:.2f}ms, "
+            f"p99 {row['p99_ms']:.2f}ms "
+            f"(store entries={row['store_entries']}, hits={row['store_hits']})"
         )
     print(f"written: {args.output}")
 

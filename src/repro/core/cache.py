@@ -30,10 +30,12 @@ or globally ``REPRO_SOLVE_CACHE=0``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import os
 import threading
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Any, Hashable, Optional, Tuple
 
 from ..obs.metrics import registry as obs_registry
 from .partition import PartitionSolution
@@ -145,3 +147,36 @@ def partition_key(
 ) -> Hashable:
     """Cache key for :func:`repro.core.partition.partition`."""
     return ("partition", _normalized_offsets(pattern), n_max, bool(same_size))
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a cache key to JSON-expressible primitives, recursively.
+
+    Tuples and lists collapse to lists (the distinction is an in-memory
+    artifact, not part of the key's identity); everything else must already
+    be a JSON scalar.  Rejecting unknown types loudly keeps the digest
+    honest — a silent ``repr`` fallback would make unequal keys collide or
+    equal keys diverge across processes.
+    """
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cache keys may only contain JSON scalars, got {value!r}")
+
+
+def stable_digest(key: Hashable) -> str:
+    """Content address of a cache key: a hex SHA-256, stable across processes.
+
+    :func:`solve_key` / :func:`partition_key` tuples hash differently in
+    every interpreter run (``PYTHONHASHSEED``), so anything that must agree
+    on an identity *across* process borders — the on-disk
+    :class:`~repro.serve.store.SolutionStore`, the server-side request
+    coalescer, worker pools — goes through this canonical JSON encoding
+    instead.  Equal keys always produce equal digests; translated copies of
+    a pattern share a digest because the key already normalizes translation.
+    """
+    payload = json.dumps(
+        _canonical(key), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -53,7 +53,7 @@ def _add_emit_metrics(parser: argparse.ArgumentParser) -> None:
         "--emit-metrics",
         metavar="PATH",
         default=None,
-        help="write the telemetry snapshot to PATH (.json or .csv)",
+        help="write the telemetry snapshot to PATH (.json, .csv, or .prom)",
     )
 
 
@@ -61,10 +61,16 @@ def _emit_metrics(path: Optional[str], conflicts=None, extra=None) -> None:
     """Write the global registry/tracer snapshot when requested."""
     if not path:
         return
-    from ..obs.export import write_metrics_csv, write_metrics_json
+    from ..obs.export import (
+        write_metrics_csv,
+        write_metrics_json,
+        write_metrics_prometheus,
+    )
 
     if path.endswith(".csv"):
         write_metrics_csv(path)
+    elif path.endswith(".prom"):
+        write_metrics_prometheus(path)
     else:
         write_metrics_json(path, conflicts=conflicts, extra=extra)
     print(f"metrics written to {path}")

@@ -23,15 +23,29 @@ must keep three properties the serial code guarantees:
 
 ``jobs=None``/``0``/``1`` (and single-item workloads) run serially in the
 calling process — no pool, no pickling, identical code path for tests.
+
+A crashed worker (OOM kill, hard ``exit``, interpreter abort) surfaces as
+:class:`~concurrent.futures.process.BrokenProcessPool`.  A one-shot CLI
+could let that propagate, but a long-lived server cannot die because one
+worker did, so :func:`run_parallel` retries once on a fresh pool and then
+falls back to serial execution in the calling process.  Task functions are
+pure solves, so re-running the whole batch is safe; each degradation is
+counted under ``parallel.pool.broken`` in the metrics registry.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..obs.metrics import registry as obs_registry
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+#: Fresh-pool retries before degrading to serial execution.
+POOL_RETRIES = 1
 
 
 def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
@@ -48,11 +62,19 @@ def run_parallel(
 ) -> List[Result]:
     """Map ``fn`` over ``items`` on ``jobs`` worker processes.
 
-    ``fn`` must be a top-level (picklable) function.  Results preserve the
-    order of ``items`` regardless of which worker finishes first.
+    ``fn`` must be a top-level (picklable) function, and idempotent: when a
+    worker dies mid-batch the whole batch is re-run (once on a fresh pool,
+    then serially), so partial side effects must be harmless.  Results
+    preserve the order of ``items`` regardless of which worker finishes
+    first.
     """
     workers = resolve_jobs(jobs, len(items))
     if workers == 1:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(executor.map(fn, items))
+    for _ in range(POOL_RETRIES + 1):
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                return list(executor.map(fn, items))
+        except BrokenProcessPool:
+            obs_registry().counter("parallel.pool.broken").inc()
+    return [fn(item) for item in items]

@@ -24,8 +24,10 @@ from .export import (
     metrics_document,
     metrics_to_csv,
     spans_to_jsonl,
+    to_prometheus_text,
     write_metrics_csv,
     write_metrics_json,
+    write_metrics_prometheus,
     write_spans_jsonl,
 )
 from .metrics import (
@@ -54,8 +56,10 @@ __all__ = [
     "metrics_document",
     "metrics_to_csv",
     "spans_to_jsonl",
+    "to_prometheus_text",
     "write_metrics_csv",
     "write_metrics_json",
+    "write_metrics_prometheus",
     "write_spans_jsonl",
     "Counter",
     "Gauge",

@@ -10,14 +10,19 @@ Three formats, one schema:
   artifact CI diffs between runs.
 * ``*.csv``   — the flat ``kind,name,field,value`` projection of the same
   snapshot for spreadsheet users.
+* ``*.prom``  — the Prometheus text exposition format
+  (:func:`to_prometheus_text`), which is also what the ``repro-serve``
+  ``/metrics`` endpoint returns so a stock Prometheus scraper can watch a
+  running partitioning service.
 
-Everything here is pure stdlib (``json``/``io``) so the exporters work in
-the most minimal environment the package supports.
+Everything here is pure stdlib (``json``/``io``/``re``) so the exporters
+work in the most minimal environment the package supports.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Any, Dict, List, Optional, Sequence
 
 from .conflicts import ConflictTable
@@ -96,3 +101,53 @@ def write_metrics_csv(path: str, metrics: MetricsRegistry | None = None) -> None
     """Write the flat CSV projection of the registry to ``path``."""
     with open(path, "w") as handle:
         handle.write(metrics_to_csv(metrics) + "\n")
+
+
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    ``solve.cache.hits`` → ``repro_solve_cache_hits``.  The ``repro_``
+    prefix namespaces the whole registry and guarantees the first character
+    is a letter even for exotic registry names.
+    """
+    return "repro_" + _PROM_INVALID.sub("_", name)
+
+
+def to_prometheus_text(metrics: MetricsRegistry | None = None) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Counters follow the ``_total`` naming convention; histograms export as
+    summaries (``{quantile="0.5"|"0.95"}`` sample lines plus ``_sum`` /
+    ``_count``) with the observed maximum as a companion ``_max`` gauge —
+    the registry keeps nearest-rank percentiles, not buckets, so a summary
+    is the honest mapping.
+    """
+    snapshot = (metrics or _global_registry()).snapshot()
+    lines: List[str] = []
+    for name, value in snapshot["counters"].items():
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, value in snapshot["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {value}")
+    for name, summary in snapshot["histograms"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        lines.append(f'{prom}{{quantile="0.5"}} {summary["p50"]}')
+        lines.append(f'{prom}{{quantile="0.95"}} {summary["p95"]}')
+        lines.append(f"{prom}_sum {summary['sum']}")
+        lines.append(f"{prom}_count {summary['count']}")
+        lines.append(f"# TYPE {prom}_max gauge")
+        lines.append(f"{prom}_max {summary['max']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics_prometheus(path: str, metrics: MetricsRegistry | None = None) -> None:
+    """Write the Prometheus text projection of the registry to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(to_prometheus_text(metrics))

@@ -1,0 +1,259 @@
+"""Blocking Python client for the partitioning service.
+
+A thin, dependency-free wrapper over :mod:`http.client` that speaks the
+:mod:`repro.serve.protocol` schema and converts structured error bodies
+into a small exception hierarchy:
+
+* :class:`ServeError` — base; carries ``code`` and ``http_status``.
+* :class:`ServerBusyError` — 429 backpressure; carries ``retry_after_s``.
+* :class:`DeadlineExceededError` — the per-request deadline expired
+  server-side.
+* :class:`InfeasibleRequestError` — the solver proved the constraints
+  unsatisfiable (a *successful* negative answer, distinct from transport
+  failures).
+
+The client is deliberately synchronous — callers embedding it in an async
+program should run it in an executor; the service side is where the
+concurrency lives.
+
+Example
+-------
+>>> from repro.serve.client import ServeClient           # doctest: +SKIP
+>>> with ServeClient(port=8642) as client:               # doctest: +SKIP
+...     sol = client.solve_solution(benchmark="log", n_max=10)
+...     sol.n_banks
+7
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.partition import PartitionSolution
+from ..core.pattern import Pattern
+from ..errors import ReproError
+from ..io import pattern_to_dict, solution_from_dict
+from .protocol import ERROR_DEADLINE, ERROR_INFEASIBLE, ERROR_QUEUE_FULL
+
+
+class ServeError(ReproError):
+    """A structured error answer from the service."""
+
+    def __init__(self, code: str, message: str, http_status: int) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.http_status = http_status
+
+
+class ServerBusyError(ServeError):
+    """429: the intake queue is full; honor ``retry_after_s``."""
+
+    def __init__(self, message: str, http_status: int, retry_after_s: float) -> None:
+        super().__init__(ERROR_QUEUE_FULL, message, http_status)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServeError):
+    """504: the request's ``timeout_ms`` budget expired server-side."""
+
+
+class InfeasibleRequestError(ServeError):
+    """422: the solver proved the requested constraints unsatisfiable."""
+
+
+def _raise_for(code: str, message: str, status: int, doc: Dict[str, Any]) -> None:
+    if code == ERROR_QUEUE_FULL:
+        raise ServerBusyError(message, status, float(doc.get("retry_after_s", 1.0)))
+    if code == ERROR_DEADLINE:
+        raise DeadlineExceededError(code, message, status)
+    if code == ERROR_INFEASIBLE:
+        raise InfeasibleRequestError(code, message, status)
+    raise ServeError(code, message, status)
+
+
+def _pattern_fields(
+    pattern: Optional[Pattern],
+    benchmark: Optional[str],
+    mask: Optional[Sequence[str]],
+) -> Dict[str, Any]:
+    sources = sum(x is not None for x in (pattern, benchmark, mask))
+    if sources != 1:
+        raise ValueError("exactly one of pattern=, benchmark=, mask= is required")
+    if pattern is not None:
+        doc = pattern_to_dict(pattern)
+        fields: Dict[str, Any] = {"offsets": doc["offsets"]}
+        if doc["name"]:
+            fields["name"] = doc["name"]
+        return fields
+    if benchmark is not None:
+        return {"benchmark": benchmark}
+    return {"mask": list(mask)}  # type: ignore[arg-type]
+
+
+class ServeClient:
+    """One keep-alive HTTP connection to a :class:`PartitionServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management --------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, bytes, str]:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, data, response.headers.get_content_type()
+        except (http.client.HTTPException, socket.error):
+            # Stale keep-alive (server restarted, idle timeout): one clean
+            # retry on a fresh connection, then let the error propagate.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, data, response.headers.get_content_type()
+
+    def _json(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        status, data, _ = self._request(method, path, body)
+        try:
+            doc = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError("internal", f"unparseable response: {exc}", status) from exc
+        if status != 200:
+            error = doc.get("error", {}) if isinstance(doc, dict) else {}
+            _raise_for(
+                error.get("code", "internal"),
+                error.get("message", f"HTTP {status}"),
+                status,
+                error,
+            )
+        return doc
+
+    # -- endpoints ---------------------------------------------------------
+
+    def solve(
+        self,
+        pattern: Optional[Pattern] = None,
+        benchmark: Optional[str] = None,
+        mask: Optional[Sequence[str]] = None,
+        shape: Optional[Sequence[int]] = None,
+        n_max: Optional[int] = None,
+        objective: str = "latency",
+        delta_max: int = 0,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """POST /solve; returns the raw response document."""
+        body = _pattern_fields(pattern, benchmark, mask)
+        if shape is not None:
+            body["shape"] = [int(w) for w in shape]
+        if n_max is not None:
+            body["n_max"] = int(n_max)
+        if objective != "latency":
+            body["objective"] = objective
+        if delta_max:
+            body["delta_max"] = int(delta_max)
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return self._json("POST", "/solve", body)
+
+    def solve_solution(self, **kwargs: Any) -> PartitionSolution:
+        """:meth:`solve`, decoded into a :class:`PartitionSolution`.
+
+        The decoded object is bit-identical to what a direct in-process
+        :func:`repro.core.solver.solve` returns for the same arguments.
+        """
+        return solution_from_dict(self.solve(**kwargs)["solution"])
+
+    def simulate(
+        self,
+        shape: Sequence[int],
+        pattern: Optional[Pattern] = None,
+        benchmark: Optional[str] = None,
+        mask: Optional[Sequence[str]] = None,
+        n_max: Optional[int] = None,
+        step: int = 1,
+        limit: Optional[int] = None,
+        ports: int = 1,
+        verify: bool = True,
+        engine: str = "auto",
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """POST /simulate; returns solution + simulation report document."""
+        body = _pattern_fields(pattern, benchmark, mask)
+        body["shape"] = [int(w) for w in shape]
+        if n_max is not None:
+            body["n_max"] = int(n_max)
+        if step != 1:
+            body["step"] = step
+        if limit is not None:
+            body["limit"] = limit
+        if ports != 1:
+            body["ports"] = ports
+        if not verify:
+            body["verify"] = False
+        if engine != "auto":
+            body["engine"] = engine
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return self._json("POST", "/simulate", body)
+
+    def table1(
+        self,
+        benchmarks: Optional[List[str]] = None,
+        repetitions: int = 1,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """POST /table1; returns measured rows for the requested benchmarks."""
+        body: Dict[str, Any] = {"repetitions": repetitions}
+        if benchmarks is not None:
+            body["benchmarks"] = list(benchmarks)
+        if timeout_ms is not None:
+            body["timeout_ms"] = timeout_ms
+        return self._json("POST", "/table1", body)
+
+    def healthz(self) -> Dict[str, Any]:
+        """GET /healthz."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """GET /metrics — the raw Prometheus exposition text."""
+        status, data, _ = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError("internal", f"/metrics returned HTTP {status}", status)
+        return data.decode("utf-8")

@@ -1,0 +1,276 @@
+"""Request intake: coalescing, micro-batching, and the solve tier.
+
+The server's throughput story is *not* "one asyncio task per solve".
+Partitioning solves are CPU-bound, so the intake path instead:
+
+1. **Coalesces** — every request is reduced to its canonical solve digest
+   (:meth:`~repro.serve.protocol.SolveSpec.digest`); requests whose digest
+   matches a queued or in-flight job attach to that job's future instead
+   of scheduling work.  Sixteen clients asking for translated copies of
+   the same stencil cost exactly one solve.
+2. **Micro-batches** — queued distinct jobs drain in batches (up to
+   ``batch_max``) into one executor hop, so the event loop pays one
+   thread handoff per batch, not per request.
+3. **Solves through the shared tier** — each batch runs through
+   :func:`repro.eval.parallel.run_parallel`: serial in-process for
+   ``jobs <= 1`` (default; shares the in-memory solve cache and metrics
+   registry with the server process), or on a bounded process pool for
+   ``jobs > 1`` (crash-resilient via ``run_parallel``'s broken-pool
+   fallback).
+4. **Checks the store first** — a :class:`~repro.serve.store.SolutionStore`
+   hit resolves the job without any solve and seeds the in-memory cache,
+   which is what makes a warm restart serve its old working set with zero
+   new solves.
+
+Jobs resolve to *outcome tuples* — ``("ok", PartitionSolution)`` or
+``("err", code, message)`` — rather than raised exceptions, because one
+outcome may fan out to many waiters and an exception instance must not be
+shared across tasks that may add context to it.
+
+Backpressure is a hard bound on distinct queued-plus-in-flight jobs:
+:meth:`Coalescer.submit` raises :class:`QueueFullError` (the server maps
+it to ``429`` + ``Retry-After``) instead of queueing unboundedly.
+Attaching to an existing job is always allowed — it costs no work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import cache as solve_cache
+from ..core.solver import solve
+from ..errors import InfeasibleConstraintError, ReproError
+from ..eval.parallel import run_parallel
+from ..obs.metrics import registry as obs_registry
+from .protocol import ERROR_INFEASIBLE, ERROR_INTERNAL, ERROR_SHUTTING_DOWN, SolveSpec
+from .store import SolutionStore
+
+#: Outcome tuple: ("ok", solution) | ("err", code, message).
+Outcome = Tuple[Any, ...]
+
+
+class QueueFullError(ReproError):
+    """The intake queue is at capacity; retry after ``retry_after_s``."""
+
+    def __init__(self, pending: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"solve queue is full ({pending} jobs pending); "
+            f"retry in {retry_after_s:g}s"
+        )
+        self.pending = pending
+        self.retry_after_s = retry_after_s
+
+
+def _solve_task(spec: SolveSpec) -> Outcome:
+    """One canonical solve, as a picklable top-level task function.
+
+    Runs either in the server process (serial tier) or in a pool worker;
+    either way it returns only the canonical
+    :class:`~repro.core.partition.PartitionSolution` — mappings are shape
+    arithmetic the requester rebuilds, and shipping them across a process
+    border would just serialize redundant state.
+    """
+    try:
+        result = solve(
+            spec.pattern,
+            shape=spec.shape,
+            n_max=spec.n_max,
+            objective=spec.objective,
+            delta_max=spec.delta_max,
+        )
+        return ("ok", result.solution)
+    except InfeasibleConstraintError as exc:
+        return ("err", ERROR_INFEASIBLE, str(exc))
+    except Exception as exc:  # noqa: BLE001 - a worker must never leak raises
+        return ("err", ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
+
+
+def _execute_batch(
+    batch: List[Tuple[str, SolveSpec]],
+    store: Optional[SolutionStore],
+    jobs: int,
+    solve_delay_s: float,
+) -> Dict[str, Outcome]:
+    """Resolve one micro-batch of distinct jobs (runs on an executor thread).
+
+    Store hits short-circuit; the remainder solves through
+    :func:`run_parallel`.  Fresh solutions are persisted to the store and
+    seeded into the in-memory solve cache so later requests hit without
+    touching disk.
+    """
+    if solve_delay_s > 0:
+        time.sleep(solve_delay_s)
+    outcomes: Dict[str, Outcome] = {}
+    to_solve: List[Tuple[str, SolveSpec]] = []
+    for digest, spec in batch:
+        stored = store.get(digest, spec.pattern) if store is not None else None
+        if stored is not None:
+            if solve_cache.enabled():
+                solve_cache.cache().put(spec.cache_key(), stored)
+            outcomes[digest] = ("ok", stored)
+        else:
+            to_solve.append((digest, spec))
+    if to_solve:
+        results = run_parallel(_solve_task, [spec for _, spec in to_solve], jobs=jobs)
+        for (digest, spec), outcome in zip(to_solve, results):
+            outcomes[digest] = outcome
+            if outcome[0] != "ok":
+                continue
+            solution = outcome[1]
+            if store is not None:
+                store.put(
+                    digest,
+                    solution,
+                    meta={"pattern": spec.pattern.name, "m": spec.pattern.size},
+                )
+            # In the process-pool tier the solve happened in a worker whose
+            # cache is invisible here; seed the server's own cache so the
+            # next identical request is an in-memory hit.
+            if jobs > 1 and solve_cache.enabled():
+                solve_cache.cache().put(spec.cache_key(), solution)
+    return outcomes
+
+
+@dataclass
+class _Job:
+    spec: SolveSpec
+    future: "asyncio.Future[Outcome]"
+
+
+class Coalescer:
+    """Single-event-loop intake queue; see the module docstring.
+
+    Not thread-safe by design: :meth:`submit` must be called from the
+    event loop that runs :meth:`run` (the store and solve tiers it drives
+    *are* thread/process safe).
+    """
+
+    def __init__(
+        self,
+        store: Optional[SolutionStore] = None,
+        jobs: int = 0,
+        batch_max: int = 32,
+        max_pending: int = 256,
+        retry_after_s: float = 1.0,
+        solve_delay_s: float = 0.0,
+    ) -> None:
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be positive, got {batch_max}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be positive, got {max_pending}")
+        self.store = store
+        self.jobs = jobs
+        self.batch_max = batch_max
+        self.max_pending = max_pending
+        self.retry_after_s = retry_after_s
+        self.solve_delay_s = solve_delay_s
+        self._queued: "OrderedDict[str, _Job]" = OrderedDict()
+        self._inflight: Dict[str, "asyncio.Future[Outcome]"] = {}
+        self._wake = asyncio.Event()
+        self._closed = False
+
+    # -- intake ------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Distinct jobs queued or in flight (the backpressure quantity)."""
+        return len(self._queued) + len(self._inflight)
+
+    def submit(self, spec: SolveSpec) -> "asyncio.Future[Outcome]":
+        """Queue a solve (or attach to its in-flight twin); returns its future.
+
+        The returned future is shared between every coalesced requester —
+        callers must not cancel it directly (wrap waits in
+        ``asyncio.shield``) and must re-attach their own pattern to the
+        resulting canonical solution.
+        """
+        registry = obs_registry()
+        if self._closed:
+            loop = asyncio.get_running_loop()
+            future: "asyncio.Future[Outcome]" = loop.create_future()
+            future.set_result(
+                ("err", ERROR_SHUTTING_DOWN, "server is shutting down")
+            )
+            return future
+        digest = spec.digest()
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            registry.counter("serve.coalesce.attached").inc()
+            return inflight
+        queued = self._queued.get(digest)
+        if queued is not None:
+            registry.counter("serve.coalesce.attached").inc()
+            return queued.future
+        if self.pending >= self.max_pending:
+            registry.counter("serve.coalesce.rejected").inc()
+            raise QueueFullError(self.pending, retry_after_s=self.retry_after_s)
+        loop = asyncio.get_running_loop()
+        job = _Job(spec=spec, future=loop.create_future())
+        self._queued[digest] = job
+        registry.counter("serve.coalesce.scheduled").inc()
+        self._wake.set()
+        return job.future
+
+    # -- the batch loop ----------------------------------------------------
+
+    async def run(self) -> None:
+        """Drain the queue forever in micro-batches; cancel to stop."""
+        loop = asyncio.get_running_loop()
+        registry = obs_registry()
+        try:
+            while True:
+                await self._wake.wait()
+                batch: List[Tuple[str, SolveSpec]] = []
+                futures: Dict[str, "asyncio.Future[Outcome]"] = {}
+                while self._queued and len(batch) < self.batch_max:
+                    digest, job = self._queued.popitem(last=False)
+                    self._inflight[digest] = job.future
+                    batch.append((digest, job.spec))
+                    futures[digest] = job.future
+                if not self._queued:
+                    self._wake.clear()
+                if not batch:
+                    continue
+                registry.histogram("serve.batch.size").observe(len(batch))
+                try:
+                    outcomes = await loop.run_in_executor(
+                        None,
+                        _execute_batch,
+                        batch,
+                        self.store,
+                        self.jobs,
+                        self.solve_delay_s,
+                    )
+                except Exception as exc:  # noqa: BLE001 - keep the loop alive
+                    outcomes = {
+                        digest: ("err", ERROR_INTERNAL, f"batch failed: {exc}")
+                        for digest, _ in batch
+                    }
+                for digest, future in futures.items():
+                    self._inflight.pop(digest, None)
+                    if not future.done():
+                        future.set_result(
+                            outcomes.get(
+                                digest,
+                                ("err", ERROR_INTERNAL, "job produced no outcome"),
+                            )
+                        )
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Refuse new work and fail everything still queued or in flight."""
+        self._closed = True
+        shutdown: Outcome = ("err", ERROR_SHUTTING_DOWN, "server is shutting down")
+        for job in self._queued.values():
+            if not job.future.done():
+                job.future.set_result(shutdown)
+        self._queued.clear()
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_result(shutdown)
+        self._inflight.clear()

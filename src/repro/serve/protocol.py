@@ -1,0 +1,285 @@
+"""Wire protocol for the partitioning service: JSON in, JSON out.
+
+Every endpoint speaks plain JSON documents over HTTP/1.1 — no framing
+beyond ``Content-Length``, no dependencies beyond the stdlib.  This module
+is the single place where untrusted request bodies become validated core
+objects (and back), so the server, the client, and the tests all share one
+schema:
+
+* a **pattern** is ``{"benchmark": "log"}``, ``{"offsets": [[0,1], ...]}``,
+  or ``{"mask": ["010", "111", "010"]}`` (plus an optional ``"name"``);
+* a **solve spec** adds ``shape``, ``n_max``, ``objective``, ``delta_max``;
+* a **simulate spec** adds the sweep knobs (``step``, ``limit``, ``ports``,
+  ``verify``, ``engine``) and makes ``shape`` mandatory;
+* errors are ``{"error": {"code": ..., "message": ...}}`` with a matching
+  HTTP status (the codes are the :data:`ERROR_*` constants below).
+
+Identity: a spec's :meth:`~SolveSpec.cache_key` is exactly the in-memory
+solve-cache key, and :meth:`~SolveSpec.digest` is its
+:func:`~repro.core.cache.stable_digest` — the coalescer, the on-disk
+store, and the in-memory cache therefore agree on which requests are "the
+same solve" (translated patterns included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..core.cache import solve_key, stable_digest
+from ..core.mapping import BankMapping, ours_overhead_elements
+from ..core.partition import PartitionSolution
+from ..core.pattern import Pattern
+from ..core.solver import Objective
+from ..errors import ReproError
+from ..io import pattern_to_dict, solution_to_dict
+
+#: Structured error codes carried in ``{"error": {"code": ...}}``.
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_NOT_FOUND = "not_found"
+ERROR_INFEASIBLE = "infeasible"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_QUEUE_FULL = "queue_full"
+ERROR_SHUTTING_DOWN = "shutting_down"
+ERROR_INTERNAL = "internal"
+
+#: error code → HTTP status the server answers with.
+HTTP_STATUS: Dict[str, int] = {
+    ERROR_BAD_REQUEST: 400,
+    ERROR_NOT_FOUND: 404,
+    ERROR_INFEASIBLE: 422,
+    ERROR_QUEUE_FULL: 429,
+    ERROR_INTERNAL: 500,
+    ERROR_SHUTTING_DOWN: 503,
+    ERROR_DEADLINE: 504,
+}
+
+#: Simulation engines a request may name (mirrors ``sim.memsim.ENGINES``).
+SIM_ENGINES = ("auto", "scalar", "vectorized")
+
+
+class BadRequestError(ReproError, ValueError):
+    """The request body does not follow the protocol."""
+
+
+def error_payload(code: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """The structured error document every failure path returns."""
+    doc: Dict[str, Any] = {"code": code, "message": message}
+    doc.update(extra)
+    return {"error": doc}
+
+
+# -- request parsing --------------------------------------------------------
+
+
+def _require_mapping(doc: Any) -> Dict[str, Any]:
+    if not isinstance(doc, dict):
+        raise BadRequestError(f"request body must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+def parse_pattern(doc: Dict[str, Any]) -> Pattern:
+    """Build the request's pattern from one of the three accepted forms."""
+    name = doc.get("name", "")
+    if not isinstance(name, str):
+        raise BadRequestError("pattern name must be a string")
+    if "benchmark" in doc:
+        from ..patterns.library import BENCHMARKS, benchmark_pattern
+
+        bench = doc["benchmark"]
+        if bench not in BENCHMARKS:
+            raise BadRequestError(
+                f"unknown benchmark {bench!r}; one of {sorted(BENCHMARKS)}"
+            )
+        return benchmark_pattern(bench)
+    if "offsets" in doc:
+        try:
+            return Pattern(doc["offsets"], name=name)
+        except ReproError as exc:
+            raise BadRequestError(f"bad offsets: {exc}") from exc
+    if "mask" in doc:
+        rows = doc["mask"]
+        try:
+            grid = [
+                [int(ch) for ch in row] if isinstance(row, str) else list(row)
+                for row in rows
+            ]
+            return Pattern.from_mask(grid, name=name or "mask")
+        except (ReproError, TypeError, ValueError) as exc:
+            raise BadRequestError(f"bad mask: {exc}") from exc
+    raise BadRequestError(
+        "pattern source required: one of 'benchmark', 'offsets', or 'mask'"
+    )
+
+
+def _parse_shape(doc: Dict[str, Any], ndim: int) -> Optional[Tuple[int, ...]]:
+    raw = doc.get("shape")
+    if raw is None:
+        return None
+    try:
+        shape = tuple(int(w) for w in raw)
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(f"shape must be a list of integers, got {raw!r}") from exc
+    if len(shape) != ndim:
+        raise BadRequestError(
+            f"shape {shape} does not match pattern dimensionality {ndim}"
+        )
+    if any(w < 1 for w in shape):
+        raise BadRequestError(f"shape extents must be positive, got {shape}")
+    return shape
+
+
+def _parse_optional_int(doc: Dict[str, Any], field: str, minimum: int) -> Optional[int]:
+    raw = doc.get(field)
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise BadRequestError(f"{field} must be an integer, got {raw!r}")
+    if raw < minimum:
+        raise BadRequestError(f"{field} must be >= {minimum}, got {raw}")
+    return raw
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """A validated ``solve`` request: everything that identifies a solution."""
+
+    pattern: Pattern
+    shape: Optional[Tuple[int, ...]]
+    n_max: Optional[int]
+    objective: Objective
+    delta_max: int
+
+    def cache_key(self) -> Hashable:
+        """The in-memory solve-cache key this request resolves to."""
+        return solve_key(
+            self.pattern, self.shape, self.n_max, self.objective.value, self.delta_max
+        )
+
+    def digest(self) -> str:
+        """Cross-process identity: :func:`stable_digest` of :meth:`cache_key`."""
+        return stable_digest(self.cache_key())
+
+
+@dataclass(frozen=True)
+class SimulateSpec:
+    """A validated ``simulate`` request: a solve spec plus sweep knobs."""
+
+    solve: SolveSpec
+    step: int
+    limit: Optional[int]
+    ports_per_bank: int
+    verify: bool
+    engine: str
+
+
+def parse_solve_spec(doc: Any) -> SolveSpec:
+    """Validate a ``solve`` request body."""
+    doc = _require_mapping(doc)
+    pattern = parse_pattern(doc)
+    shape = _parse_shape(doc, pattern.ndim)
+    objective_raw = doc.get("objective", Objective.LATENCY.value)
+    try:
+        objective = Objective(objective_raw)
+    except ValueError as exc:
+        raise BadRequestError(
+            f"unknown objective {objective_raw!r}; one of "
+            f"{[o.value for o in Objective]}"
+        ) from exc
+    delta_max = _parse_optional_int(doc, "delta_max", 0)
+    return SolveSpec(
+        pattern=pattern,
+        shape=shape,
+        n_max=_parse_optional_int(doc, "n_max", 1),
+        objective=objective,
+        delta_max=0 if delta_max is None else delta_max,
+    )
+
+
+def parse_simulate_spec(doc: Any) -> SimulateSpec:
+    """Validate a ``simulate`` request body (``shape`` is mandatory)."""
+    doc = _require_mapping(doc)
+    spec = parse_solve_spec(doc)
+    if spec.shape is None:
+        raise BadRequestError("simulate requires an array shape")
+    step = _parse_optional_int(doc, "step", 1)
+    ports = _parse_optional_int(doc, "ports", 1)
+    engine = doc.get("engine", "auto")
+    if engine not in SIM_ENGINES:
+        raise BadRequestError(f"unknown engine {engine!r}; one of {SIM_ENGINES}")
+    verify = doc.get("verify", True)
+    if not isinstance(verify, bool):
+        raise BadRequestError(f"verify must be a boolean, got {verify!r}")
+    return SimulateSpec(
+        solve=spec,
+        step=1 if step is None else step,
+        limit=_parse_optional_int(doc, "limit", 1),
+        ports_per_bank=1 if ports is None else ports,
+        verify=verify,
+        engine=engine,
+    )
+
+
+def parse_timeout_s(doc: Any) -> Optional[float]:
+    """Per-request deadline in seconds, from a ``timeout_ms`` field.
+
+    ``None`` (absent) means no deadline; any number is accepted — a
+    non-positive budget simply expires immediately, which is the documented
+    way to probe the deadline path.
+    """
+    if not isinstance(doc, dict):
+        return None
+    raw = doc.get("timeout_ms")
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise BadRequestError(f"timeout_ms must be a number, got {raw!r}")
+    return float(raw) / 1000.0
+
+
+# -- response building ------------------------------------------------------
+
+
+def solution_payload(
+    solution: PartitionSolution, spec: SolveSpec, digest: str
+) -> Dict[str, Any]:
+    """The ``solve`` response body for one solved spec.
+
+    The solution travels in the same ``repro/partition-solution`` JSON
+    format :mod:`repro.io` persists, so a client can feed the response
+    straight into :func:`repro.io.solution_from_dict` and obtain an object
+    bit-identical to a direct in-process :func:`repro.core.solver.solve`.
+    """
+    overhead = (
+        ours_overhead_elements(spec.shape, solution.n_banks) if spec.shape else 0
+    )
+    payload: Dict[str, Any] = {
+        "key": digest,
+        "solution": solution_to_dict(solution),
+        "objective_vector": [solution.delta_ii, solution.n_banks, overhead],
+        "overhead_elements": overhead,
+    }
+    if spec.shape:
+        mapping = BankMapping(solution=solution, shape=spec.shape)
+        payload["mapping"] = {
+            "shape": list(spec.shape),
+            "rows_per_bank": mapping.rows_per_bank,
+            "total_bank_elements": mapping.total_bank_elements,
+        }
+    return payload
+
+
+def request_payload(spec: SolveSpec) -> Dict[str, Any]:
+    """The canonical request body for a spec (what the client sends)."""
+    doc: Dict[str, Any] = {"offsets": pattern_to_dict(spec.pattern)["offsets"]}
+    if spec.pattern.name:
+        doc["name"] = spec.pattern.name
+    if spec.shape is not None:
+        doc["shape"] = list(spec.shape)
+    if spec.n_max is not None:
+        doc["n_max"] = spec.n_max
+    if spec.objective is not Objective.LATENCY:
+        doc["objective"] = spec.objective.value
+    if spec.delta_max:
+        doc["delta_max"] = spec.delta_max
+    return doc

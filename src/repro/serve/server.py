@@ -1,0 +1,527 @@
+"""The asyncio partitioning service: HTTP/1.1 over stdlib streams.
+
+One process, one event loop, one batch pipeline.  Connection handlers
+parse requests, enforce deadlines and backpressure, and await shared solve
+futures; all CPU-bound work (solves, simulations, Table 1) happens on
+executor threads — or pool workers when ``jobs > 1`` — so intake stays
+responsive under load.
+
+Endpoints
+---------
+``POST /solve``
+    Body: a solve spec (see :mod:`repro.serve.protocol`).  Coalesced,
+    batched, cached (memory + store).  200 with the solution document, or
+    a structured error (400/422/429/503/504).
+``POST /simulate``
+    A solve spec with mandatory ``shape`` plus sweep knobs; the solve goes
+    through the same coalescing path, then the cycle simulation runs on an
+    executor thread.  Returns solution + simulation report.
+``POST /table1``
+    ``{"benchmarks": [...], "repetitions": k}`` — regenerates Table 1 rows
+    via :func:`repro.eval.table1.build_table`.
+``GET /healthz``
+    Liveness + queue/store stats, always JSON 200 while the loop is alive.
+``GET /metrics``
+    The process metrics registry in Prometheus text format
+    (:func:`repro.obs.export.to_prometheus_text`).
+
+Deadlines: a request may carry ``timeout_ms``; past-deadline requests get
+``504 deadline_exceeded`` — *the coalesced solve keeps running* (other
+waiters, or the store, still want the result), only this response is
+abandoned.  Backpressure: a full intake queue answers ``429 queue_full``
+with a ``Retry-After`` header instead of queueing unboundedly.
+
+:func:`serve_in_thread` runs the whole server on a daemon thread for
+tests, benchmarks, and embedding in synchronous programs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+import time
+from typing import Any, Awaitable, Callable, Dict, Optional, Tuple, Union
+
+from ..core.mapping import BankMapping
+from ..obs.export import to_prometheus_text
+from ..obs.metrics import registry as obs_registry
+from .coalesce import Coalescer, Outcome, QueueFullError
+from .protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_NOT_FOUND,
+    ERROR_QUEUE_FULL,
+    HTTP_STATUS,
+    BadRequestError,
+    SimulateSpec,
+    SolveSpec,
+    error_payload,
+    parse_simulate_spec,
+    parse_solve_spec,
+    parse_timeout_s,
+    solution_payload,
+)
+from .store import SolutionStore
+
+#: Largest accepted request body; patterns are small, this is generous.
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HttpReply(Exception):
+    """Internal control flow: abort the handler with a ready response."""
+
+    def __init__(
+        self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        super().__init__(f"HTTP {status}")
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+
+
+class PartitionServer:
+    """A long-lived partitioning service bound to one host/port."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_dir: Optional[str] = None,
+        store_max_entries: int = 4096,
+        jobs: int = 0,
+        batch_max: int = 32,
+        max_pending: int = 256,
+        retry_after_s: float = 1.0,
+        solve_delay_s: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port  # rebound to the real port after start()
+        self.store = (
+            SolutionStore(store_dir, max_entries=store_max_entries)
+            if store_dir
+            else None
+        )
+        self._coalescer_config = dict(
+            jobs=jobs,
+            batch_max=batch_max,
+            max_pending=max_pending,
+            retry_after_s=retry_after_s,
+            solve_delay_s=solve_delay_s,
+        )
+        self.coalescer: Optional[Coalescer] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._batch_task: Optional[asyncio.Task] = None
+        self._started_at = 0.0
+        self._requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the batch pipeline."""
+        self.coalescer = Coalescer(store=self.store, **self._coalescer_config)
+        self._batch_task = asyncio.get_running_loop().create_task(
+            self.coalescer.run()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        """Stop accepting, fail queued work, release the port."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batch_task is not None:
+            self._batch_task.cancel()
+            try:
+                await self._batch_task
+            except asyncio.CancelledError:
+                pass
+            self._batch_task = None
+        if self.coalescer is not None:
+            self.coalescer.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI wires signals to cancellation)."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload, extra = await self._route(method, target, body)
+                self._write_response(writer, status, payload, extra, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionResetError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _version = line.decode("ascii").split()
+        except ValueError:
+            raise asyncio.IncompleteReadError(line, None)
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise asyncio.LimitOverrunError("body too large", length)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Union[Dict[str, Any], str],
+        extra_headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            content_type = "application/json"
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        head.extend(f"{k}: {v}" for k, v in extra_headers.items())
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+        obs_registry().counter(f"serve.http.{status}").inc()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
+        self._requests += 1
+        registry = obs_registry()
+        registry.counter("serve.requests").inc()
+        started = time.monotonic()
+        path = target.split("?", 1)[0]
+        try:
+            handler = self._resolve_handler(method, path)
+            payload = await handler(self._parse_body(body))
+            return 200, payload, {}
+        except _HttpReply as reply:
+            return reply.status, reply.payload, reply.headers
+        except BadRequestError as exc:
+            return 400, error_payload(ERROR_BAD_REQUEST, str(exc)), {}
+        except Exception as exc:  # noqa: BLE001 - the server must not die
+            registry.counter("serve.errors.internal").inc()
+            return 500, error_payload(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"), {}
+        finally:
+            registry.histogram("serve.latency_ms").observe(
+                (time.monotonic() - started) * 1000.0
+            )
+
+    def _resolve_handler(
+        self, method: str, path: str
+    ) -> Callable[[Any], Awaitable[Union[Dict[str, Any], str]]]:
+        routes: Dict[Tuple[str, str], Callable[[Any], Awaitable[Any]]] = {
+            ("POST", "/solve"): self._handle_solve,
+            ("POST", "/simulate"): self._handle_simulate,
+            ("POST", "/table1"): self._handle_table1,
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+        }
+        handler = routes.get((method, path))
+        if handler is None:
+            known_paths = {p for _, p in routes}
+            if path in known_paths:
+                raise _HttpReply(
+                    405, error_payload(ERROR_BAD_REQUEST, f"{method} not allowed on {path}")
+                )
+            raise _HttpReply(404, error_payload(ERROR_NOT_FOUND, f"no route {path}"))
+        return handler
+
+    @staticmethod
+    def _parse_body(body: bytes) -> Any:
+        if not body:
+            return {}
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequestError(f"body is not valid JSON: {exc}") from exc
+
+    # -- the solve path ----------------------------------------------------
+
+    async def _await_solution(
+        self, spec: SolveSpec, deadline: Optional[float]
+    ):
+        """Submit a spec and await its (shared) outcome under the deadline.
+
+        Returns the canonical solution with the *caller's* pattern
+        re-attached, mirroring what a direct in-process cache hit does.
+        """
+        assert self.coalescer is not None
+        # An already-expired deadline is rejected before intake so a dead
+        # request never consumes queue capacity.
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            obs_registry().counter("serve.deadline.expired").inc()
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_DEADLINE],
+                error_payload(ERROR_DEADLINE, "deadline expired before solve"),
+            )
+        try:
+            future = self.coalescer.submit(spec)
+        except QueueFullError as exc:
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_QUEUE_FULL],
+                error_payload(
+                    ERROR_QUEUE_FULL, str(exc), retry_after_s=exc.retry_after_s
+                ),
+                headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+            )
+        try:
+            # Shield: the future is shared with other coalesced waiters and
+            # with the store — this request timing out must not cancel it.
+            outcome: Outcome = await asyncio.wait_for(
+                asyncio.shield(future), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            obs_registry().counter("serve.deadline.expired").inc()
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_DEADLINE],
+                error_payload(ERROR_DEADLINE, "deadline expired during solve"),
+            )
+        if outcome[0] != "ok":
+            _, code, message = outcome
+            raise _HttpReply(
+                HTTP_STATUS.get(code, 500), error_payload(code, message)
+            )
+        solution = outcome[1]
+        if solution.pattern != spec.pattern:
+            solution = dataclasses.replace(solution, pattern=spec.pattern)
+        return solution
+
+    @staticmethod
+    def _deadline_from(doc: Any) -> Optional[float]:
+        timeout_s = parse_timeout_s(doc)
+        return None if timeout_s is None else time.monotonic() + timeout_s
+
+    async def _handle_solve(self, doc: Any) -> Dict[str, Any]:
+        deadline = self._deadline_from(doc)
+        spec = parse_solve_spec(doc)
+        solution = await self._await_solution(spec, deadline)
+        return solution_payload(solution, spec, spec.digest())
+
+    async def _handle_simulate(self, doc: Any) -> Dict[str, Any]:
+        deadline = self._deadline_from(doc)
+        sim: SimulateSpec = parse_simulate_spec(doc)
+        solution = await self._await_solution(sim.solve, deadline)
+        mapping = BankMapping(solution=solution, shape=sim.solve.shape)
+
+        def _run_simulation():
+            from ..sim.memsim import simulate_sweep
+
+            return simulate_sweep(
+                mapping,
+                step=sim.step,
+                limit=sim.limit,
+                ports_per_bank=sim.ports_per_bank,
+                verify=sim.verify,
+                engine=sim.engine,
+            )
+
+        loop = asyncio.get_running_loop()
+        remaining = None if deadline is None else deadline - time.monotonic()
+        if remaining is not None and remaining <= 0:
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_DEADLINE],
+                error_payload(ERROR_DEADLINE, "deadline expired before simulation"),
+            )
+        try:
+            report = await asyncio.wait_for(
+                loop.run_in_executor(None, _run_simulation), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_DEADLINE],
+                error_payload(ERROR_DEADLINE, "deadline expired during simulation"),
+            )
+        payload = solution_payload(solution, sim.solve, sim.solve.digest())
+        payload["report"] = report.to_dict()
+        return payload
+
+    async def _handle_table1(self, doc: Any) -> Dict[str, Any]:
+        doc = doc if isinstance(doc, dict) else {}
+        deadline = self._deadline_from(doc)
+        from ..patterns.library import BENCHMARKS
+
+        benchmarks = doc.get("benchmarks")
+        if benchmarks is not None:
+            if not isinstance(benchmarks, list) or not benchmarks:
+                raise BadRequestError("benchmarks must be a non-empty list")
+            unknown = [b for b in benchmarks if b not in BENCHMARKS]
+            if unknown:
+                raise BadRequestError(f"unknown benchmarks: {unknown}")
+        repetitions = doc.get("repetitions", 1)
+        if isinstance(repetitions, bool) or not isinstance(repetitions, int) or repetitions < 1:
+            raise BadRequestError(f"repetitions must be a positive integer, got {repetitions!r}")
+
+        def _build():
+            from ..eval.table1 import build_table
+
+            table = build_table(benchmarks, time_repetitions=repetitions)
+            return {
+                "rows": [
+                    {
+                        "benchmark": row.benchmark,
+                        "ours": row.ours.to_dict(),
+                        "ltb": row.ltb.to_dict(),
+                        "storage": {k: list(v) for k, v in row.storage.items()},
+                    }
+                    for row in table.rows
+                ],
+                "average_storage_improvement": table.average_storage_improvement,
+                "average_operations_improvement": table.average_operations_improvement,
+            }
+
+        loop = asyncio.get_running_loop()
+        remaining = None if deadline is None else deadline - time.monotonic()
+        try:
+            return await asyncio.wait_for(
+                loop.run_in_executor(None, _build), timeout=remaining
+            )
+        except asyncio.TimeoutError:
+            raise _HttpReply(
+                HTTP_STATUS[ERROR_DEADLINE],
+                error_payload(ERROR_DEADLINE, "deadline expired during table build"),
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    async def _handle_healthz(self, _doc: Any) -> Dict[str, Any]:
+        assert self.coalescer is not None
+        return {
+            "status": "ok",
+            "uptime_s": time.monotonic() - self._started_at,
+            "requests": self._requests,
+            "pending": self.coalescer.pending,
+            "jobs": self.coalescer.jobs,
+            "batch_max": self.coalescer.batch_max,
+            "max_pending": self.coalescer.max_pending,
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    async def _handle_metrics(self, _doc: Any) -> str:
+        return to_prometheus_text()
+
+
+class ThreadedServer:
+    """A :class:`PartitionServer` running its own event loop on a thread.
+
+    The synchronous embedding used by tests, benchmarks, and the CI smoke:
+    construction blocks until the port is bound; :meth:`stop` blocks until
+    the loop has fully wound down.
+    """
+
+    def __init__(self, **kwargs: Any) -> None:
+        self.server = PartitionServer(**kwargs)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._started.is_set():  # pragma: no cover - defensive
+            raise RuntimeError("server failed to start within 30s")
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ThreadedServer":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+
+def serve_in_thread(**kwargs: Any) -> ThreadedServer:
+    """Start a server on a daemon thread; returns once the port is bound."""
+    return ThreadedServer(**kwargs)

@@ -359,3 +359,66 @@ class TestCli:
         lines = path.read_text().splitlines()
         assert lines[0] == "kind,name,field,value"
         assert any(l.startswith("counter,eval.casestudy.ours.ops.total,") for l in lines)
+
+
+class TestPrometheusExport:
+    """The ``/metrics`` text format: what a stock Prometheus scraper reads."""
+
+    def _fresh(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        return MetricsRegistry()
+
+    def test_empty_registry_renders_empty(self):
+        assert obs.to_prometheus_text(self._fresh()) == ""
+
+    def test_counter_convention(self):
+        reg = self._fresh()
+        reg.counter("solve.cache.hits").inc(3)
+        text = obs.to_prometheus_text(reg)
+        assert "# TYPE repro_solve_cache_hits_total counter" in text
+        assert "repro_solve_cache_hits_total 3" in text
+
+    def test_gauge_and_name_sanitization(self):
+        reg = self._fresh()
+        reg.gauge("eval.log.ours.n-banks").set(13)
+        text = obs.to_prometheus_text(reg)
+        # Dots and dashes both fall outside the Prometheus grammar.
+        assert "# TYPE repro_eval_log_ours_n_banks gauge" in text
+        assert "repro_eval_log_ours_n_banks 13" in text
+
+    def test_histogram_exports_as_summary_with_max(self):
+        reg = self._fresh()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            reg.histogram("serve.latency_ms").observe(value)
+        text = obs.to_prometheus_text(reg)
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        assert 'repro_serve_latency_ms{quantile="0.5"}' in text
+        assert 'repro_serve_latency_ms{quantile="0.95"}' in text
+        assert "repro_serve_latency_ms_sum 10.0" in text
+        assert "repro_serve_latency_ms_count 4" in text
+        assert "# TYPE repro_serve_latency_ms_max gauge" in text
+        assert "repro_serve_latency_ms_max 4.0" in text
+
+    def test_text_ends_with_newline(self):
+        reg = self._fresh()
+        reg.counter("c").inc()
+        assert obs.to_prometheus_text(reg).endswith("\n")
+
+    def test_write_prometheus_file(self, tmp_path):
+        reg = self._fresh()
+        reg.counter("k").inc(2)
+        path = tmp_path / "metrics.prom"
+        obs.write_metrics_prometheus(str(path), reg)
+        assert path.read_text() == "# TYPE repro_k_total counter\nrepro_k_total 2\n"
+
+    def test_cli_emit_metrics_prom(self, tmp_path):
+        from repro.eval.cli import main_table1
+
+        path = tmp_path / "table1.prom"
+        rc = main_table1(
+            ["--benchmarks", "log", "--repetitions", "1", "--emit-metrics", str(path)]
+        )
+        assert rc == 0
+        text = path.read_text()
+        assert "# TYPE repro_eval_log_ours_n_banks gauge" in text

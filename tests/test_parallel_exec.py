@@ -144,3 +144,75 @@ class TestCli:
         gauges = payload["gauges"]
         assert any(k.startswith("sweeps.overhead.") for k in gauges)
         assert any(k.startswith("sweeps.unroll.") for k in gauges)
+
+
+class _AlwaysBrokenPool:
+    """A stand-in executor whose workers have all died."""
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, items):
+        from concurrent.futures.process import BrokenProcessPool
+
+        raise BrokenProcessPool("a child process terminated abruptly")
+
+
+class _FlakyPool(_AlwaysBrokenPool):
+    """Breaks on first use, works on the retry (a crashed-then-respawned pool)."""
+
+    failures_left = 1
+
+    def map(self, fn, items):
+        if type(self).failures_left > 0:
+            type(self).failures_left -= 1
+            return super().map(fn, items)
+        return list(map(fn, items))
+
+
+class TestBrokenPoolResilience:
+    """A crashed worker degrades the batch, never the process."""
+
+    def _broken_delta(self):
+        return (
+            obs_metrics.registry()
+            .snapshot()["counters"]
+            .get("parallel.pool.broken", 0)
+        )
+
+    def test_always_broken_falls_back_to_serial(self, monkeypatch):
+        import repro.eval.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _AlwaysBrokenPool)
+        before = self._broken_delta()
+        items = list(range(8))
+        assert run_parallel(_square, items, jobs=4) == [x * x for x in items]
+        # One failure per attempt: the first pool and the retry pool.
+        assert self._broken_delta() - before == parallel_mod.POOL_RETRIES + 1
+
+    def test_broken_once_succeeds_on_fresh_pool(self, monkeypatch):
+        import repro.eval.parallel as parallel_mod
+
+        _FlakyPool.failures_left = 1
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _FlakyPool)
+        before = self._broken_delta()
+        items = list(range(8))
+        assert run_parallel(_square, items, jobs=4) == [x * x for x in items]
+        assert self._broken_delta() - before == 1
+
+    def test_serial_path_never_builds_a_pool(self, monkeypatch):
+        import repro.eval.parallel as parallel_mod
+
+        class _Bomb:
+            def __init__(self, *a, **k):
+                raise AssertionError("serial path must not construct a pool")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", _Bomb)
+        assert run_parallel(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert run_parallel(_square, [7], jobs=8) == [49]

@@ -1,0 +1,367 @@
+"""The serving subsystem: protocol, store, endpoints, deadlines, restarts.
+
+Each test boots a real :class:`~repro.serve.server.ThreadedServer` on an
+ephemeral port and talks to it through the blocking client — the full
+stack (HTTP framing, coalescer, solve tier, store) is exercised exactly as
+production traffic would, never through private shortcuts.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.cache import solve_key, stable_digest
+from repro.core.solver import Objective, solve
+from repro.io import solution_from_dict, solution_to_dict
+from repro.obs import registry
+from repro.patterns import log_pattern, median_pattern, se_pattern
+from repro.serve import (
+    BadRequestError,
+    DeadlineExceededError,
+    InfeasibleRequestError,
+    ServeClient,
+    ServeError,
+    ServerBusyError,
+    SolutionStore,
+    parse_simulate_spec,
+    parse_solve_spec,
+    serve_in_thread,
+)
+from repro.serve.protocol import request_payload
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with serve_in_thread(store_dir=str(tmp_path / "store")) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+@pytest.fixture()
+def count_solves(monkeypatch):
+    """Count calls into the real solver body, wherever they run in-process."""
+    solver_mod = importlib.import_module("repro.core.solver")
+    calls = {"n": 0}
+    real = solver_mod._solve_impl
+
+    def counting(*args, **kwargs):
+        calls["n"] += 1
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(solver_mod, "_solve_impl", counting)
+    return calls
+
+
+class TestProtocol:
+    def test_solve_spec_identity_matches_cache_key(self):
+        spec = parse_solve_spec({"benchmark": "log", "n_max": 10, "shape": [640, 480]})
+        assert spec.cache_key() == solve_key(
+            log_pattern(), (640, 480), 10, "latency", 0
+        )
+        assert spec.digest() == stable_digest(spec.cache_key())
+
+    def test_request_payload_round_trips(self):
+        spec = parse_solve_spec(
+            {"offsets": [[0, 0], [0, 2], [1, 1]], "name": "tri", "n_max": 4}
+        )
+        assert parse_solve_spec(request_payload(spec)) == spec
+
+    def test_translated_patterns_share_a_digest(self):
+        a = parse_solve_spec({"offsets": [[0, 0], [1, 1]]})
+        b = parse_solve_spec({"offsets": [[7, 3], [8, 4]]})
+        assert a.digest() == b.digest()
+
+    def test_mask_and_offsets_forms_agree(self):
+        mask = parse_solve_spec({"mask": ["010", "111", "010"]})
+        offsets = parse_solve_spec(
+            {"offsets": [[0, 1], [1, 0], [1, 1], [1, 2], [2, 1]]}
+        )
+        assert mask.digest() == offsets.digest()
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            [],
+            {},
+            {"benchmark": "nope"},
+            {"offsets": [[0, 0], [0, 0]]},
+            {"benchmark": "log", "shape": [640]},
+            {"benchmark": "log", "shape": [0, 4]},
+            {"benchmark": "log", "n_max": 0},
+            {"benchmark": "log", "objective": "fastest"},
+            {"benchmark": "log", "delta_max": -1},
+        ],
+    )
+    def test_bad_solve_bodies(self, body):
+        with pytest.raises(BadRequestError):
+            parse_solve_spec(body)
+
+    def test_simulate_requires_shape(self):
+        with pytest.raises(BadRequestError, match="shape"):
+            parse_simulate_spec({"benchmark": "log"})
+
+
+class TestSolutionStore:
+    def _digest_and_solution(self, n_max=10):
+        solution = solve(log_pattern(), n_max=n_max, cache=False).solution
+        digest = stable_digest(solve_key(log_pattern(), None, n_max, "latency", 0))
+        return digest, solution
+
+    def test_round_trip_and_reattach(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        digest, solution = self._digest_and_solution()
+        store.put(digest, solution)
+        assert len(store) == 1
+        moved = log_pattern().translated((2, 5))
+        loaded = store.get(digest, moved)
+        assert loaded.pattern == moved
+        assert loaded.n_banks == solution.n_banks
+        assert (store.hits, store.misses) == (1, 0)
+
+    def test_survives_reopen(self, tmp_path):
+        digest, solution = self._digest_and_solution()
+        SolutionStore(tmp_path).put(digest, solution)
+        reopened = SolutionStore(tmp_path)
+        assert reopened.get(digest) == solution
+
+    def test_lru_eviction_bounds_entries(self, tmp_path):
+        store = SolutionStore(tmp_path, max_entries=3)
+        digests = []
+        for n_max in range(5, 10):
+            digest, solution = self._digest_and_solution(n_max)
+            digests.append(digest)
+            store.put(digest, solution)
+        assert len(store) == 3
+        assert store.get(digests[0]) is None  # oldest evicted
+        assert store.get(digests[-1]) is not None
+
+    def test_corrupt_artifact_is_dropped_not_fatal(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        digest, solution = self._digest_and_solution()
+        path = store.put(digest, solution)
+        path.write_text("{not json")
+        assert store.get(digest) is None
+        assert not path.exists()
+
+    def test_wrong_digest_filename_rejected(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        digest, solution = self._digest_and_solution()
+        path = store.put(digest, solution)
+        doc = json.loads(path.read_text())
+        other = tmp_path / ("0" * 64 + ".json")
+        other.write_text(json.dumps(doc))
+        store2 = SolutionStore(tmp_path)
+        assert store2.get("0" * 64) is None
+
+
+class TestSolveEndpoint:
+    def test_bit_identical_to_direct_solve(self, client):
+        doc = client.solve(benchmark="log", n_max=10, shape=(640, 480))
+        direct = solve(log_pattern(), shape=(640, 480), n_max=10, cache=False)
+        assert solution_from_dict(doc["solution"]) == direct.solution
+        assert doc["overhead_elements"] == direct.overhead_elements
+        assert doc["objective_vector"] == list(direct.objective_vector)
+
+    def test_objective_and_delta_max_pass_through(self, client):
+        doc = client.solve(
+            benchmark="se", shape=(64, 64), n_max=8, objective="banks", delta_max=1
+        )
+        direct = solve(
+            se_pattern(),
+            shape=(64, 64),
+            n_max=8,
+            objective=Objective.BANKS,
+            delta_max=1,
+            cache=False,
+        )
+        assert solution_from_dict(doc["solution"]) == direct.solution
+
+    def test_translated_request_gets_own_pattern_back(self, client):
+        moved = log_pattern().translated((4, 9))
+        client.solve(benchmark="log", n_max=10)  # seed the canonical solve
+        sol = client.solve_solution(pattern=moved, n_max=10)
+        assert sol.pattern == moved
+
+    def test_bad_request_is_400(self, client):
+        with pytest.raises(ServeError) as info:
+            client.solve(mask=["abc"])
+        assert info.value.http_status == 400
+        assert info.value.code == "bad_request"
+
+    def test_infeasible_is_422_and_server_survives(self, client):
+        with pytest.raises(InfeasibleRequestError) as info:
+            client.solve(benchmark="log", n_max=1, objective="banks")
+        assert info.value.http_status == 422
+        assert client.healthz()["status"] == "ok"
+
+    def test_unknown_route_and_method(self, client):
+        status, _, _ = client._request("POST", "/nope")
+        assert status == 404
+        status, _, _ = client._request("GET", "/solve")
+        assert status == 405
+
+
+class TestDeadlines:
+    def test_expired_at_intake_is_504_and_consumes_no_queue(self, tmp_path):
+        with serve_in_thread(store_dir=str(tmp_path / "s")) as srv:
+            with ServeClient(port=srv.port) as client:
+                with pytest.raises(DeadlineExceededError) as info:
+                    client.solve(benchmark="log", timeout_ms=0)
+                assert info.value.http_status == 504
+                # nothing was queued, solved, or stored
+                health = client.healthz()
+                assert health["pending"] == 0
+                assert health["store"]["entries"] == 0
+
+    def test_expired_in_flight_is_504_but_solve_completes(self, tmp_path):
+        with serve_in_thread(
+            store_dir=str(tmp_path / "s"), solve_delay_s=0.3
+        ) as srv:
+            with ServeClient(port=srv.port) as client:
+                with pytest.raises(DeadlineExceededError):
+                    client.solve(benchmark="median", timeout_ms=50)
+                # the abandoned solve still lands in the store
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if client.healthz()["store"]["entries"] == 1:
+                        break
+                    time.sleep(0.02)
+                assert client.healthz()["store"]["entries"] == 1
+                # and the server keeps serving
+                assert client.solve(benchmark="se")["solution"]["n_banks"] == 5
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, tmp_path):
+        with serve_in_thread(
+            store_dir=str(tmp_path / "s"),
+            solve_delay_s=0.4,
+            max_pending=1,
+            retry_after_s=2.0,
+        ) as srv:
+            slow = threading.Thread(
+                target=lambda: ServeClient(port=srv.port).solve(benchmark="median")
+            )
+            slow.start()
+            time.sleep(0.15)  # let the slow solve occupy the queue
+            with ServeClient(port=srv.port) as client:
+                with pytest.raises(ServerBusyError) as info:
+                    client.solve(benchmark="se")
+                assert info.value.http_status == 429
+                assert info.value.retry_after_s == 2.0
+                # coalescing onto the in-flight job is still allowed
+                doc = client.solve(benchmark="median")
+                assert doc["solution"]["n_banks"] == 8
+                slow.join()
+                # capacity freed: the rejected request now succeeds
+                assert client.solve(benchmark="se")["solution"]["n_banks"] == 5
+
+
+class TestWarmRestart:
+    def test_restart_serves_from_store_with_zero_solves(
+        self, tmp_path, count_solves
+    ):
+        store_dir = str(tmp_path / "store")
+        with serve_in_thread(store_dir=store_dir) as srv:
+            with ServeClient(port=srv.port) as client:
+                first = client.solve(benchmark="log", n_max=10)
+        assert count_solves["n"] == 1
+
+        # new server, same store; in-memory cache cleared = fresh process
+        from repro.core import solve_cache
+
+        solve_cache.clear()
+        with serve_in_thread(store_dir=store_dir) as srv:
+            with ServeClient(port=srv.port) as client:
+                moved = log_pattern().translated((3, 9))
+                doc = client.solve(pattern=moved, n_max=10)
+                health = client.healthz()["store"]
+        assert count_solves["n"] == 1  # no new solve after restart
+        assert health["hits"] == 1
+        # canonical content identical; only the attached pattern differs
+        assert doc["solution"]["n_banks"] == first["solution"]["n_banks"]
+        assert doc["key"] == first["key"]
+
+
+class TestSimulateEndpoint:
+    def test_report_matches_direct_simulation(self, client):
+        doc = client.simulate(benchmark="se", shape=(16, 16))
+        from repro.core.mapping import BankMapping
+        from repro.sim.memsim import simulate_sweep
+
+        direct = solve(se_pattern(), shape=(16, 16), cache=False)
+        report = simulate_sweep(
+            BankMapping(solution=direct.solution, shape=(16, 16))
+        )
+        assert doc["report"] == report.to_dict()
+        assert solution_from_dict(doc["solution"]) == direct.solution
+
+    def test_simulate_without_shape_is_400(self, client):
+        with pytest.raises(ServeError) as info:
+            client._json("POST", "/simulate", {"benchmark": "se"})
+        assert info.value.http_status == 400
+
+
+class TestTable1Endpoint:
+    def test_single_row(self, client):
+        doc = client.table1(benchmarks=["median"], repetitions=1)
+        assert [row["benchmark"] for row in doc["rows"]] == ["median"]
+        row = doc["rows"][0]
+        assert row["ours"]["n_banks"] == 8
+        assert row["ours"]["operations"] < row["ltb"]["operations"]
+
+    def test_unknown_benchmark_is_400(self, client):
+        with pytest.raises(ServeError) as info:
+            client.table1(benchmarks=["nope"])
+        assert info.value.http_status == 400
+
+
+class TestIntrospection:
+    def test_healthz_shape(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["store"]["entries"] == 0
+        assert health["pending"] == 0
+        assert health["uptime_s"] >= 0
+
+    def test_metrics_is_prometheus_text(self, client):
+        client.solve(benchmark="se")
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "# TYPE repro_serve_latency_ms summary" in text
+        assert 'repro_serve_latency_ms{quantile="0.5"}' in text
+        # the store traffic shows up too
+        assert "repro_serve_store_writes_total 1" in text
+
+    def test_request_counters_advance(self, server):
+        before = registry().snapshot()["counters"].get("serve.requests", 0)
+        with ServeClient(port=server.port) as client:
+            client.healthz()
+            client.solve(benchmark="se")
+        after = registry().snapshot()["counters"]["serve.requests"]
+        assert after - before == 2
+
+
+class TestServeCli:
+    def test_parser_defaults(self):
+        from repro.serve.cli import build_parser
+
+        args = build_parser().parse_args([])
+        assert args.port == 8642
+        assert args.jobs == 0
+        assert args.store_dir is None
+
+    def test_entry_point_registered(self):
+        import repro.serve.cli as cli
+
+        assert callable(cli.main_serve)

@@ -8,10 +8,11 @@ import importlib
 import pytest
 
 from repro.core import Objective, partition, solve, solve_cache
-from repro.core.cache import SolveCache, partition_key, solve_key
+from repro.core.cache import SolveCache, partition_key, solve_key, stable_digest
 from repro.core.opcount import OpCounter
 from repro.core.pattern import Pattern
 from repro.eval.sweeps import overhead_vs_banks, throughput_vs_unroll
+from repro.io import pattern_from_dict, pattern_to_dict
 from repro.obs import metrics as obs_metrics
 from repro.patterns import log_pattern, se_pattern
 
@@ -186,3 +187,58 @@ class TestWarmSweeps:
         second = partition(log_pattern(), n_max=8)
         assert first == second
         assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+class TestStableDigest:
+    """Cross-process identity: the hex digest the serve tier keys stores by."""
+
+    #: Pinned so a store written by one release stays addressable by the
+    #: next — changing ``solve_key`` or the canonical JSON encoding is a
+    #: store-format break and must show up here.
+    GOLDEN_LOG = "42dc572fbbcbc02bf8d365d19f25c6a890d399fae17d71dd92e5507e841175dd"
+
+    def test_golden_value_is_stable(self):
+        key = solve_key(log_pattern(), (640, 480), 10, "latency", 0)
+        assert stable_digest(key) == self.GOLDEN_LOG
+
+    def test_digest_is_hex_sha256(self):
+        digest = stable_digest(solve_key(se_pattern(), None, 8, "latency", 0))
+        assert len(digest) == 64
+        int(digest, 16)  # must parse as hex
+
+    def test_translation_and_tail_invariance_carry_over(self):
+        base = solve_key(log_pattern(), (640, 480), 10, "latency", 0)
+        shifted = Pattern(tuple((r + 9, c + 4) for r, c in log_pattern().offsets))
+        assert stable_digest(solve_key(shifted, (640, 480), 10, "latency", 0)) == (
+            stable_digest(base)
+        )
+        # Only the innermost extent enters the key, so (64, 480) agrees too.
+        assert stable_digest(solve_key(log_pattern(), (64, 480), 10, "latency", 0)) == (
+            stable_digest(base)
+        )
+
+    def test_distinct_specs_get_distinct_digests(self):
+        digests = {
+            stable_digest(solve_key(log_pattern(), (640, 480), n, "latency", d))
+            for n, d in [(10, 0), (9, 0), (10, 1), (None, 0)]
+        }
+        digests.add(stable_digest(solve_key(log_pattern(), None, 10, "banks", 0)))
+        assert len(digests) == 5
+
+    def test_round_trip_through_io_preserves_digest(self):
+        """A pattern serialized and reloaded keys the same store entry."""
+        original = se_pattern()
+        reloaded = pattern_from_dict(pattern_to_dict(original))
+        assert stable_digest(solve_key(original, (64, 64), 8, "latency", 0)) == (
+            stable_digest(solve_key(reloaded, (64, 64), 8, "latency", 0))
+        )
+
+    def test_tuples_and_lists_digest_identically(self):
+        """JSON has no tuples; the canonical encoding must not care."""
+        assert stable_digest((1, (2, 3))) == stable_digest([1, [2, 3]])
+
+    def test_non_canonical_keys_are_rejected(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+        with pytest.raises((TypeError, ValueError)):
+            stable_digest(float("nan"))
