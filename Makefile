@@ -1,6 +1,6 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-perf validate table1 casestudy examples serve all
+.PHONY: install test bench bench-perf validate table1 casestudy examples serve verify fuzz all
 
 install:
 	python setup.py develop
@@ -28,6 +28,14 @@ casestudy:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+# Seeded differential fuzzing (docs/VERIFICATION.md).  CASES= and SEED=
+# override the sweep; `make fuzz` additionally runs the pytest fuzz tier.
+verify:
+	PYTHONPATH=src python -m repro.verify.cli --cases $(or $(CASES),500) --seed $(or $(SEED),0)
+
+fuzz: verify
+	pytest tests/ -m fuzz
 
 # Long-lived partitioning service (docs/SERVING.md).  STORE= sets the
 # persistent solution store directory; PORT=0 binds an ephemeral port.

@@ -1,0 +1,186 @@
+"""Greedy counterexample shrinking.
+
+A raw fuzz failure is rarely the story — a 4-D, 8-point pattern over a
+700-element array obscures the one interaction that actually breaks.  The
+shrinker repeatedly applies structure-reducing transformations and keeps
+any variant on which the *same oracle* still fails:
+
+1. **drop a dimension** — project the pattern (and shape) onto the
+   remaining axes, deduplicating collapsed offsets;
+2. **drop a pattern point**;
+3. **shrink the bounding box** — pull the extreme coordinate of one
+   dimension inward by one;
+4. **tighten the shape** — down to the pattern extents;
+5. **lower ``n_max``** — halving first, then decrements.
+
+Transformations are tried most-aggressive-first and the loop restarts
+after every accepted reduction, so the result is a local minimum: no
+single listed transformation preserves the failure.  The predicate is
+evaluated at most ``budget`` times, which bounds shrinking of expensive
+cases.
+
+The predicate contract is ``fails(case) -> Optional[OracleFailure]`` —
+return the (first) matching failure or ``None``.  :func:`same_oracle`
+builds the usual predicate: *some* failure from the oracle that flagged
+the original case, so shrinking cannot drift onto an unrelated defect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+from .gen import CaseSpec
+from .oracles import OracleFailure, run_oracles
+
+#: Default cap on predicate evaluations during one shrink.
+DEFAULT_BUDGET = 250
+
+Predicate = Callable[[CaseSpec], Optional[OracleFailure]]
+
+
+def same_oracle(oracle: str) -> Predicate:
+    """Predicate: the case still fails ``oracle`` (first such failure)."""
+
+    def predicate(case: CaseSpec) -> Optional[OracleFailure]:
+        for failure in run_oracles(case).failures:
+            if failure.oracle == oracle:
+                return failure
+        return None
+
+    return predicate
+
+
+def _normalized(case: CaseSpec) -> CaseSpec:
+    """Translate the offsets to the origin (canonical minimal form)."""
+    ndim = len(case.shape)
+    lo = tuple(min(v[j] for v in case.offsets) for j in range(ndim))
+    if all(c == 0 for c in lo):
+        return case
+    offsets = tuple(
+        sorted(tuple(c - lo[j] for j, c in enumerate(v)) for v in case.offsets)
+    )
+    return _replace(case, offsets=offsets)
+
+
+def _replace(case: CaseSpec, **changes) -> CaseSpec:
+    payload = case.to_dict()
+    payload.update(
+        {
+            key: (
+                [list(v) for v in value]
+                if key == "offsets"
+                else list(value)
+                if key == "shape"
+                else value
+            )
+            for key, value in changes.items()
+        }
+    )
+    return CaseSpec.from_dict(payload)
+
+
+def _try_build(case: CaseSpec, **changes) -> Optional[CaseSpec]:
+    # PatternError subclasses ValueError, so one except covers a variant
+    # that collapsed to an invalid spec (empty pattern, shape < extents).
+    try:
+        return _normalized(_replace(case, **changes))
+    except ValueError:
+        return None
+
+
+def _candidates(case: CaseSpec) -> Iterator[CaseSpec]:
+    """Strictly-smaller variants of ``case``, most aggressive first."""
+    ndim = len(case.shape)
+    extents = tuple(
+        max(v[j] for v in case.offsets) - min(v[j] for v in case.offsets) + 1
+        for j in range(ndim)
+    )
+
+    # 1. Drop a dimension (project offsets; collapsed duplicates merge).
+    if ndim > 1:
+        for j in range(ndim):
+            offsets = {v[:j] + v[j + 1 :] for v in case.offsets}
+            variant = _try_build(
+                case,
+                offsets=tuple(sorted(offsets)),
+                shape=case.shape[:j] + case.shape[j + 1 :],
+            )
+            if variant is not None:
+                yield variant
+
+    # 2. Drop one pattern point.
+    if len(case.offsets) > 1:
+        for i in range(len(case.offsets)):
+            offsets = case.offsets[:i] + case.offsets[i + 1 :]
+            variant = _try_build(case, offsets=offsets)
+            if variant is not None:
+                yield variant
+
+    # 3. Shrink the bounding box: pull one dimension's maximum inward.
+    for j in range(ndim):
+        if extents[j] <= 1:
+            continue
+        top = max(v[j] for v in case.offsets)
+        moved = {
+            v[:j] + (v[j] - 1 if v[j] == top else v[j],) + v[j + 1 :]
+            for v in case.offsets
+        }
+        if len(moved) == len(case.offsets):
+            variant = _try_build(case, offsets=tuple(sorted(moved)))
+            if variant is not None:
+                yield variant
+
+    # 4. Tighten the shape toward the pattern extents.
+    for j in range(ndim):
+        if case.shape[j] > extents[j]:
+            tight = case.shape[:j] + (extents[j],) + case.shape[j + 1 :]
+            variant = _try_build(case, shape=tight)
+            if variant is not None:
+                yield variant
+            if case.shape[j] - 1 > extents[j]:
+                step = case.shape[:j] + (case.shape[j] - 1,) + case.shape[j + 1 :]
+                variant = _try_build(case, shape=step)
+                if variant is not None:
+                    yield variant
+
+    # 5. Lower the bank ceiling.
+    if case.n_max is not None and case.n_max > 1:
+        for smaller in dict.fromkeys((case.n_max // 2 or 1, case.n_max - 1)):
+            variant = _try_build(case, n_max=smaller)
+            if variant is not None:
+                yield variant
+
+
+def shrink_case(
+    case: CaseSpec,
+    predicate: Predicate,
+    budget: int = DEFAULT_BUDGET,
+) -> Tuple[CaseSpec, OracleFailure, int]:
+    """Minimize ``case`` while ``predicate`` keeps failing.
+
+    Returns ``(minimal_case, failure_on_minimal, predicate_evaluations)``.
+
+    Raises
+    ------
+    ValueError
+        If the starting case does not fail the predicate (there is nothing
+        to shrink — a passing "counterexample" is itself a bug).
+    """
+    failure = predicate(case)
+    if failure is None:
+        raise ValueError("shrink_case needs a failing case to start from")
+    current = _normalized(case)
+    evaluations = 1
+    progressed = True
+    while progressed and evaluations < budget:
+        progressed = False
+        for candidate in _candidates(current):
+            evaluations += 1
+            verdict = predicate(candidate)
+            if verdict is not None:
+                current, failure = candidate, verdict
+                progressed = True
+                break
+            if evaluations >= budget:
+                break
+    return current, failure, evaluations

@@ -47,6 +47,7 @@ def patterns_2d(draw, max_extent: int = 4, max_size: int = 6):
 
 
 class TestEquivalence:
+    @pytest.mark.slow
     def test_benchmarks(self, all_benchmarks):
         for name, pattern in all_benchmarks:
             _assert_equivalent(pattern)
@@ -60,6 +61,7 @@ class TestEquivalence:
     def test_one_dimensional(self):
         _assert_equivalent(Pattern([(0,), (1,), (3,)]))
 
+    @pytest.mark.slow
     @settings(
         max_examples=40,
         deadline=None,

@@ -21,6 +21,9 @@ from repro.obs import registry
 from repro.patterns import log_pattern, median_pattern, prewitt_pattern, se_pattern
 from repro.serve import ServeClient, serve_in_thread
 
+# Thread soak + real HTTP round-trips: the priciest tier-1 module.
+pytestmark = pytest.mark.slow
+
 #: Four distinct canonical solves, each requested by four clients — two of
 #: them as translated copies, which must coalesce onto the canonical job.
 _DISTINCT = [

@@ -1,0 +1,43 @@
+"""The fuzz tier: hundreds of randomized differential cases per run.
+
+Excluded from tier 1 by the ``addopts`` default (``-m "not fuzz"``);
+selected explicitly in CI's ``verify-fuzz`` job and nightly schedule with
+``pytest -m fuzz``.  The seed comes from ``REPRO_FUZZ_SEED`` so scheduled
+runs explore fresh cases while any failure log names the exact seed to
+replay locally.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.verify import run_suite
+
+pytestmark = pytest.mark.fuzz
+
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "150"))
+
+
+def _diagnose(report):
+    lines = [f"seed={SEED}: {len(report.failing_records)} failing case(s)"]
+    for record in report.failing_records:
+        lines.append(f"  case {record['case']}")
+        for failure in record["failures"]:
+            lines.append(f"    {failure['oracle']}: {failure['message']}")
+    lines.append(f"replay: repro-verify --replay <corpus> or --seed {SEED}")
+    return "\n".join(lines)
+
+
+class TestFuzzTier:
+    def test_seeded_sweep_is_clean(self):
+        report = run_suite(CASES, SEED)
+        assert report.ok, _diagnose(report)
+
+    def test_adjacent_seed_sweep_is_clean(self):
+        # A second seed guards against a single lucky suite: two disjoint
+        # case sets both passing is a much stronger draw.
+        report = run_suite(CASES // 2, SEED + 1)
+        assert report.ok, _diagnose(report)

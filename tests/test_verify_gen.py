@@ -1,0 +1,109 @@
+"""The case generator: determinism, stratification, spec validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import CaseSpec, generate_case, iter_cases
+from repro.verify.gen import MAX_VOLUME, SCHEMES, STRATA
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        for index in range(20):
+            assert generate_case(7, index) == generate_case(7, index)
+
+    def test_independent_of_global_rng(self):
+        import random
+
+        random.seed(0)
+        first = [generate_case(3, i) for i in range(10)]
+        random.seed(999)
+        random.random()
+        assert [generate_case(3, i) for i in range(10)] == first
+
+    def test_different_seeds_differ(self):
+        a = [generate_case(0, i).to_dict() for i in range(16)]
+        b = [generate_case(1, i).to_dict() for i in range(16)]
+        assert a != b
+
+    def test_iter_cases_matches_generate(self):
+        assert list(iter_cases(6, 4, start=10)) == [
+            generate_case(4, i) for i in range(10, 16)
+        ]
+
+
+class TestStratification:
+    def test_dims_cycle_1_to_4(self):
+        assert [generate_case(0, i).ndim for i in range(8)] == [1, 2, 3, 4] * 2
+
+    def test_all_strata_appear(self):
+        labels = {generate_case(0, i).label for i in range(16)}
+        assert labels == set(STRATA)
+
+    def test_both_schemes_appear(self):
+        schemes = {generate_case(0, i).scheme for i in range(40)}
+        assert schemes == set(SCHEMES)
+
+    def test_width1_stratum_has_unit_extent(self):
+        for index in range(200):
+            case = generate_case(2, index)
+            if case.label == "width1" and case.ndim > 1:
+                extents = case.pattern().extents
+                assert 1 in extents
+
+    def test_dense_box_pattern_is_its_bounding_box(self):
+        for index in range(200):
+            case = generate_case(2, index)
+            if case.label == "dense-box":
+                extents = case.pattern().extents
+                volume = 1
+                for e in extents:
+                    volume *= e
+                assert len(case.offsets) == volume
+
+
+class TestBounds:
+    def test_volume_cap_holds(self):
+        for index in range(300):
+            assert generate_case(11, index).volume <= MAX_VOLUME
+
+    def test_shape_always_holds_pattern(self):
+        # __post_init__ enforces this; generating 300 cases proves the
+        # generator never hands __post_init__ an invalid combination.
+        for index in range(300):
+            case = generate_case(13, index)
+            assert all(
+                w >= e for w, e in zip(case.shape, case.pattern().extents)
+            )
+
+
+class TestSpecValidation:
+    def test_round_trip(self):
+        for index in range(12):
+            case = generate_case(5, index)
+            assert CaseSpec.from_dict(case.to_dict()) == case
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="scheme"):
+            CaseSpec(0, 0, "t", ((0,), (1,)), (4,), None, "three-level")
+
+    def test_shape_dimensionality_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            CaseSpec(0, 0, "t", ((0,), (1,)), (4, 4), None, "same-size")
+
+    def test_unnormalized_offsets_rejected(self):
+        with pytest.raises(ValueError, match="normalized"):
+            CaseSpec(0, 0, "t", ((1,), (2,)), (4,), None, "same-size")
+
+    def test_shape_smaller_than_extents_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            CaseSpec(0, 0, "t", ((0,), (3,)), (3,), None, "same-size")
+
+    def test_nonpositive_n_max_rejected(self):
+        with pytest.raises(ValueError, match="n_max"):
+            CaseSpec(0, 0, "t", ((0,), (1,)), (4,), 0, "same-size")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            list(iter_cases(-1, 0))

@@ -1,0 +1,139 @@
+"""The suite runner and ``repro-verify`` CLI: corpora, replay, metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import registry
+from repro.verify import generate_case, replay_paths, run_suite
+from repro.verify.cli import main_verify
+from repro.verify.runner import (
+    CASE_FORMAT,
+    COUNTEREXAMPLE_FORMAT,
+    outcome_to_record,
+    record_to_outcome,
+)
+from repro.verify.oracles import run_oracles
+
+
+class TestRunSuite:
+    def test_clean_suite_reports_ok(self):
+        report = run_suite(24, 0)
+        assert report.cases == 24
+        assert report.ok
+        assert report.failures == 0
+        assert report.elapsed_s > 0
+
+    def test_metrics_counters_advance(self):
+        cases = registry().counter("verify.cases")
+        before = cases.value
+        run_suite(12, 3)
+        assert cases.value - before == 12
+
+    def test_corpus_written_and_replayable(self, tmp_path):
+        corpus = tmp_path / "corpus.jsonl"
+        report = run_suite(16, 5, corpus_path=corpus)
+        assert report.corpus_path == str(corpus)
+        lines = [json.loads(l) for l in corpus.read_text().splitlines()]
+        assert len(lines) == 16
+        assert all(l["format"] == CASE_FORMAT for l in lines)
+        replay = replay_paths([corpus])
+        assert replay.cases == 16
+        assert replay.records == report.records
+
+    def test_jobs_do_not_change_results(self, tmp_path):
+        serial = run_suite(20, 9, jobs=None, corpus_path=tmp_path / "a.jsonl")
+        parallel = run_suite(20, 9, jobs=2, corpus_path=tmp_path / "b.jsonl")
+        assert serial.records == parallel.records
+        assert (tmp_path / "a.jsonl").read_text() == (tmp_path / "b.jsonl").read_text()
+
+    def test_start_offsets_the_suite(self):
+        report = run_suite(5, 2, start=10)
+        indices = [r["case"]["index"] for r in report.records]
+        assert indices == list(range(10, 15))
+
+    def test_record_round_trip(self):
+        outcome = run_oracles(generate_case(0, 3))
+        assert record_to_outcome(outcome_to_record(outcome)) == outcome
+
+
+class TestReplayInputs:
+    def test_replays_bare_spec_lines(self, tmp_path):
+        path = tmp_path / "specs.jsonl"
+        specs = [generate_case(1, i).to_dict() for i in range(4)]
+        path.write_text("".join(json.dumps(s) + "\n" for s in specs))
+        report = replay_paths([path])
+        assert report.cases == 4
+        assert report.ok
+
+    def test_replays_counterexample_artifact(self, tmp_path):
+        artifact = {
+            "format": COUNTEREXAMPLE_FORMAT,
+            "original": generate_case(1, 0).to_dict(),
+            "shrunk": generate_case(1, 1).to_dict(),
+            "failure": {"oracle": "delta_claim", "message": "stale"},
+            "evaluations": 3,
+        }
+        path = tmp_path / "ce.json"
+        path.write_text(json.dumps(artifact, indent=2))
+        report = replay_paths([path])
+        # Replay targets the *shrunk* spec — that is the regression case.
+        assert report.cases == 1
+        assert report.records[0]["case"] == artifact["shrunk"]
+
+    def test_unrecognized_record_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"what": "ever"}\n')
+        with pytest.raises(ValueError, match="unrecognized record"):
+            replay_paths([path])
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main_verify(["--cases", "20", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "20 case(s), 0 failing" in out
+
+    def test_corpus_and_replay_flags(self, tmp_path, capsys):
+        corpus = tmp_path / "c.jsonl"
+        assert main_verify(["--cases", "10", "--corpus", str(corpus)]) == 0
+        assert main_verify(["--replay", str(corpus)]) == 0
+        out = capsys.readouterr().out
+        assert "10 case(s), 0 failing" in out
+
+    def test_failing_run_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        import importlib
+
+        partition_mod = importlib.import_module("repro.core.partition")
+        real = partition_mod.fast_nc
+
+        def buggy(n_f, n_max, ops=None):
+            n_c, rounds = real(n_f, n_max, ops=ops)
+            return (max(1, n_c - 1), rounds)
+
+        monkeypatch.setattr(partition_mod, "fast_nc", buggy)
+        code = main_verify(
+            [
+                "--cases", "100", "--seed", "0",
+                "--counterexamples", str(tmp_path / "out"),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL seed=0" in out
+        assert "shrunk counterexample:" in out
+        artifacts = list((tmp_path / "out").glob("counterexample-*.json"))
+        assert artifacts
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["format"] == COUNTEREXAMPLE_FORMAT
+
+    def test_emit_metrics(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        assert main_verify(
+            ["--cases", "8", "--emit-metrics", str(target)]
+        ) == 0
+        payload = json.loads(target.read_text())
+        text = json.dumps(payload)
+        assert "verify.cases" in text

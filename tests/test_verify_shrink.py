@@ -1,0 +1,119 @@
+"""The shrinker, and the fuzzer's reason to exist: an injected bug dies.
+
+The centerpiece (`TestInjectedBug`) monkeypatches a classic off-by-one
+into the two-level scheme's ``N_c = ceil(N_f / ceil(N_f / N_max))``
+computation and runs the real suite over it.  If the oracles are sound,
+the suite must fail; if the shrinker is sound, the surviving
+counterexample must be tiny.  This is the self-test that proves a future
+regression of this exact kind cannot ship while the fuzz tier runs.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.verify import CaseSpec, run_oracles, run_suite, shrink_case
+from repro.verify.shrink import same_oracle
+
+partition_mod = importlib.import_module("repro.core.partition")
+
+
+def _case(**overrides):
+    payload = {
+        "seed": 0,
+        "index": 0,
+        "label": "unit",
+        "offsets": [[0, 1], [1, 0], [1, 1], [1, 2], [2, 1]],
+        "shape": [10, 12],
+        "n_max": 4,
+        "scheme": "two-level",
+    }
+    payload.update(overrides)
+    return CaseSpec.from_dict(payload)
+
+
+@pytest.fixture()
+def off_by_one_nc(monkeypatch):
+    """fast_nc returns N_c - 1: banks fold too tightly, claims go stale."""
+    real = partition_mod.fast_nc
+
+    def buggy(n_f, n_max, ops=None):
+        n_c, rounds = real(n_f, n_max, ops=ops)
+        return (max(1, n_c - 1), rounds)
+
+    monkeypatch.setattr(partition_mod, "fast_nc", buggy)
+
+
+class TestInjectedBug:
+    def test_suite_catches_and_shrinks_the_defect(self, off_by_one_nc):
+        # jobs=None keeps everything in this process so the monkeypatch is
+        # visible; oracles solve with cache=False so memoization of the
+        # healthy solver cannot mask the patched fast_nc.
+        report = run_suite(100, 0, jobs=None, shrink=True)
+        assert not report.ok, "injected N_c off-by-one survived 100 cases"
+        oracles_hit = set(report.failures_by_oracle())
+        # The defect manifests behaviorally: the solution claims fewer
+        # accesses per bank than the simulator (and the exhaustive shift
+        # check) actually observe.
+        assert oracles_hit & {"delta_claim", "sim_differential"}
+
+        assert report.counterexamples
+        shrunk_cases = [
+            CaseSpec.from_dict(a["shrunk"]) for a in report.counterexamples
+        ]
+        # Greedy shrinking lands on local minima, so a rare counterexample
+        # can stay 3-D — but every one must be tiny, and the suite must
+        # surface at least one at <= 2 dimensions (most collapse to 1-D).
+        for shrunk in shrunk_cases:
+            assert shrunk.volume <= 16
+            assert len(shrunk.offsets) <= 5
+        assert min(case.ndim for case in shrunk_cases) <= 2
+
+    def test_shrunk_counterexample_still_fails_same_oracle(self, off_by_one_nc):
+        report = run_suite(100, 0, jobs=None, shrink=True)
+        artifact = report.counterexamples[0]
+        shrunk = CaseSpec.from_dict(artifact["shrunk"])
+        outcome = run_oracles(shrunk)
+        assert artifact["failure"]["oracle"] in {f.oracle for f in outcome.failures}
+
+    def test_healthy_solver_passes_the_identical_suite(self):
+        # The control arm: the self-test is only meaningful if the same
+        # 100 cases are clean without the injected defect.
+        assert run_suite(100, 0, jobs=None, shrink=False).ok
+
+
+class TestShrinkMechanics:
+    def test_passing_case_is_rejected(self):
+        with pytest.raises(ValueError, match="failing case"):
+            shrink_case(_case(), same_oracle("delta_claim"))
+
+    def test_budget_bounds_evaluations(self, off_by_one_nc):
+        failing = next(
+            case
+            for case in (run_suite(100, 0, jobs=None, shrink=False)).failing_records
+            for case in [CaseSpec.from_dict(case["case"])]
+        )
+        _, _, evaluations = shrink_case(
+            failing, same_oracle(run_oracles(failing).failures[0].oracle), budget=5
+        )
+        assert evaluations <= 5
+
+    def test_result_is_a_local_minimum(self, off_by_one_nc):
+        from repro.verify.shrink import _candidates
+
+        record = run_suite(100, 0, jobs=None, shrink=False).failing_records[0]
+        case = CaseSpec.from_dict(record["case"])
+        oracle = record["failures"][0]["oracle"]
+        predicate = same_oracle(oracle)
+        shrunk, failure, _ = shrink_case(case, predicate)
+        assert failure.oracle == oracle
+        assert predicate(shrunk) is not None
+        # No single further transformation keeps the failure alive.
+        assert all(predicate(c) is None for c in _candidates(shrunk))
+
+    def test_shrink_keeps_specs_valid(self, off_by_one_nc):
+        report = run_suite(100, 0, jobs=None, shrink=True)
+        for artifact in report.counterexamples:
+            CaseSpec.from_dict(artifact["shrunk"])  # validates on construction
