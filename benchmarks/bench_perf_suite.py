@@ -43,8 +43,13 @@ from repro.patterns.generators import rectangle, unrolled
 from repro.patterns.library import gaussian_pattern, log_pattern, median_pattern
 from repro.sim import simulate_sweep
 
-#: (name, pattern factory, simulation shape) per preset.
+#: (name, pattern factory, simulation shape) per preset.  ``micro`` exists
+#: for the regression gate's tests: small enough to run twice in a test,
+#: same document shape as the real presets.
 PRESETS: Dict[str, List[Any]] = {
+    "micro": [
+        ("stencil3x3_24", lambda: rectangle((3, 3), name="avg3x3"), (24, 24)),
+    ],
     "small": [
         ("stencil3x3_64", lambda: rectangle((3, 3), name="avg3x3"), (64, 64)),
         ("log_48", log_pattern, (48, 48)),
@@ -60,6 +65,9 @@ PRESETS: Dict[str, List[Any]] = {
 #: the unrolled acceptance workloads, where the vectorized engine must beat
 #: the scalar enumeration by >= 20x with bit-identical results.
 LTB_WORKLOADS: Dict[str, List[Any]] = {
+    "micro": [
+        ("median", median_pattern),
+    ],
     "small": [
         ("median", median_pattern),
         ("gaussian", gaussian_pattern),
@@ -229,7 +237,7 @@ def _bench_serve(preset: str) -> List[Dict[str, Any]]:
 
     from repro.serve import ServeClient, serve_in_thread
 
-    n_keys = 8 if preset == "small" else 16
+    n_keys = {"micro": 2, "small": 8}.get(preset, 16)
     n_max_values = list(range(4, 4 + n_keys))
     rows: List[Dict[str, Any]] = []
     with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as store_dir:
@@ -285,7 +293,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         )
     for name, factory in LTB_WORKLOADS[preset]:
         doc["ltb_search"].append(_bench_ltb_search(name, factory(), repeat))
-    baseline_shape = (64, 64) if preset == "small" else (256, 256)
+    baseline_shape = {"micro": (24, 24), "small": (64, 64)}.get(preset, (256, 256))
     doc["baseline_sim"].extend(
         _bench_baseline_sim(f"stencil3x3_{baseline_shape[0]}", baseline_shape, repeat)
     )

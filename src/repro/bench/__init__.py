@@ -1,0 +1,11 @@
+"""Continuous performance regression gating.
+
+:mod:`repro.bench.check` compares a fresh :mod:`bench_perf_suite` run
+against a committed baseline with noise-tolerant thresholds and exits
+nonzero on regression — the ``repro-bench-check`` console script CI runs
+on every push.
+"""
+
+from .check import compare_documents, main_bench_check
+
+__all__ = ["compare_documents", "main_bench_check"]

@@ -31,10 +31,12 @@ Algorithm 1.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ..errors import InfeasibleConstraintError
+from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
 from . import cache as solve_cache
 from .mapping import BankMapping, ours_overhead_elements
@@ -162,6 +164,7 @@ def solve(
     7
     """
     use_cache = cache and ops is None and solve_cache.enabled()
+    started = time.perf_counter()
     if use_cache:
         key = solve_cache.solve_key(
             pattern,
@@ -172,7 +175,11 @@ def solve(
         )
         hit = solve_cache.cache().get(key, pattern)
         if hit is not None:
-            return _finish_result(hit, shape)
+            result = _finish_result(hit, shape)
+            obs_registry().log_histogram("solve.warm_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+            return result
     with span(
         "solve.solve",
         ops=resolve(ops),
@@ -180,6 +187,9 @@ def solve(
         objective=objective.value,
     ):
         result = _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+    obs_registry().log_histogram("solve.cold_ms").observe(
+        (time.perf_counter() - started) * 1000.0
+    )
     if use_cache:
         solve_cache.cache().put(key, result.solution)
     return result

@@ -58,22 +58,10 @@ def _add_emit_metrics(parser: argparse.ArgumentParser) -> None:
 
 
 def _emit_metrics(path: Optional[str], conflicts=None, extra=None) -> None:
-    """Write the global registry/tracer snapshot when requested."""
-    if not path:
-        return
-    from ..obs.export import (
-        write_metrics_csv,
-        write_metrics_json,
-        write_metrics_prometheus,
-    )
+    """Write the telemetry snapshot via the one shared serializer."""
+    from ..obs.export import emit_metrics
 
-    if path.endswith(".csv"):
-        write_metrics_csv(path)
-    elif path.endswith(".prom"):
-        write_metrics_prometheus(path)
-    else:
-        write_metrics_json(path, conflicts=conflicts, extra=extra)
-    print(f"metrics written to {path}")
+    emit_metrics(path, conflicts=conflicts, extra=extra)
 
 
 def main_table1(argv: Sequence[str] | None = None) -> int:

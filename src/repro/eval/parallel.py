@@ -35,11 +35,16 @@ counted under ``parallel.pool.broken`` in the metrics registry.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
+from ..obs import state as obs_state
 from ..obs.metrics import registry as obs_registry
+from ..obs.tracecontext import current_trace_id, trace
+from ..obs.tracer import tracer as obs_tracer
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -47,12 +52,70 @@ Result = TypeVar("Result")
 #: Fresh-pool retries before degrading to serial execution.
 POOL_RETRIES = 1
 
+#: Per-task wall-clock distribution (ms), serial and parallel tiers alike.
+TASK_HISTOGRAM = "parallel.task_ms"
+
 
 def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
     """Effective worker count: clamp to the workload, treat <=1 as serial."""
     if jobs is None or jobs <= 1 or n_items <= 1:
         return 1
     return min(jobs, n_items)
+
+
+class _TracedTask:
+    """Wrap a task so worker-side spans travel home with each result.
+
+    Picklable by construction (top-level class, plain attributes).  In the
+    worker it re-establishes the parent's trace id, marks the worker-local
+    tracer, runs the task, and returns ``(result, span events, worker id,
+    duration)`` — the span half of the worker-registry dump/merge channel.
+    Only used when observability is enabled; disabled runs ship the bare
+    ``fn`` so the hot path pays nothing.
+    """
+
+    def __init__(self, fn: Callable[[Item], Result], trace_id: Optional[str]) -> None:
+        self.fn = fn
+        self.trace_id = trace_id
+
+    def __call__(self, item: Item) -> Any:
+        tr = obs_tracer()
+        mark = tr.mark()
+        started = time.perf_counter()
+        if self.trace_id is not None:
+            with trace(self.trace_id):
+                result = self.fn(item)
+        else:
+            result = self.fn(item)
+        duration_ms = (time.perf_counter() - started) * 1000.0
+        return (result, tr.dump_since(mark), f"pid{os.getpid()}", duration_ms)
+
+
+def _merge_traced(
+    wrapped: Sequence[Any], parent_id: Optional[int]
+) -> List[Result]:
+    """Unwrap :class:`_TracedTask` results, folding spans/durations home."""
+    tr = obs_tracer()
+    registry = obs_registry()
+    task_hist = registry.log_histogram(TASK_HISTOGRAM)
+    results: List[Result] = []
+    for result, events, worker_id, duration_ms in wrapped:
+        tr.merge(events, parent_id=parent_id, worker_id=worker_id)
+        task_hist.observe(duration_ms)
+        registry.counter(f"worker.{worker_id}.parallel.tasks").inc()
+        results.append(result)
+    return results
+
+
+def _run_serial(fn: Callable[[Item], Result], items: Sequence[Item]) -> List[Result]:
+    registry = obs_registry()
+    task_hist = registry.log_histogram(TASK_HISTOGRAM)
+    results: List[Result] = []
+    for item in items:
+        started = time.perf_counter()
+        results.append(fn(item))
+        task_hist.observe((time.perf_counter() - started) * 1000.0)
+    return results
 
 
 def run_parallel(
@@ -67,14 +130,28 @@ def run_parallel(
     then serially), so partial side effects must be harmless.  Results
     preserve the order of ``items`` regardless of which worker finishes
     first.
+
+    Telemetry: every task's wall-clock lands in the ``parallel.task_ms``
+    log histogram.  When observability is enabled, the calling context's
+    trace id rides into the workers and every span a worker records is
+    merged back into the parent tracer (re-parented under the span open at
+    the call site, stamped with a ``worker_id`` attribute) — so a traced
+    request keeps a single end-to-end tree across the process border.
     """
     workers = resolve_jobs(jobs, len(items))
     if workers == 1:
-        return [fn(item) for item in items]
+        return _run_serial(fn, items)
+    traced = obs_state.enabled()
+    task: Callable[[Item], Any] = (
+        _TracedTask(fn, current_trace_id()) if traced else fn
+    )
+    parent_id = obs_tracer().current_parent() if traced else None
     for _ in range(POOL_RETRIES + 1):
         try:
             with ProcessPoolExecutor(max_workers=workers) as executor:
-                return list(executor.map(fn, items))
+                wrapped = list(executor.map(task, items))
         except BrokenProcessPool:
             obs_registry().counter("parallel.pool.broken").inc()
-    return [fn(item) for item in items]
+            continue
+        return _merge_traced(wrapped, parent_id) if traced else wrapped
+    return _run_serial(fn, items)

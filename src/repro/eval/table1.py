@@ -9,6 +9,7 @@ convention.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple
 
@@ -141,7 +142,9 @@ def _build_row_task(
     row = build_row(
         benchmark, time_repetitions=time_repetitions, ltb_engine=ltb_engine
     )
-    return row, registry.dump()
+    # worker_id makes the parent's merge publish worker.<id>.* shadows, so
+    # per-worker skew (one slow forked worker) stays attributable.
+    return row, registry.dump(worker_id=f"pid{os.getpid()}")
 
 
 def build_table(

@@ -8,6 +8,12 @@ The telemetry layer behind every performance claim in the repo:
 * :func:`registry` — process-wide counters, gauges and histograms
   (always live; this is where Table 1 and the benchmarks put the numbers
   they print).
+* :func:`trace` / :func:`current_trace_id` — request-scoped trace
+  identity that follows work across asyncio tasks, executor threads and
+  pool workers, so one HTTP request's spans regroup into one tree
+  (:func:`build_trace_tree`, :class:`TraceBuffer`).
+* :class:`LogHistogram` — O(1), bounded-memory latency distributions
+  with p50/p95/p99/p999 and Prometheus cumulative-``le`` export.
 * :class:`ConflictTable` — per-bank and per-offset-pair bank-conflict
   attribution filled by the cycle simulator.
 * :mod:`repro.obs.export` — JSON-lines span streams and JSON/CSV metric
@@ -21,6 +27,7 @@ Span/metric naming conventions are documented in ``docs/OBSERVABILITY.md``.
 from .conflicts import ConflictTable, failed_claims
 from .export import (
     SCHEMA,
+    emit_metrics,
     metrics_document,
     metrics_to_csv,
     spans_to_jsonl,
@@ -34,12 +41,15 @@ from .metrics import (
     Counter,
     Gauge,
     Histogram,
+    LogHistogram,
     MetricsRegistry,
     TrackedOpCounter,
     registry,
 )
 from .report import render_conflict_report, render_cycle_histogram, render_span_tree
+from .reqtrace import TraceBuffer, build_trace_tree
 from .state import disable, enable, enabled, reset_from_env
+from .tracecontext import current_trace_id, new_trace_id, trace
 from .tracer import NULL_SPAN, Span, SpanRecord, Tracer, span, tracer
 
 
@@ -53,6 +63,7 @@ __all__ = [
     "ConflictTable",
     "failed_claims",
     "SCHEMA",
+    "emit_metrics",
     "metrics_document",
     "metrics_to_csv",
     "spans_to_jsonl",
@@ -64,17 +75,23 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "TrackedOpCounter",
     "registry",
     "render_conflict_report",
     "render_cycle_histogram",
     "render_span_tree",
+    "TraceBuffer",
+    "build_trace_tree",
     "disable",
     "enable",
     "enabled",
     "reset_from_env",
     "reset",
+    "current_trace_id",
+    "new_trace_id",
+    "trace",
     "NULL_SPAN",
     "Span",
     "SpanRecord",

@@ -22,6 +22,7 @@ work in the most minimal environment the package supports.
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -52,13 +53,27 @@ def metrics_document(
     conflicts: ConflictTable | None = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Assemble the single-document snapshot shared by JSON export and CI."""
-    snapshot = (metrics or _global_registry()).snapshot()
+    """Assemble the single-document snapshot shared by JSON export and CI.
+
+    Histogram entries carry scalar summaries for both histogram kinds;
+    log-bucketed histograms additionally include their cumulative
+    ``buckets`` (``[le, count]`` pairs, the last ``le`` rendered as the
+    string ``"+Inf"`` to stay valid JSON).
+    """
+    reg = metrics or _global_registry()
+    snapshot = reg.snapshot()
+    histograms = dict(snapshot["histograms"])
+    for name, hist in reg.log_histograms().items():
+        histograms[name] = dict(histograms.get(name, hist.summary()))
+        histograms[name]["buckets"] = [
+            ["+Inf" if math.isinf(bound) else bound, count]
+            for bound, count in hist.buckets()
+        ]
     document: Dict[str, Any] = {
         "schema": SCHEMA,
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
-        "histograms": snapshot["histograms"],
+        "histograms": histograms,
         "spans": [r.to_dict() for r in (trace or _global_tracer()).records()],
     }
     if conflicts is not None:
@@ -116,16 +131,26 @@ def _prom_name(name: str) -> str:
     return "repro_" + _PROM_INVALID.sub("_", name)
 
 
+def _format_le(bound: float) -> str:
+    """Prometheus ``le`` label for a bucket upper bound."""
+    return "+Inf" if math.isinf(bound) else format(bound, ".12g")
+
+
 def to_prometheus_text(metrics: MetricsRegistry | None = None) -> str:
     """Render a registry snapshot in the Prometheus text exposition format.
 
-    Counters follow the ``_total`` naming convention; histograms export as
-    summaries (``{quantile="0.5"|"0.95"}`` sample lines plus ``_sum`` /
-    ``_count``) with the observed maximum as a companion ``_max`` gauge —
-    the registry keeps nearest-rank percentiles, not buckets, so a summary
-    is the honest mapping.
+    Counters follow the ``_total`` naming convention.  Raw histograms
+    export as summaries (``{quantile="0.5"|"0.95"}`` sample lines plus
+    ``_sum`` / ``_count``) with the observed maximum as a companion
+    ``_max`` gauge — they keep nearest-rank percentiles, not buckets, so a
+    summary is the honest mapping.  Log-bucketed histograms export as true
+    Prometheus histograms: cumulative ``_bucket{le="..."}`` series with
+    monotone non-decreasing counts ending in ``le="+Inf"``, plus ``_sum``
+    and ``_count``.
     """
-    snapshot = (metrics or _global_registry()).snapshot()
+    reg = metrics or _global_registry()
+    snapshot = reg.snapshot()
+    log_histograms = reg.log_histograms()
     lines: List[str] = []
     for name, value in snapshot["counters"].items():
         prom = _prom_name(name) + "_total"
@@ -136,6 +161,8 @@ def to_prometheus_text(metrics: MetricsRegistry | None = None) -> str:
         lines.append(f"# TYPE {prom} gauge")
         lines.append(f"{prom} {value}")
     for name, summary in snapshot["histograms"].items():
+        if name in log_histograms:
+            continue
         prom = _prom_name(name)
         lines.append(f"# TYPE {prom} summary")
         lines.append(f'{prom}{{quantile="0.5"}} {summary["p50"]}')
@@ -144,6 +171,13 @@ def to_prometheus_text(metrics: MetricsRegistry | None = None) -> str:
         lines.append(f"{prom}_count {summary['count']}")
         lines.append(f"# TYPE {prom}_max gauge")
         lines.append(f"{prom}_max {summary['max']}")
+    for name, hist in log_histograms.items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in hist.buckets():
+            lines.append(f'{prom}_bucket{{le="{_format_le(bound)}"}} {cumulative}')
+        lines.append(f"{prom}_sum {hist.sum if hist.count else 0.0}")
+        lines.append(f"{prom}_count {hist.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -151,3 +185,30 @@ def write_metrics_prometheus(path: str, metrics: MetricsRegistry | None = None) 
     """Write the Prometheus text projection of the registry to ``path``."""
     with open(path, "w") as handle:
         handle.write(to_prometheus_text(metrics))
+
+
+def emit_metrics(
+    path: Optional[str],
+    conflicts: ConflictTable | None = None,
+    extra: Optional[Dict[str, Any]] = None,
+    announce: bool = True,
+) -> Optional[str]:
+    """The one ``--emit-metrics PATH`` implementation shared by every CLI.
+
+    The suffix picks the format — ``.csv`` flat rows, ``.prom`` Prometheus
+    text, anything else the JSON snapshot document (which is the only
+    format that can carry ``conflicts``/``extra``).  ``None``/empty paths
+    are a no-op so callers can pass the argparse value straight through.
+    Returns the path written, or ``None``.
+    """
+    if not path:
+        return None
+    if path.endswith(".csv"):
+        write_metrics_csv(path)
+    elif path.endswith(".prom"):
+        write_metrics_prometheus(path)
+    else:
+        write_metrics_json(path, conflicts=conflicts, extra=extra)
+    if announce:
+        print(f"metrics written to {path}")
+    return path

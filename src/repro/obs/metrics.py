@@ -25,8 +25,10 @@ values the terminal shows.
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Any, Dict, List
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.opcount import OpCounter
 
@@ -106,6 +108,138 @@ class Histogram:
         }
 
 
+#: Default LogHistogram geometry: buckets at 0.001 * 2^i.  In milliseconds
+#: that spans 1 µs to ~2 months with ~2x resolution, which is plenty for
+#: latency data; values past the last bound land in an overflow bucket.
+LOG_BUCKET_START = 1e-3
+LOG_BUCKET_FACTOR = 2.0
+LOG_BUCKET_COUNT = 48
+
+
+class LogHistogram:
+    """A log-bucketed distribution: O(1) observe, bounded memory.
+
+    :class:`Histogram` keeps every raw sample, which is exact but grows
+    without bound — fine for a bench harness, wrong for a server counting
+    an unbounded request stream.  This primitive keeps a fixed array of
+    geometrically spaced buckets plus exact ``count``/``sum``/``min``/
+    ``max``, so every observation is an index increment and the memory
+    footprint never changes.
+
+    Quantiles come from the cumulative bucket counts: the reported value
+    is the upper bound of the bucket containing the requested rank,
+    clamped to the observed ``[min, max]`` — i.e. an over-estimate by at
+    most one bucket ratio (2x by default), never an under-estimate.
+
+    The bucket layout is exactly what the Prometheus *histogram* type
+    wants (:meth:`buckets` yields cumulative ``le`` pairs), unlike the raw
+    :class:`Histogram`, which exports as a summary.
+    """
+
+    __slots__ = ("_bounds", "_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        start: float = LOG_BUCKET_START,
+        factor: float = LOG_BUCKET_FACTOR,
+        buckets: int = LOG_BUCKET_COUNT,
+    ) -> None:
+        if start <= 0 or factor <= 1 or buckets < 1:
+            raise ValueError(
+                f"need start > 0, factor > 1, buckets >= 1; "
+                f"got ({start}, {factor}, {buckets})"
+            )
+        self._bounds: List[float] = [start * factor**i for i in range(buckets)]
+        self._counts: List[int] = [0] * (buckets + 1)  # + overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError(f"observation multiplicity must be >= 1, got {n}")
+        value = float(value)
+        self._counts[bisect_left(self._bounds, value)] += n
+        self.count += n
+        self.sum += value * n
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> float:
+        """Bucket-resolution nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(self.count * p / 100.0))
+        cumulative = 0
+        for idx, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                bound = self._bounds[idx] if idx < len(self._bounds) else self.max
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - counts always sum to count
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(le_bound, count)`` pairs, ending with ``(inf, count)``."""
+        pairs: List[Tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self._bounds, self._counts):
+            cumulative += bucket_count
+            pairs.append((bound, cumulative))
+        pairs.append((math.inf, cumulative + self._counts[-1]))
+        return pairs
+
+    def summary(self) -> Dict[str, float]:
+        """The exported shape: count/sum/mean/min/max plus tail quantiles."""
+        count = self.count
+        return {
+            "count": count,
+            "sum": self.sum,
+            "mean": (self.sum / count) if count else 0.0,
+            "min": self.min if count else 0.0,
+            "max": self.max if count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+        }
+
+    # -- cross-process transport ------------------------------------------
+
+    def to_dump(self) -> Dict[str, Any]:
+        return {
+            "bounds": [self._bounds[0], self._bounds[1] / self._bounds[0]]
+            if len(self._bounds) > 1
+            else [self._bounds[0], LOG_BUCKET_FACTOR],
+            "counts": list(self._counts),
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dump(self, dump: Dict[str, Any]) -> None:
+        counts = dump["counts"]
+        if len(counts) != len(self._counts):
+            raise ValueError(
+                f"cannot merge log histograms with different bucket layouts "
+                f"({len(counts)} vs {len(self._counts)} buckets)"
+            )
+        added = 0
+        for idx, n in enumerate(counts):
+            self._counts[idx] += n
+            added += n
+        if not added:
+            return
+        self.count += added
+        self.sum += dump["sum"]
+        self.min = min(self.min, dump["min"])
+        self.max = max(self.max, dump["max"])
+
+
 class MetricsRegistry:
     """Thread-safe, name-keyed home for all three metric kinds."""
 
@@ -114,6 +248,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._log_histograms: Dict[str, LogHistogram] = {}
 
     def counter(self, name: str) -> Counter:
         with self._lock:
@@ -131,10 +266,31 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         with self._lock:
+            if name in self._log_histograms:
+                raise ValueError(f"{name!r} is already a log histogram")
             metric = self._histograms.get(name)
             if metric is None:
                 metric = self._histograms[name] = Histogram()
             return metric
+
+    def log_histogram(self, name: str, **kwargs: Any) -> LogHistogram:
+        """The :class:`LogHistogram` named ``name`` (created on first use).
+
+        ``kwargs`` (``start``/``factor``/``buckets``) only apply on
+        creation; later calls return the existing instance unchanged.
+        """
+        with self._lock:
+            if name in self._histograms:
+                raise ValueError(f"{name!r} is already a raw histogram")
+            metric = self._log_histograms.get(name)
+            if metric is None:
+                metric = self._log_histograms[name] = LogHistogram(**kwargs)
+            return metric
+
+    def log_histograms(self) -> Dict[str, LogHistogram]:
+        """Name-sorted snapshot of the log histograms (for exporters)."""
+        with self._lock:
+            return dict(sorted(self._log_histograms.items()))
 
     # -- OpCounter integration -------------------------------------------
 
@@ -153,14 +309,22 @@ class MetricsRegistry:
     # -- export -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Flat JSON-friendly view of everything recorded so far."""
+        """Flat JSON-friendly view of everything recorded so far.
+
+        Raw and log histograms share the ``histograms`` section — both
+        summarize to scalars, log histograms just carry the extra
+        ``min``/``p99``/``p999`` quantile fields (and export bucket
+        detail separately, see :mod:`repro.obs.export`).
+        """
         with self._lock:
+            histograms = {k: h.summary() for k, h in self._histograms.items()}
+            histograms.update(
+                {k: h.summary() for k, h in self._log_histograms.items()}
+            )
             return {
                 "counters": {k: c.value for k, c in sorted(self._counters.items())},
                 "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
-                "histograms": {
-                    k: h.summary() for k, h in sorted(self._histograms.items())
-                },
+                "histograms": dict(sorted(histograms.items())),
             }
 
     def reset(self) -> None:
@@ -168,21 +332,30 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._log_histograms.clear()
 
     # -- cross-process transport ------------------------------------------
 
-    def dump(self) -> Dict[str, Any]:
+    def dump(self, worker_id: Optional[str] = None) -> Dict[str, Any]:
         """Lossless, picklable export for shipping across process borders.
 
-        Unlike :meth:`snapshot`, histograms carry their raw value lists so
-        the receiver can :meth:`merge` them without degrading percentiles.
+        Unlike :meth:`snapshot`, histograms carry their raw value lists
+        (and log histograms their bucket counts) so the receiver can
+        :meth:`merge` them without degrading percentiles.  ``worker_id``
+        stamps the dump with its origin; the merging side then also
+        publishes a ``worker.<id>.*`` namespaced copy of every metric, so
+        per-worker skew survives the aggregation.
         """
         with self._lock:
             return {
+                "worker_id": worker_id,
                 "counters": {k: c.value for k, c in self._counters.items()},
                 "gauges": {k: g.value for k, g in self._gauges.items()},
                 "histograms": {
                     k: list(h._values) for k, h in self._histograms.items()
+                },
+                "log_histograms": {
+                    k: h.to_dump() for k, h in self._log_histograms.items()
                 },
             }
 
@@ -191,17 +364,33 @@ class MetricsRegistry:
 
         Counters and histogram observations add; gauges are last-write-wins
         (the merge order is the caller's deterministic result order, so the
-        outcome matches a serial run).
+        outcome matches a serial run).  When the dump carries a
+        ``worker_id``, every metric is *additionally* recorded under
+        ``worker.<id>.<name>`` — the aggregate totals stay comparable to a
+        serial run while the provenance stays inspectable.
         """
+        worker = dump.get("worker_id")
         for name, value in dump.get("counters", {}).items():
             if value:
                 self.counter(name).inc(value)
+                if worker:
+                    self.counter(f"worker.{worker}.{name}").inc(value)
         for name, value in dump.get("gauges", {}).items():
             self.gauge(name).set(value)
+            if worker:
+                self.gauge(f"worker.{worker}.{name}").set(value)
         for name, values in dump.get("histograms", {}).items():
             metric = self.histogram(name)
             for value in values:
                 metric.observe(value)
+            if worker:
+                shadow = self.histogram(f"worker.{worker}.{name}")
+                for value in values:
+                    shadow.observe(value)
+        for name, payload in dump.get("log_histograms", {}).items():
+            self.log_histogram(name).merge_dump(payload)
+            if worker:
+                self.log_histogram(f"worker.{worker}.{name}").merge_dump(payload)
 
 
 class TrackedOpCounter(OpCounter):

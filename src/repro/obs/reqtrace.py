@@ -1,0 +1,129 @@
+"""Per-request span trees and their bounded retention (``/debug/traces``).
+
+The tracer stores spans flat, in completion order, across every request
+the process has served.  The serve layer instead wants "what happened to
+*this* request": :func:`build_trace_tree` folds one trace's spans into a
+nested tree rooted at its ``serve.request`` span, and :class:`TraceBuffer`
+keeps the most recent trees in a fixed-size ring so a live server can be
+inspected without unbounded memory.
+
+Orphan handling: spans recorded on executor threads or merged back from
+pool workers have no recorded parent inside the trace (their lexical
+parent lived in another thread's nesting stack, or another process).
+They still carry the trace id, so the builder adopts every parentless
+span under the request root — the tree stays complete even though the
+parent edge crossed an execution boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from .tracer import SpanRecord
+
+#: Span name the serve layer records for the whole HTTP request.
+REQUEST_SPAN = "serve.request"
+
+#: Default ring capacity; one tree per request, trees are small.
+DEFAULT_TRACE_CAPACITY = 64
+
+
+def _node(record: SpanRecord) -> Dict[str, Any]:
+    node: Dict[str, Any] = {
+        "name": record.name,
+        "start": record.start,
+        "duration_ms": record.duration_ms,
+        "children": [],
+    }
+    if record.ops:
+        node["ops"] = record.ops
+    if record.attrs:
+        node["attrs"] = {
+            k: (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
+            for k, v in record.attrs.items()
+        }
+    if record.links:
+        node["links"] = list(record.links)
+    return node
+
+
+def build_trace_tree(
+    trace_id: str, records: Sequence[SpanRecord]
+) -> Dict[str, Any]:
+    """Fold one trace's spans into a JSON-friendly tree document.
+
+    Children are ordered by start time.  When a ``serve.request`` span is
+    present it becomes the root and adopts every other parentless span;
+    without one (e.g. a trace built from a profiling run) the parentless
+    spans are listed as multiple roots.
+    """
+    by_id = {r.span_id: _node(r) for r in records}
+    ordered = sorted(records, key=lambda r: (r.start, r.span_id))
+    links: List[str] = []
+    roots: List[Dict[str, Any]] = []
+    request_root: Optional[Dict[str, Any]] = None
+    for record in ordered:
+        for linked in record.links:
+            if linked not in links:
+                links.append(linked)
+        node = by_id[record.span_id]
+        parent = (
+            by_id.get(record.parent_id)
+            if record.parent_id is not None and record.parent_id != record.span_id
+            else None
+        )
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+            if record.name == REQUEST_SPAN and request_root is None:
+                request_root = node
+    if request_root is not None:
+        for node in roots:
+            if node is not request_root:
+                request_root["children"].append(node)
+        roots = [request_root]
+    duration = max((r["duration_ms"] for r in roots), default=0.0)
+    return {
+        "trace_id": trace_id,
+        "spans": len(records),
+        "duration_ms": duration,
+        "links": links,
+        "roots": roots,
+    }
+
+
+class TraceBuffer:
+    """A thread-safe ring of the most recent request trace trees."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._trees: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def add(self, tree: Dict[str, Any]) -> None:
+        with self._lock:
+            self._trees.append(tree)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._trees)
+
+    def snapshot(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Most-recent-first copies of the retained trees."""
+        with self._lock:
+            trees = list(self._trees)
+        trees.reverse()
+        return trees[:limit] if limit is not None else trees
+
+    def find(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The retained tree for ``trace_id``, or ``None`` if evicted."""
+        with self._lock:
+            for tree in self._trees:
+                if tree.get("trace_id") == trace_id:
+                    return tree
+        return None

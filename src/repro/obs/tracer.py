@@ -32,10 +32,11 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.opcount import OpCounter
 from . import state
+from .tracecontext import current_trace_id
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,13 @@ class SpanRecord:
         ``threading.get_ident()`` of the recording thread.
     attrs:
         Free-form annotations supplied at creation or via ``annotate``.
+    trace_id:
+        The request trace this span belongs to (see
+        :mod:`repro.obs.tracecontext`), or None outside any trace.
+    links:
+        Trace ids of *other* requests whose work this span observed —
+        e.g. a coalesced follower links the leader's trace instead of
+        duplicating its solve spans.
     """
 
     span_id: int
@@ -69,6 +77,8 @@ class SpanRecord:
     ops: int = 0
     thread_id: int = 0
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    links: Tuple[str, ...] = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-friendly event (attrs coerced to strings where needed)."""
@@ -85,6 +95,8 @@ class SpanRecord:
                 k: (v if isinstance(v, (int, float, str, bool, type(None))) else str(v))
                 for k, v in self.attrs.items()
             },
+            "trace_id": self.trace_id,
+            "links": list(self.links),
         }
 
 
@@ -138,6 +150,86 @@ class Tracer:
         with self._lock:
             self._records.clear()
 
+    def trim(self, max_records: int) -> None:
+        """Drop the oldest records beyond ``max_records`` (server hygiene)."""
+        with self._lock:
+            excess = len(self._records) - max_records
+            if excess > 0:
+                del self._records[:excess]
+
+    # -- cross-process transport ------------------------------------------
+
+    def mark(self) -> int:
+        """An opaque cursor: pass to :meth:`dump_since` to get newer spans."""
+        with self._lock:
+            return len(self._records)
+
+    def dump_since(self, mark: int = 0) -> List[Dict[str, Any]]:
+        """Spans recorded after ``mark`` as picklable event dicts.
+
+        The worker half of the dump/merge channel: a pool worker marks its
+        tracer before the task, runs it, and ships ``dump_since(mark)``
+        home alongside the result.
+        """
+        with self._lock:
+            return [r.to_dict() for r in self._records[mark:]]
+
+    def merge(
+        self,
+        events: Sequence[Dict[str, Any]],
+        parent_id: Optional[int] = None,
+        worker_id: Optional[str] = None,
+    ) -> None:
+        """Fold another process's :meth:`dump_since` into this tracer.
+
+        Span ids are remapped onto this tracer's id space (worker counters
+        collide across processes); events arrive in completion order —
+        children before parents — so ids are assigned in a first pass and
+        parent references rewritten in a second.  Spans whose parent is
+        not in the dump (worker-side roots) are re-parented under
+        ``parent_id``, and every merged span is stamped with ``worker_id``
+        so per-worker skew stays visible.  ``start`` values are another
+        process's ``perf_counter`` — tree *structure* survives the merge,
+        cross-process start ordering is approximate.
+        """
+        if not events:
+            return
+        with self._lock:
+            id_map = {event["span_id"]: next(self._ids) for event in events}
+            for event in events:
+                attrs = dict(event.get("attrs") or {})
+                if worker_id is not None:
+                    attrs.setdefault("worker_id", worker_id)
+                self._records.append(
+                    SpanRecord(
+                        span_id=id_map[event["span_id"]],
+                        parent_id=id_map.get(event.get("parent_id"), parent_id),
+                        name=event["name"],
+                        start=event.get("start", 0.0),
+                        duration_ms=event.get("duration_ms", 0.0),
+                        ops=event.get("ops", 0),
+                        thread_id=event.get("thread_id", 0),
+                        attrs=attrs,
+                        trace_id=event.get("trace_id"),
+                        links=tuple(event.get("links") or ()),
+                    )
+                )
+
+    # -- per-trace retrieval ----------------------------------------------
+
+    def records_for(self, trace_id: str) -> List[SpanRecord]:
+        """All finished spans stamped with ``trace_id`` (completion order)."""
+        with self._lock:
+            return [r for r in self._records if r.trace_id == trace_id]
+
+    def pop_trace(self, trace_id: str) -> List[SpanRecord]:
+        """Remove and return ``trace_id``'s spans (bounds server memory)."""
+        with self._lock:
+            matched = [r for r in self._records if r.trace_id == trace_id]
+            if matched:
+                self._records = [r for r in self._records if r.trace_id != trace_id]
+            return matched
+
 
 class _NullSpan:
     """Shared inert span used whenever observability is off."""
@@ -153,6 +245,9 @@ class _NullSpan:
     def annotate(self, **attrs: Any) -> None:
         pass
 
+    def link(self, trace_id: str) -> None:
+        pass
+
 
 NULL_SPAN = _NullSpan()
 
@@ -160,7 +255,10 @@ NULL_SPAN = _NullSpan()
 class Span:
     """A live (open) span; use as a context manager."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_ops", "_ops_base", "_id", "_parent", "_start")
+    __slots__ = (
+        "_tracer", "_name", "_attrs", "_ops", "_ops_base", "_id",
+        "_parent", "_start", "_trace", "_links",
+    )
 
     def __init__(
         self,
@@ -177,13 +275,21 @@ class Span:
         self._id = tracer.next_id()
         self._parent: Optional[int] = None
         self._start = 0.0
+        self._trace: Optional[str] = None
+        self._links: List[str] = []
 
     def annotate(self, **attrs: Any) -> None:
         """Attach extra attributes to the span while it is open."""
         self._attrs.update(attrs)
 
+    def link(self, trace_id: str) -> None:
+        """Reference another request's trace (e.g. a coalesced leader)."""
+        if trace_id and trace_id not in self._links:
+            self._links.append(trace_id)
+
     def __enter__(self) -> "Span":
         self._parent = self._tracer.current_parent()
+        self._trace = current_trace_id()
         self._tracer.push(self._id)
         if self._ops is not None:
             self._ops_base = self._ops.total
@@ -204,6 +310,8 @@ class Span:
                 ops=ops_delta,
                 thread_id=threading.get_ident(),
                 attrs=self._attrs,
+                trace_id=self._trace,
+                links=tuple(self._links),
             )
         )
         return False

@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .server import PartitionServer
+from .server import DEFAULT_TRACE_BUFFER, PartitionServer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="Retry-After hint attached to 429 responses",
     )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help=(
+            "enable the /debug/* endpoints (recent request traces, "
+            "in-flight jobs, store occupancy)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=DEFAULT_TRACE_BUFFER,
+        metavar="N",
+        help="how many recent request traces /debug/traces retains",
+    )
     return parser
 
 
@@ -93,6 +108,8 @@ async def _run(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         max_pending=args.max_pending,
         retry_after_s=args.retry_after,
+        debug=args.debug,
+        trace_buffer_size=args.trace_buffer,
     )
     await server.start()
     if args.port_file:

@@ -257,3 +257,17 @@ class ServeClient:
         if status != 200:
             raise ServeError("internal", f"/metrics returned HTTP {status}", status)
         return data.decode("utf-8")
+
+    # -- debug surface (server must run with debug enabled) ----------------
+
+    def debug_traces(self) -> Dict[str, Any]:
+        """GET /debug/traces — recent end-to-end request span trees."""
+        return self._json("GET", "/debug/traces")
+
+    def debug_inflight(self) -> Dict[str, Any]:
+        """GET /debug/inflight — the coalescer's queued/in-flight jobs."""
+        return self._json("GET", "/debug/inflight")
+
+    def debug_store(self) -> Dict[str, Any]:
+        """GET /debug/store — solution-store occupancy and hit-rate."""
+        return self._json("GET", "/debug/store")

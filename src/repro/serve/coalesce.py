@@ -38,19 +38,31 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, ContextManager, Dict, List, Optional, Tuple
 
 from ..core import cache as solve_cache
 from ..core.solver import solve
 from ..errors import InfeasibleConstraintError, ReproError
 from ..eval.parallel import run_parallel
+from ..obs import state as obs_state
 from ..obs.metrics import registry as obs_registry
+from ..obs.tracecontext import trace
+from ..obs.tracer import span
 from .protocol import ERROR_INFEASIBLE, ERROR_INTERNAL, ERROR_SHUTTING_DOWN, SolveSpec
 from .store import SolutionStore
 
 #: Outcome tuple: ("ok", solution) | ("err", code, message).
 Outcome = Tuple[Any, ...]
+
+#: A batch item: (digest, spec, trace id of the leader request or None).
+BatchItem = Tuple[str, SolveSpec, Optional[str]]
+
+
+def _trace_ctx(trace_id: Optional[str]) -> "ContextManager[Any]":
+    """Re-enter a request's trace on a foreign thread/process, if any."""
+    return trace(trace_id) if trace_id is not None else nullcontext()
 
 
 class QueueFullError(ReproError):
@@ -65,15 +77,7 @@ class QueueFullError(ReproError):
         self.retry_after_s = retry_after_s
 
 
-def _solve_task(spec: SolveSpec) -> Outcome:
-    """One canonical solve, as a picklable top-level task function.
-
-    Runs either in the server process (serial tier) or in a pool worker;
-    either way it returns only the canonical
-    :class:`~repro.core.partition.PartitionSolution` — mappings are shape
-    arithmetic the requester rebuilds, and shipping them across a process
-    border would just serialize redundant state.
-    """
+def _solve_outcome(spec: SolveSpec) -> Outcome:
     try:
         result = solve(
             spec.pattern,
@@ -89,8 +93,43 @@ def _solve_task(spec: SolveSpec) -> Outcome:
         return ("err", ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
 
 
+def _solve_task(item: BatchItem) -> Outcome:
+    """One canonical solve, as a picklable top-level task function.
+
+    Runs either in the server process (serial tier) or in a pool worker;
+    either way it returns only the canonical
+    :class:`~repro.core.partition.PartitionSolution` — mappings are shape
+    arithmetic the requester rebuilds, and shipping them across a process
+    border would just serialize redundant state.
+
+    The leader's trace id travels in the item payload (workers inherit no
+    ambient state), so a ``serve.solve`` span recorded here — in whichever
+    process — lands in the requesting trace's tree.
+    """
+    digest, spec, trace_id = item
+    if not obs_state.enabled():
+        return _solve_outcome(spec)
+    with _trace_ctx(trace_id):
+        with span(
+            "serve.solve", digest=digest[:12], pattern=spec.pattern.name or "?"
+        ):
+            return _solve_outcome(spec)
+
+
+def _store_lookup(
+    store: SolutionStore, digest: str, spec: SolveSpec, trace_id: Optional[str]
+):
+    if not obs_state.enabled():
+        return store.get(digest, spec.pattern)
+    with _trace_ctx(trace_id):
+        with span("serve.store.get", digest=digest[:12]) as lookup:
+            stored = store.get(digest, spec.pattern)
+            lookup.annotate(hit=stored is not None)
+            return stored
+
+
 def _execute_batch(
-    batch: List[Tuple[str, SolveSpec]],
+    batch: List[BatchItem],
     store: Optional[SolutionStore],
     jobs: int,
     solve_delay_s: float,
@@ -100,23 +139,29 @@ def _execute_batch(
     Store hits short-circuit; the remainder solves through
     :func:`run_parallel`.  Fresh solutions are persisted to the store and
     seeded into the in-memory solve cache so later requests hit without
-    touching disk.
+    touching disk.  Each item carries its leader's trace id, so store
+    lookups and solves span into the right request tree even though the
+    batch serves many requests at once.
     """
     if solve_delay_s > 0:
         time.sleep(solve_delay_s)
     outcomes: Dict[str, Outcome] = {}
-    to_solve: List[Tuple[str, SolveSpec]] = []
-    for digest, spec in batch:
-        stored = store.get(digest, spec.pattern) if store is not None else None
+    to_solve: List[BatchItem] = []
+    for digest, spec, trace_id in batch:
+        stored = (
+            _store_lookup(store, digest, spec, trace_id)
+            if store is not None
+            else None
+        )
         if stored is not None:
             if solve_cache.enabled():
                 solve_cache.cache().put(spec.cache_key(), stored)
             outcomes[digest] = ("ok", stored)
         else:
-            to_solve.append((digest, spec))
+            to_solve.append((digest, spec, trace_id))
     if to_solve:
-        results = run_parallel(_solve_task, [spec for _, spec in to_solve], jobs=jobs)
-        for (digest, spec), outcome in zip(to_solve, results):
+        results = run_parallel(_solve_task, to_solve, jobs=jobs)
+        for (digest, spec, _trace_id), outcome in zip(to_solve, results):
             outcomes[digest] = outcome
             if outcome[0] != "ok":
                 continue
@@ -139,6 +184,17 @@ def _execute_batch(
 class _Job:
     spec: SolveSpec
     future: "asyncio.Future[Outcome]"
+    trace_id: Optional[str] = None
+    submitted_at: float = 0.0
+
+
+@dataclass
+class _Flight:
+    """An in-flight job: its shared future plus debug/trace provenance."""
+
+    future: "asyncio.Future[Outcome]"
+    trace_id: Optional[str] = None
+    started_at: float = 0.0
 
 
 class Coalescer:
@@ -169,7 +225,7 @@ class Coalescer:
         self.retry_after_s = retry_after_s
         self.solve_delay_s = solve_delay_s
         self._queued: "OrderedDict[str, _Job]" = OrderedDict()
-        self._inflight: Dict[str, "asyncio.Future[Outcome]"] = {}
+        self._inflight: Dict[str, _Flight] = {}
         self._wake = asyncio.Event()
         self._closed = False
 
@@ -180,13 +236,28 @@ class Coalescer:
         """Distinct jobs queued or in flight (the backpressure quantity)."""
         return len(self._queued) + len(self._inflight)
 
-    def submit(self, spec: SolveSpec) -> "asyncio.Future[Outcome]":
+    def submit(
+        self, spec: SolveSpec, trace_id: Optional[str] = None
+    ) -> "asyncio.Future[Outcome]":
         """Queue a solve (or attach to its in-flight twin); returns its future.
 
         The returned future is shared between every coalesced requester —
         callers must not cancel it directly (wrap waits in
         ``asyncio.shield``) and must re-attach their own pattern to the
         resulting canonical solution.
+        """
+        return self.submit_traced(spec, trace_id)[0]
+
+    def submit_traced(
+        self, spec: SolveSpec, trace_id: Optional[str] = None
+    ) -> Tuple["asyncio.Future[Outcome]", Optional[str]]:
+        """:meth:`submit`, also reporting who owns the solve's trace.
+
+        Returns ``(future, leader_trace_id)``: ``leader_trace_id`` is
+        ``None`` when this request *is* the leader (it scheduled the job,
+        its trace will contain the solve spans) and the leader's trace id
+        when the request coalesced onto existing work — the caller records
+        that as a span *link* instead of duplicating the leader's subtree.
         """
         registry = obs_registry()
         if self._closed:
@@ -195,25 +266,30 @@ class Coalescer:
             future.set_result(
                 ("err", ERROR_SHUTTING_DOWN, "server is shutting down")
             )
-            return future
+            return future, None
         digest = spec.digest()
         inflight = self._inflight.get(digest)
         if inflight is not None:
             registry.counter("serve.coalesce.attached").inc()
-            return inflight
+            return inflight.future, inflight.trace_id
         queued = self._queued.get(digest)
         if queued is not None:
             registry.counter("serve.coalesce.attached").inc()
-            return queued.future
+            return queued.future, queued.trace_id
         if self.pending >= self.max_pending:
             registry.counter("serve.coalesce.rejected").inc()
             raise QueueFullError(self.pending, retry_after_s=self.retry_after_s)
         loop = asyncio.get_running_loop()
-        job = _Job(spec=spec, future=loop.create_future())
+        job = _Job(
+            spec=spec,
+            future=loop.create_future(),
+            trace_id=trace_id,
+            submitted_at=time.monotonic(),
+        )
         self._queued[digest] = job
         registry.counter("serve.coalesce.scheduled").inc()
         self._wake.set()
-        return job.future
+        return job.future, None
 
     # -- the batch loop ----------------------------------------------------
 
@@ -224,12 +300,16 @@ class Coalescer:
         try:
             while True:
                 await self._wake.wait()
-                batch: List[Tuple[str, SolveSpec]] = []
+                batch: List[BatchItem] = []
                 futures: Dict[str, "asyncio.Future[Outcome]"] = {}
                 while self._queued and len(batch) < self.batch_max:
                     digest, job = self._queued.popitem(last=False)
-                    self._inflight[digest] = job.future
-                    batch.append((digest, job.spec))
+                    self._inflight[digest] = _Flight(
+                        future=job.future,
+                        trace_id=job.trace_id,
+                        started_at=time.monotonic(),
+                    )
+                    batch.append((digest, job.spec, job.trace_id))
                     futures[digest] = job.future
                 if not self._queued:
                     self._wake.clear()
@@ -248,7 +328,7 @@ class Coalescer:
                 except Exception as exc:  # noqa: BLE001 - keep the loop alive
                     outcomes = {
                         digest: ("err", ERROR_INTERNAL, f"batch failed: {exc}")
-                        for digest, _ in batch
+                        for digest, _spec, _tid in batch
                     }
                 for digest, future in futures.items():
                     self._inflight.pop(digest, None)
@@ -270,7 +350,34 @@ class Coalescer:
             if not job.future.done():
                 job.future.set_result(shutdown)
         self._queued.clear()
-        for future in self._inflight.values():
-            if not future.done():
-                future.set_result(shutdown)
+        for flight in self._inflight.values():
+            if not flight.future.done():
+                flight.future.set_result(shutdown)
         self._inflight.clear()
+
+    # -- debug -------------------------------------------------------------
+
+    def debug_state(self) -> Dict[str, Any]:
+        """Point-in-time view of the intake queue for ``/debug/inflight``."""
+        now = time.monotonic()
+        return {
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "queued": [
+                {
+                    "digest": digest,
+                    "pattern": job.spec.pattern.name,
+                    "age_s": round(now - job.submitted_at, 6),
+                    "trace_id": job.trace_id,
+                }
+                for digest, job in self._queued.items()
+            ],
+            "inflight": [
+                {
+                    "digest": digest,
+                    "age_s": round(now - flight.started_at, 6),
+                    "trace_id": flight.trace_id,
+                }
+                for digest, flight in self._inflight.items()
+            ],
+        }

@@ -23,7 +23,23 @@ Endpoints
     Liveness + queue/store stats, always JSON 200 while the loop is alive.
 ``GET /metrics``
     The process metrics registry in Prometheus text format
-    (:func:`repro.obs.export.to_prometheus_text`).
+    (:func:`repro.obs.export.to_prometheus_text`), including store
+    occupancy gauges and traffic counters.
+``GET /debug/traces`` / ``GET /debug/inflight`` / ``GET /debug/store``
+    Live debug surface, **off by default** — start the server with
+    ``debug=True`` (CLI: ``--debug``) to enable.  ``/debug/traces`` serves
+    a bounded ring of recent end-to-end request span trees (requires
+    observability, ``REPRO_OBS=1``); ``/debug/inflight`` the coalescer's
+    queued/in-flight jobs with ages and trace ids; ``/debug/store`` the
+    solution store's occupancy and hit-rate.
+
+Tracing: with observability enabled every request is assigned a trace id
+(returned in the response payload as ``trace_id``).  The id travels with
+the work — through the coalescer into executor threads and pool workers —
+so the finished spans reassemble into one tree per request, retrievable
+from ``/debug/traces``.  Requests that coalesce onto another request's
+in-flight solve record a *link* to the leader's trace instead of
+duplicating its spans.
 
 Deadlines: a request may carry ``timeout_ms``; past-deadline requests get
 ``504 deadline_exceeded`` — *the coalesced solve keeps running* (other
@@ -42,11 +58,15 @@ import dataclasses
 import json
 import threading
 import time
-from typing import Any, Awaitable, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
 
 from ..core.mapping import BankMapping
+from ..obs import state as obs_state
 from ..obs.export import to_prometheus_text
 from ..obs.metrics import registry as obs_registry
+from ..obs.reqtrace import REQUEST_SPAN, TraceBuffer, build_trace_tree
+from ..obs.tracecontext import new_trace_id, trace
+from ..obs.tracer import SpanRecord, span, tracer as obs_tracer
 from .coalesce import Coalescer, Outcome, QueueFullError
 from .protocol import (
     ERROR_BAD_REQUEST,
@@ -68,6 +88,14 @@ from .store import SolutionStore
 
 #: Largest accepted request body; patterns are small, this is generous.
 MAX_BODY_BYTES = 1 << 20
+
+#: Request span trees kept for ``/debug/traces``.
+DEFAULT_TRACE_BUFFER = 128
+
+#: Leak guard on the process tracer: spans belonging to traces that were
+#: never finished (e.g. a leader whose response was abandoned past its
+#: deadline while its solve kept running) would otherwise accumulate.
+_TRACE_RECORD_CAP = 20_000
 
 _REASONS = {
     200: "OK",
@@ -95,6 +123,20 @@ class _HttpReply(Exception):
         self.headers = headers or {}
 
 
+@dataclasses.dataclass
+class _RequestContext:
+    """Per-request trace identity, threaded through the handler.
+
+    ``links`` collects trace ids of *other* requests whose in-flight work
+    this one attached to (the coalesced leader); they end up on the
+    ``serve.request`` root span so a follower's tree points at the tree
+    that actually contains the solve.
+    """
+
+    trace_id: Optional[str] = None
+    links: List[str] = dataclasses.field(default_factory=list)
+
+
 class PartitionServer:
     """A long-lived partitioning service bound to one host/port."""
 
@@ -109,6 +151,8 @@ class PartitionServer:
         max_pending: int = 256,
         retry_after_s: float = 1.0,
         solve_delay_s: float = 0.0,
+        debug: bool = False,
+        trace_buffer_size: int = DEFAULT_TRACE_BUFFER,
     ) -> None:
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -125,6 +169,8 @@ class PartitionServer:
             solve_delay_s=solve_delay_s,
         )
         self.coalescer: Optional[Coalescer] = None
+        self.debug = debug
+        self.traces = TraceBuffer(trace_buffer_size)
         self._server: Optional[asyncio.base_events.Server] = None
         self._batch_task: Optional[asyncio.Task] = None
         self._started_at = 0.0
@@ -251,32 +297,86 @@ class PartitionServer:
         registry = obs_registry()
         registry.counter("serve.requests").inc()
         started = time.monotonic()
+        started_perf = time.perf_counter()
         path = target.split("?", 1)[0]
+        ctx = _RequestContext(
+            trace_id=new_trace_id() if obs_state.enabled() else None
+        )
+        status = 500
         try:
             handler = self._resolve_handler(method, path)
-            payload = await handler(self._parse_body(body))
+            if ctx.trace_id is None:
+                payload = await handler(self._parse_body(body), ctx)
+            else:
+                with trace(ctx.trace_id):
+                    payload = await handler(self._parse_body(body), ctx)
+                if isinstance(payload, dict):
+                    payload.setdefault("trace_id", ctx.trace_id)
+            status = 200
             return 200, payload, {}
         except _HttpReply as reply:
+            status = reply.status
             return reply.status, reply.payload, reply.headers
         except BadRequestError as exc:
+            status = 400
             return 400, error_payload(ERROR_BAD_REQUEST, str(exc)), {}
         except Exception as exc:  # noqa: BLE001 - the server must not die
             registry.counter("serve.errors.internal").inc()
             return 500, error_payload(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}"), {}
         finally:
-            registry.histogram("serve.latency_ms").observe(
-                (time.monotonic() - started) * 1000.0
+            elapsed_ms = (time.monotonic() - started) * 1000.0
+            registry.log_histogram("serve.request.latency_ms").observe(elapsed_ms)
+            if ctx.trace_id is not None:
+                self._finish_trace(ctx, method, path, status, started_perf, elapsed_ms)
+
+    def _finish_trace(
+        self,
+        ctx: _RequestContext,
+        method: str,
+        path: str,
+        status: int,
+        started_perf: float,
+        elapsed_ms: float,
+    ) -> None:
+        """Close out a request's trace: root span, tree build, hand-off.
+
+        The ``serve.request`` root is recorded by hand rather than through
+        :func:`~repro.obs.tracer.span` because concurrent requests
+        interleave on the event-loop thread — the thread-local nesting
+        stack would mis-parent one request's spans under another's root.
+        The trace id, not the stack, is what ties the tree together:
+        :func:`build_trace_tree` adopts every parentless in-trace span
+        (executor threads, pool workers) under this root.
+        """
+        tr = obs_tracer()
+        tr.record(
+            SpanRecord(
+                span_id=tr.next_id(),
+                parent_id=None,
+                name=REQUEST_SPAN,
+                start=started_perf,
+                duration_ms=elapsed_ms,
+                thread_id=threading.get_ident(),
+                attrs={"method": method, "path": path, "status": status},
+                trace_id=ctx.trace_id,
+                links=tuple(ctx.links),
             )
+        )
+        self.traces.add(build_trace_tree(ctx.trace_id, tr.pop_trace(ctx.trace_id)))
+        tr.trim(_TRACE_RECORD_CAP)
 
     def _resolve_handler(
         self, method: str, path: str
-    ) -> Callable[[Any], Awaitable[Union[Dict[str, Any], str]]]:
-        routes: Dict[Tuple[str, str], Callable[[Any], Awaitable[Any]]] = {
+    ) -> Callable[[Any, "_RequestContext"], Awaitable[Union[Dict[str, Any], str]]]:
+        routes: Dict[Tuple[str, str], Callable[[Any, Any], Awaitable[Any]]] = {
             ("POST", "/solve"): self._handle_solve,
             ("POST", "/simulate"): self._handle_simulate,
             ("POST", "/table1"): self._handle_table1,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
+            ("GET", "/debug/traces"): self._handle_debug_traces,
+            ("GET", "/debug/inflight"): self._handle_debug_inflight,
+            ("GET", "/debug/store"): self._handle_debug_store,
         }
         handler = routes.get((method, path))
         if handler is None:
@@ -300,12 +400,14 @@ class PartitionServer:
     # -- the solve path ----------------------------------------------------
 
     async def _await_solution(
-        self, spec: SolveSpec, deadline: Optional[float]
+        self, spec: SolveSpec, deadline: Optional[float], ctx: _RequestContext
     ):
         """Submit a spec and await its (shared) outcome under the deadline.
 
         Returns the canonical solution with the *caller's* pattern
         re-attached, mirroring what a direct in-process cache hit does.
+        When the request coalesces onto another request's in-flight job,
+        the leader's trace id lands in ``ctx.links``.
         """
         assert self.coalescer is not None
         # An already-expired deadline is rejected before intake so a dead
@@ -318,7 +420,15 @@ class PartitionServer:
                 error_payload(ERROR_DEADLINE, "deadline expired before solve"),
             )
         try:
-            future = self.coalescer.submit(spec)
+            future, leader_trace = self.coalescer.submit_traced(
+                spec, trace_id=ctx.trace_id
+            )
+            if (
+                leader_trace is not None
+                and leader_trace != ctx.trace_id
+                and leader_trace not in ctx.links
+            ):
+                ctx.links.append(leader_trace)
         except QueueFullError as exc:
             raise _HttpReply(
                 HTTP_STATUS[ERROR_QUEUE_FULL],
@@ -354,29 +464,39 @@ class PartitionServer:
         timeout_s = parse_timeout_s(doc)
         return None if timeout_s is None else time.monotonic() + timeout_s
 
-    async def _handle_solve(self, doc: Any) -> Dict[str, Any]:
+    async def _handle_solve(self, doc: Any, ctx: _RequestContext) -> Dict[str, Any]:
         deadline = self._deadline_from(doc)
         spec = parse_solve_spec(doc)
-        solution = await self._await_solution(spec, deadline)
+        solution = await self._await_solution(spec, deadline, ctx)
         return solution_payload(solution, spec, spec.digest())
 
-    async def _handle_simulate(self, doc: Any) -> Dict[str, Any]:
+    async def _handle_simulate(self, doc: Any, ctx: _RequestContext) -> Dict[str, Any]:
         deadline = self._deadline_from(doc)
         sim: SimulateSpec = parse_simulate_spec(doc)
-        solution = await self._await_solution(sim.solve, deadline)
+        solution = await self._await_solution(sim.solve, deadline, ctx)
         mapping = BankMapping(solution=solution, shape=sim.solve.shape)
+        trace_id = ctx.trace_id
 
         def _run_simulation():
             from ..sim.memsim import simulate_sweep
 
-            return simulate_sweep(
-                mapping,
-                step=sim.step,
-                limit=sim.limit,
-                ports_per_bank=sim.ports_per_bank,
-                verify=sim.verify,
-                engine=sim.engine,
-            )
+            def _sweep():
+                return simulate_sweep(
+                    mapping,
+                    step=sim.step,
+                    limit=sim.limit,
+                    ports_per_bank=sim.ports_per_bank,
+                    verify=sim.verify,
+                    engine=sim.engine,
+                )
+
+            if trace_id is None:
+                return _sweep()
+            # Executor threads inherit no request context; re-enter the
+            # trace so the sweep's spans land in this request's tree.
+            with trace(trace_id):
+                with span("serve.simulate", engine=sim.engine):
+                    return _sweep()
 
         loop = asyncio.get_running_loop()
         remaining = None if deadline is None else deadline - time.monotonic()
@@ -398,7 +518,7 @@ class PartitionServer:
         payload["report"] = report.to_dict()
         return payload
 
-    async def _handle_table1(self, doc: Any) -> Dict[str, Any]:
+    async def _handle_table1(self, doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
         doc = doc if isinstance(doc, dict) else {}
         deadline = self._deadline_from(doc)
         from ..patterns.library import BENCHMARKS
@@ -446,7 +566,7 @@ class PartitionServer:
 
     # -- introspection -----------------------------------------------------
 
-    async def _handle_healthz(self, _doc: Any) -> Dict[str, Any]:
+    async def _handle_healthz(self, _doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
         assert self.coalescer is not None
         return {
             "status": "ok",
@@ -456,11 +576,52 @@ class PartitionServer:
             "jobs": self.coalescer.jobs,
             "batch_max": self.coalescer.batch_max,
             "max_pending": self.coalescer.max_pending,
+            "debug": self.debug,
             "store": self.store.stats() if self.store is not None else None,
         }
 
-    async def _handle_metrics(self, _doc: Any) -> str:
+    async def _handle_metrics(self, _doc: Any, _ctx: _RequestContext) -> str:
+        # Mirror the store's occupancy into gauges (and make sure its
+        # traffic counters exist even before the first lookup) so the
+        # Prometheus text always carries the full serve.store.* family.
+        if self.store is not None:
+            registry = obs_registry()
+            stats = self.store.stats()
+            registry.gauge("serve.store.entries").set(stats["entries"])
+            registry.gauge("serve.store.bytes").set(stats["bytes"])
+            registry.gauge("serve.store.max_entries").set(stats["max_entries"])
+            for name in ("hits", "misses", "writes", "evictions"):
+                registry.counter(f"serve.store.{name}").inc(0)
         return to_prometheus_text()
+
+    # -- debug surface (off unless debug=True) -----------------------------
+
+    def _require_debug(self) -> None:
+        if not self.debug:
+            raise _HttpReply(
+                404,
+                error_payload(
+                    ERROR_NOT_FOUND,
+                    "debug endpoints are disabled (start the server with --debug)",
+                ),
+            )
+
+    async def _handle_debug_traces(self, _doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
+        self._require_debug()
+        return {
+            "enabled": obs_state.enabled(),
+            "count": len(self.traces),
+            "traces": self.traces.snapshot(),
+        }
+
+    async def _handle_debug_inflight(self, _doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
+        self._require_debug()
+        assert self.coalescer is not None
+        return self.coalescer.debug_state()
+
+    async def _handle_debug_store(self, _doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
+        self._require_debug()
+        return {"store": self.store.stats() if self.store is not None else None}
 
 
 class ThreadedServer:

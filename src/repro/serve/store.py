@@ -36,6 +36,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
@@ -68,13 +69,21 @@ class SolutionStore:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.evictions = 0
         # Least-recently-used first; rebuilt from mtimes so eviction order
-        # survives restarts.
+        # survives restarts.  Sizes are tracked incrementally so the
+        # ``bytes`` stat never needs a directory walk.
         self._index: "OrderedDict[str, Path]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
         for path in sorted(
             self.root.glob("*.json"), key=lambda p: (p.stat().st_mtime, p.name)
         ):
             self._index[path.stem] = path
+            try:
+                self._sizes[path.stem] = path.stat().st_size
+            except OSError:  # pragma: no cover - racing deleters
+                self._sizes[path.stem] = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -95,33 +104,40 @@ class SolutionStore:
         On a hit the artifact's access time advances (both in the in-memory
         LRU and on disk) and, when ``pattern`` is given, the caller's own
         pattern is re-attached — mirroring the in-memory cache's behaviour
-        for translated requests.
+        for translated requests.  Lookup latency (hit or miss) lands in
+        the ``serve.store.get_ms`` log histogram.
         """
-        with self._lock:
-            path = self._index.get(digest)
-        if path is None:
-            self._miss()
-            return None
+        started = time.perf_counter()
         try:
-            payload = json.loads(path.read_text())
-            solution = self._validate(digest, payload)
-        except (OSError, ValueError, SerializationError):
-            # Corrupt, truncated, or foreign file: drop it and re-solve.
-            self._discard(digest, path)
-            self._miss()
-            return None
-        with self._lock:
-            if digest in self._index:
-                self._index.move_to_end(digest)
-            self.hits += 1
-        try:
-            os.utime(path)
-        except OSError:  # pragma: no cover - mtime refresh is best-effort
-            pass
-        obs_registry().counter("serve.store.hits").inc()
-        if pattern is not None and solution.pattern != pattern:
-            solution = dataclasses.replace(solution, pattern=pattern)
-        return solution
+            with self._lock:
+                path = self._index.get(digest)
+            if path is None:
+                self._miss()
+                return None
+            try:
+                payload = json.loads(path.read_text())
+                solution = self._validate(digest, payload)
+            except (OSError, ValueError, SerializationError):
+                # Corrupt, truncated, or foreign file: drop it and re-solve.
+                self._discard(digest, path)
+                self._miss()
+                return None
+            with self._lock:
+                if digest in self._index:
+                    self._index.move_to_end(digest)
+                self.hits += 1
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - mtime refresh is best-effort
+                pass
+            obs_registry().counter("serve.store.hits").inc()
+            if pattern is not None and solution.pattern != pattern:
+                solution = dataclasses.replace(solution, pattern=pattern)
+            return solution
+        finally:
+            obs_registry().log_histogram("serve.store.get_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
 
     def _validate(self, digest: str, payload: Any) -> PartitionSolution:
         if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
@@ -138,6 +154,7 @@ class SolutionStore:
     def _discard(self, digest: str, path: Path) -> None:
         with self._lock:
             self._index.pop(digest, None)
+            self._sizes.pop(digest, None)
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing deleters are fine
@@ -176,9 +193,13 @@ class SolutionStore:
         with self._lock:
             self._index[digest] = path
             self._index.move_to_end(digest)
+            self._sizes[digest] = len(text.encode("utf-8"))
             while len(self._index) > self.max_entries:
-                _, old = self._index.popitem(last=False)
+                old_digest, old = self._index.popitem(last=False)
+                self._sizes.pop(old_digest, None)
                 evicted.append(old)
+            self.writes += 1
+            self.evictions += len(evicted)
         for old in evicted:
             try:
                 old.unlink()
@@ -193,12 +214,17 @@ class SolutionStore:
     # -- reporting ---------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """Health-endpoint view: entry count, hit/miss tallies, location."""
+        """Health-endpoint view: occupancy, traffic tallies, location."""
         with self._lock:
+            lookups = self.hits + self.misses
             return {
                 "root": str(self.root),
                 "entries": len(self._index),
                 "max_entries": self.max_entries,
+                "bytes": sum(self._sizes.values()),
                 "hits": self.hits,
                 "misses": self.misses,
+                "writes": self.writes,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / lookups) if lookups else None,
             }

@@ -17,6 +17,7 @@ down to the pattern-offset pairs responsible.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Dict
 
@@ -290,6 +291,7 @@ def simulate_sweep(
     if attribution is None and obs_on:
         attribution = ConflictTable(effective_ports)
 
+    started = time.perf_counter()
     with span("sim.simulate_sweep", shape=mapping.shape, engine=engine):
         if engine == "vectorized":
             stats = simulate_sweep_vectorized(
@@ -305,7 +307,11 @@ def simulate_sweep(
             stats = _simulate_sweep_scalar(
                 mapping, array, step, limit, ports_per_bank, verify, attribution
             )
-        return _publish_report(stats, attribution, obs_on)
+        report = _publish_report(stats, attribution, obs_on)
+    obs_registry().log_histogram("sim.simulate_ms").observe(
+        (time.perf_counter() - started) * 1000.0
+    )
+    return report
 
 
 def simulate_unpartitioned(

@@ -25,22 +25,10 @@ from .shrink import DEFAULT_BUDGET
 
 
 def _emit_metrics(path: Optional[str]) -> None:
-    """Write the global registry snapshot when requested (eval CLI idiom)."""
-    if not path:
-        return
-    from ..obs.export import (
-        write_metrics_csv,
-        write_metrics_json,
-        write_metrics_prometheus,
-    )
+    """Write the telemetry snapshot via the one shared serializer."""
+    from ..obs.export import emit_metrics
 
-    if path.endswith(".csv"):
-        write_metrics_csv(path)
-    elif path.endswith(".prom"):
-        write_metrics_prometheus(path)
-    else:
-        write_metrics_json(path)
-    print(f"metrics written to {path}")
+    emit_metrics(path)
 
 
 def _print_report(report: SuiteReport) -> None:

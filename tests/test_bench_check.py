@@ -1,0 +1,197 @@
+"""Tests for the ``repro-bench-check`` perf-regression gate.
+
+The comparison logic is covered with synthetic documents (fast, exact),
+and the CLI end to end against a real micro-preset suite run — including
+the acceptance case: an injected 3x slowdown exits nonzero while a clean
+back-to-back run passes.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.bench.check import (
+    SUITE_MODULE_KEY,
+    compare_documents,
+    load_suite,
+    main_bench_check,
+)
+
+
+def _doc():
+    """A minimal suite document touching every gated section."""
+    return {
+        "preset": "micro",
+        "simulate": [{"workload": "w", "scalar_s": 0.1, "vectorized_s": 0.05}],
+        "solve": [{"workload": "w", "cold_s": 0.2, "warm_s": 0.01}],
+        "sweep": [{"workload": "w", "scalar_s": 0.3, "vectorized_s": 0.1}],
+        "ltb_search": [{"workload": "w", "scalar_s": 0.05, "vectorized_s": 0.02}],
+        "baseline_sim": [{"workload": "w", "scalar_s": 0.4, "vectorized_s": 0.15}],
+        "serve": [{"workload": "solve_burst", "p50_ms": 40.0, "rps": 200.0}],
+    }
+
+
+class TestCompareDocuments:
+    def test_identical_runs_pass_every_check(self):
+        report = compare_documents(_doc(), _doc())
+        assert report["ok"]
+        assert report["regressions"] == 0
+        # 2 metrics x 5 timing sections + serve p50 + serve rps
+        assert report["checked"] == 12
+
+    def test_three_x_slowdown_regresses(self):
+        candidate = _doc()
+        candidate["simulate"][0]["scalar_s"] = 0.31  # 3.1x, past 2.5x slack
+        report = compare_documents(_doc(), candidate, slack=2.5)
+        assert not report["ok"]
+        bad = [c for c in report["checks"] if c["regression"]]
+        assert len(bad) == 1
+        assert bad[0]["section"] == "simulate"
+        assert bad[0]["metric"] == "scalar_s"
+        assert "rose" in bad[0]["reason"]
+
+    def test_sub_floor_delta_never_regresses(self):
+        baseline, candidate = _doc(), _doc()
+        baseline["simulate"][0]["scalar_s"] = 0.001
+        candidate["simulate"][0]["scalar_s"] = 0.004  # 4x, but delta 3ms < 5ms
+        assert compare_documents(baseline, candidate)["ok"]
+
+    def test_throughput_gates_in_the_opposite_direction(self):
+        candidate = _doc()
+        candidate["serve"][0]["rps"] = 60.0  # below 200/2.5, delta over floor
+        report = compare_documents(_doc(), candidate)
+        bad = [c for c in report["checks"] if c["regression"]]
+        assert [c["metric"] for c in bad] == ["rps"]
+        assert "fell" in bad[0]["reason"]
+        # a throughput *gain* is never a regression
+        candidate["serve"][0]["rps"] = 900.0
+        assert compare_documents(_doc(), candidate)["ok"]
+
+    def test_missing_workload_is_a_regression(self):
+        candidate = _doc()
+        candidate["solve"] = []
+        report = compare_documents(_doc(), candidate)
+        bad = [c for c in report["checks"] if c["regression"]]
+        assert {c["metric"] for c in bad} == {"cold_s", "warm_s"}
+        assert all("missing" in c["reason"] for c in bad)
+        assert all(c["candidate"] is None for c in bad)
+
+    def test_missing_metric_is_a_regression(self):
+        candidate = _doc()
+        del candidate["serve"][0]["p50_ms"]
+        report = compare_documents(_doc(), candidate)
+        bad = [c for c in report["checks"] if c["regression"]]
+        assert [c["metric"] for c in bad] == ["p50_ms"]
+
+    def test_slack_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compare_documents(_doc(), _doc(), slack=1.0)
+
+    def test_wider_slack_forgives_a_borderline_regression(self):
+        candidate = _doc()
+        candidate["simulate"][0]["scalar_s"] = 0.31
+        assert not compare_documents(_doc(), candidate, slack=2.5)["ok"]
+        assert compare_documents(_doc(), candidate, slack=4.0)["ok"]
+
+
+class TestBenchCheckCli:
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        rc = main_bench_check(["--baseline", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "--update-baseline" in capsys.readouterr().err
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        rc = main_bench_check(["--baseline", str(path)])
+        assert rc == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_bad_runs_exits_two(self, tmp_path):
+        assert main_bench_check(["--runs", "0"]) == 2
+
+    @pytest.mark.slow
+    def test_end_to_end_gate_detects_injected_slowdown(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        baseline = tmp_path / "BENCH_baseline.json"
+
+        # 1. Baseline a fresh micro run.
+        rc = main_bench_check(
+            [
+                "--update-baseline",
+                "--preset",
+                "micro",
+                "--baseline",
+                str(baseline),
+                "--repeat",
+                "1",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(baseline.read_text())
+        assert doc["preset"] == "micro"
+
+        # 2. A clean back-to-back run passes (slack absorbs the jitter).
+        report_path = tmp_path / "clean.json"
+        rc = main_bench_check(
+            [
+                "--baseline",
+                str(baseline),
+                "--quick",
+                "--slack",
+                "6",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert rc == 0, capsys.readouterr().out
+        clean = json.loads(report_path.read_text())
+        assert clean["ok"] and clean["preset"] == "micro"
+        assert clean["checked"] > 0
+
+        # 3. Inject a 3x slowdown (plus a constant beating every floor)
+        #    into the suite's timing primitive: the gate must exit 1.
+        suite = sys.modules[SUITE_MODULE_KEY]
+        real_best_of = suite._best_of
+        monkeypatch.setattr(
+            suite,
+            "_best_of",
+            lambda fn, repeat: real_best_of(fn, repeat) * 3.0 + 0.05,
+        )
+        report_path = tmp_path / "slow.json"
+        rc = main_bench_check(
+            [
+                "--baseline",
+                str(baseline),
+                "--quick",
+                "--report",
+                str(report_path),
+            ]
+        )
+        assert rc == 1
+        slow = json.loads(report_path.read_text())
+        assert not slow["ok"] and slow["regressions"] > 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_load_suite_caches_under_the_stable_key(self):
+        first = load_suite()
+        assert sys.modules[SUITE_MODULE_KEY] is first
+        assert load_suite() is first
+
+    @pytest.mark.slow
+    def test_median_of_k_merges_gate_metrics(self, monkeypatch):
+        from repro.bench.check import run_candidate
+
+        suite = load_suite()
+        values = iter([0.1, 0.9, 0.2] * 40)  # per-call timings across runs
+        monkeypatch.setattr(suite, "_best_of", lambda fn, repeat: next(values))
+        merged = run_candidate("micro", repeat=1, runs=3)
+        assert merged["median_of"] == 3
+        # every gated timing is a median of its three runs, hence one of
+        # the injected values rather than an impossible average
+        assert merged["simulate"][0]["scalar_s"] in {0.1, 0.2, 0.9}

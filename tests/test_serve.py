@@ -338,10 +338,15 @@ class TestIntrospection:
         client.solve(benchmark="se")
         text = client.metrics_text()
         assert "# TYPE repro_serve_requests_total counter" in text
-        assert "# TYPE repro_serve_latency_ms summary" in text
-        assert 'repro_serve_latency_ms{quantile="0.5"}' in text
+        # Request latency is a native Prometheus histogram now.
+        assert "# TYPE repro_serve_request_latency_ms histogram" in text
+        assert 'repro_serve_request_latency_ms_bucket{le="+Inf"}' in text
+        assert "repro_serve_request_latency_ms_count" in text
         # the store traffic shows up too
         assert "repro_serve_store_writes_total 1" in text
+        # occupancy gauges are seeded by the /metrics handler itself
+        assert "repro_serve_store_entries 1" in text
+        assert "repro_serve_store_bytes" in text
 
     def test_request_counters_advance(self, server):
         before = registry().snapshot()["counters"].get("serve.requests", 0)
