@@ -64,6 +64,9 @@ CHECKS: List[Dict[str, Any]] = [
     {"section": "baseline_sim", "metric": "vectorized_s", "kind": "time", "floor": 0.005},
     {"section": "serve", "metric": "p50_ms", "kind": "time", "floor": 25.0},
     {"section": "serve", "metric": "rps", "kind": "throughput", "floor": 50.0},
+    {"section": "dag", "metric": "flat_wall_s", "kind": "time", "floor": 0.01},
+    {"section": "dag", "metric": "dag_wall_s", "kind": "time", "floor": 0.01},
+    {"section": "dag", "metric": "dag_rows_per_s", "kind": "throughput", "floor": 100.0},
 ]
 
 

@@ -153,13 +153,22 @@ def _canonical(value: Any) -> Any:
     """Reduce a cache key to JSON-expressible primitives, recursively.
 
     Tuples and lists collapse to lists (the distinction is an in-memory
-    artifact, not part of the key's identity); everything else must already
-    be a JSON scalar.  Rejecting unknown types loudly keeps the digest
-    honest — a silent ``repr`` fallback would make unequal keys collide or
-    equal keys diverge across processes.
+    artifact, not part of the key's identity); dicts keep string keys and
+    canonicalize their values (``sort_keys`` in the digest encoding makes
+    insertion order irrelevant); everything else must already be a JSON
+    scalar.  Rejecting unknown types loudly keeps the digest honest — a
+    silent ``repr`` fallback would make unequal keys collide or equal keys
+    diverge across processes.
     """
     if isinstance(value, (tuple, list)):
         return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        for name in value:
+            if not isinstance(name, str):
+                raise TypeError(
+                    f"cache key dicts must use string keys, got {name!r}"
+                )
+        return {name: _canonical(item) for name, item in value.items()}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise TypeError(f"cache keys may only contain JSON scalars, got {value!r}")

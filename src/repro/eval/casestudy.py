@@ -25,6 +25,7 @@ from ..core.pattern import Pattern
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
 from ..patterns.library import log_pattern
+from ..sched import Task, gather, sched_enabled
 from .parallel import run_parallel
 
 
@@ -86,6 +87,54 @@ def _case_chain_task(task):
     return _ltb_chain_task((pattern, bound, engine))
 
 
+def _bound_task(pattern):
+    """Scheduler node: the chain-wide LTB bank ceiling (sub-ms, inline)."""
+    return partition(pattern).n_banks
+
+
+def _ltb_after_bound_task(pattern, engine, bound):
+    """Scheduler node: LTB search under the bound produced by its dep."""
+    return _ltb_chain_task((pattern, bound, engine))
+
+
+def _case_chains(pattern, n_max, ltb_bound_hint, jobs, ltb_engine):
+    """Run the two algorithm chains; DAG-scheduled unless disabled.
+
+    Under the scheduler the bank ceiling is a real dependency edge — an
+    inline task feeding the (process-heavy) LTB node — instead of a value
+    the parent computes before any parallelism starts.  The ours chain is
+    an independent subgraph, so it runs concurrently with both.
+    ``ltb_bound_hint`` keeps the flat path's call order identical to the
+    pre-scheduler code.
+    """
+    if sched_enabled():
+        t_ours = Task(
+            _ours_chain_task,
+            args=((pattern, n_max),),
+            placement="process",
+            name="casestudy.ours",
+        )
+        t_bound = Task(
+            _bound_task, args=(pattern,), placement="inline", name="casestudy.bound"
+        )
+        t_ltb = Task(
+            _ltb_after_bound_task,
+            args=(pattern, ltb_engine),
+            deps=(t_bound,),
+            placement="process",
+            name="casestudy.ltb",
+        )
+        return gather([t_ours, t_ltb], jobs=jobs)
+    return run_parallel(
+        _case_chain_task,
+        [
+            ("ours", pattern, n_max, None),
+            ("ltb", pattern, ltb_bound_hint, ltb_engine),
+        ],
+        jobs=jobs,
+    )
+
+
 def run_case_study(
     shape: Tuple[int, int] = (640, 480),
     n_max: int = 10,
@@ -99,7 +148,9 @@ def run_case_study(
     verbatim ({14, 18, ..., 34} and {1, 5, 6, ...}).
 
     ``jobs`` > 1 runs the two independent algorithm chains (ours, LTB) on
-    separate worker processes; the numbers are identical to a serial run.
+    separate worker processes — as a scheduled DAG (bound → LTB, with the
+    ours chain as a free subgraph) unless ``REPRO_SCHED=0`` selects the
+    flat pool; the numbers are identical to a serial run either way.
 
     The LTB chain runs under a shared ceiling derived once by the parent:
     our unconstrained ``N_f``.  It is a sound bound — at ``N = N_f`` the
@@ -112,14 +163,7 @@ def run_case_study(
     ltb_bound = partition(pattern).n_banks
 
     with span("eval.casestudy", jobs=jobs):
-        chains = run_parallel(
-            _case_chain_task,
-            [
-                ("ours", pattern, n_max, None),
-                ("ltb", pattern, ltb_bound, ltb_engine),
-            ],
-            jobs=jobs,
-        )
+        chains = _case_chains(pattern, n_max, ltb_bound, jobs, ltb_engine)
         (n_f, transform, z_values, bank_indices, sweep, nc_fast, rounds, ours_ops) = chains[0]
         ltb_banks, ltb_vectors, ltb_ops = chains[1]
 

@@ -146,6 +146,12 @@ def main_sweeps(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--nmax", type=int, default=None, help="bank ceiling for the unroll series"
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each row the moment the scheduler completes it "
+        "(completion order) instead of after the section's last point",
+    )
     _add_jobs(parser)
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)
@@ -162,12 +168,7 @@ def main_sweeps(argv: Sequence[str] | None = None) -> int:
     factors = [int(f) for f in args.factors.split(",")]
     registry = obs_registry()
 
-    points = overhead_vs_banks(
-        shape, range(lo, hi + 1), pattern=pattern, jobs=args.jobs
-    )
-    print(f"overhead vs banks ({args.benchmark}, shape {shape}):")
-    print(f"{'N':>4} {'ours':>10} {'ltb':>10} {'deltaII':>8}")
-    for point in points:
+    def emit_overhead(_i, point):
         registry.gauge(f"sweeps.overhead.{point.n_banks}.ours").set(point.ours_elements)
         registry.gauge(f"sweeps.overhead.{point.n_banks}.ltb").set(point.ltb_elements)
         if point.delta_ii is not None:
@@ -176,27 +177,60 @@ def main_sweeps(argv: Sequence[str] | None = None) -> int:
             ).set(point.delta_ii)
         print(
             f"{point.n_banks:>4} {point.ours_elements:>10} {point.ltb_elements:>10} "
-            f"{point.delta_ii if point.delta_ii is not None else '-':>8}"
+            f"{point.delta_ii if point.delta_ii is not None else '-':>8}",
+            flush=args.progress,
         )
 
-    print()
-    print(f"throughput vs unroll (n_max={args.nmax}):")
-    print(f"{'factor':>6} {'banks':>6} {'II':>4} {'elems/cycle':>12}")
-    for factor, banks, ii, throughput in throughput_vs_unroll(
-        pattern, factors, n_max=args.nmax, jobs=args.jobs
-    ):
+    def emit_unroll(_i, row):
+        factor, banks, ii, throughput = row
         registry.gauge(f"sweeps.unroll.{factor}.banks").set(banks)
         registry.gauge(f"sweeps.unroll.{factor}.ii").set(ii)
         registry.gauge(f"sweeps.unroll.{factor}.throughput").set(throughput)
-        print(f"{factor:>6} {banks:>6} {ii:>4} {throughput:>12.2f}")
+        print(f"{factor:>6} {banks:>6} {ii:>4} {throughput:>12.2f}",
+              flush=args.progress)
+
+    def emit_resolution(_i, row):
+        name, ours, ltb = row
+        registry.gauge(f"sweeps.resolution.{name}.ours").set(ours)
+        registry.gauge(f"sweeps.resolution.{name}.ltb").set(ltb)
+        print(f"{name:>12} {ours:>6} {ltb:>6}", flush=args.progress)
+
+    # With --progress the emitters ride the scheduler's streaming callback
+    # (rows appear in completion order, no barrier); without it they replay
+    # over the returned list, so output order stays the input order.
+    streaming = args.progress
+
+    print(f"overhead vs banks ({args.benchmark}, shape {shape}):")
+    print(f"{'N':>4} {'ours':>10} {'ltb':>10} {'deltaII':>8}", flush=streaming)
+    points = overhead_vs_banks(
+        shape, range(lo, hi + 1), pattern=pattern, jobs=args.jobs,
+        on_row=emit_overhead if streaming else None,
+    )
+    if not streaming:
+        for i, point in enumerate(points):
+            emit_overhead(i, point)
+
+    print()
+    print(f"throughput vs unroll (n_max={args.nmax}):")
+    print(f"{'factor':>6} {'banks':>6} {'II':>4} {'elems/cycle':>12}",
+          flush=streaming)
+    unroll_rows = throughput_vs_unroll(
+        pattern, factors, n_max=args.nmax, jobs=args.jobs,
+        on_row=emit_unroll if streaming else None,
+    )
+    if not streaming:
+        for i, row in enumerate(unroll_rows):
+            emit_unroll(i, row)
 
     print()
     print("overhead vs resolution (9 kb blocks):")
-    print(f"{'resolution':>12} {'ours':>6} {'ltb':>6}")
-    for name, ours, ltb in overhead_vs_resolution(pattern, jobs=args.jobs):
-        registry.gauge(f"sweeps.resolution.{name}.ours").set(ours)
-        registry.gauge(f"sweeps.resolution.{name}.ltb").set(ltb)
-        print(f"{name:>12} {ours:>6} {ltb:>6}")
+    print(f"{'resolution':>12} {'ours':>6} {'ltb':>6}", flush=streaming)
+    resolution_rows = overhead_vs_resolution(
+        pattern, jobs=args.jobs, on_row=emit_resolution if streaming else None
+    )
+    if not streaming:
+        for i, row in enumerate(resolution_rows):
+            emit_resolution(i, row)
 
     _emit_metrics(args.emit_metrics)
     return 0

@@ -21,8 +21,16 @@ must keep three properties the serial code guarantees:
   ``ltb_engine``, repetition counts, chain bounds) must travel inside the
   task tuple itself, not via module-level configuration.
 
-``jobs=None``/``0``/``1`` (and single-item workloads) run serially in the
+``jobs=None``/``1`` (and single-item workloads) run serially in the
 calling process — no pool, no pickling, identical code path for tests.
+``jobs <= 0`` is a :class:`ValueError`: a caller that computed zero
+workers has a bug upstream, and silently clamping it to serial used to
+hide that bug.
+
+This module is the *flat* executor.  Call sites with DAG structure
+(shared solves, mixed placements, streaming consumers) go through
+:mod:`repro.sched`, which keeps ``run_parallel`` as its fallback path
+(``REPRO_SCHED=0``).
 
 A crashed worker (OOM kill, hard ``exit``, interpreter abort) surfaces as
 :class:`~concurrent.futures.process.BrokenProcessPool`.  A one-shot CLI
@@ -57,8 +65,17 @@ TASK_HISTOGRAM = "parallel.task_ms"
 
 
 def resolve_jobs(jobs: Optional[int], n_items: int) -> int:
-    """Effective worker count: clamp to the workload, treat <=1 as serial."""
-    if jobs is None or jobs <= 1 or n_items <= 1:
+    """Effective worker count: clamp to the workload, ``None``/``1`` is serial.
+
+    ``jobs <= 0`` raises — "zero workers" is always an upstream arithmetic
+    bug (a miscomputed CLI default, a bad division), and the old behavior
+    of silently clamping it to serial masked exactly that class of bug.
+    """
+    if jobs is not None and jobs <= 0:
+        raise ValueError(
+            f"jobs must be a positive worker count (or None for serial), got {jobs}"
+        )
+    if jobs is None or jobs == 1 or n_items <= 1:
         return 1
     return min(jobs, n_items)
 

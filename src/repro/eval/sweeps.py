@@ -3,12 +3,18 @@
 Each function returns a list of (x, ...) rows — the series a plot would
 show — so benchmark output can report trends: overhead vs bank count,
 overhead vs resolution, throughput vs unroll factor, energy vs scheme.
+
+The parallel sweeps run through the DAG scheduler (:mod:`repro.sched`;
+``REPRO_SCHED=0`` falls back to the flat pool), which adds streaming: pass
+``on_row`` to receive ``(index, row)`` callbacks the moment each point
+completes — no barrier on the slowest point — while the returned list
+stays in input order and byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..baselines.ltb import ltb_overhead_elements
 from ..core.mapping import BankMapping, ours_overhead_elements
@@ -24,7 +30,43 @@ from ..hw.energy import (
 )
 from ..patterns.generators import unrolled
 from ..patterns.library import RESOLUTIONS
+from ..sched import Task, run_stream, sched_enabled
 from .parallel import run_parallel
+
+#: Streaming callback: ``on_row(index, row)`` as each point completes.
+RowCallback = Callable[[int, Any], None]
+
+
+def _map_rows(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    jobs: Optional[int],
+    on_row: Optional[RowCallback] = None,
+) -> List[Any]:
+    """Ordered map over sweep points, streaming completions to ``on_row``.
+
+    The list comes back in input order regardless of completion order, so
+    the default (no callback) behavior is indistinguishable from the old
+    flat map.  With ``REPRO_SCHED=0`` the flat pool runs the batch and the
+    callbacks fire after the barrier, in input order.
+    """
+    if not sched_enabled():
+        results = run_parallel(fn, items, jobs=jobs)
+        if on_row is not None:
+            for i, row in enumerate(results):
+                on_row(i, row)
+        return results
+    tasks = [Task(fn, args=(item,)) for item in items]
+    index = {task: i for i, task in enumerate(tasks)}
+    results: List[Any] = [None] * len(tasks)
+    for outcome in run_stream(tasks, jobs=jobs):
+        if not outcome.ok:
+            raise outcome.error
+        i = index[outcome.task]
+        results[i] = outcome.value
+        if on_row is not None:
+            on_row(i, outcome.value)
+    return results
 
 
 @dataclass(frozen=True)
@@ -68,16 +110,18 @@ def overhead_vs_banks(
     bank_range: Sequence[int],
     pattern: Pattern | None = None,
     jobs: int | None = None,
+    on_row: Optional[RowCallback] = None,
 ) -> List[OverheadPoint]:
     """Padding overhead of both strategies across bank counts.
 
     With a ``pattern``, each point additionally reports the achieved
     ``δP`` under that bank budget (a :func:`repro.core.solver.solve` per
     point — memoized by the canonical cache, so a warm re-run is pure
-    lookups).  ``jobs`` fans the points out over worker processes.
+    lookups).  ``jobs`` fans the points out over worker processes;
+    ``on_row`` streams each finished point.
     """
     tasks = [(tuple(shape), n, pattern) for n in bank_range]
-    return run_parallel(_overhead_point_task, tasks, jobs=jobs)
+    return _map_rows(_overhead_point_task, tasks, jobs=jobs, on_row=on_row)
 
 
 def _resolution_row_task(
@@ -93,6 +137,7 @@ def overhead_vs_resolution(
     pattern: Pattern,
     algorithm_banks: int | None = None,
     jobs: int | None = None,
+    on_row: Optional[RowCallback] = None,
 ) -> List[Tuple[str, int, int]]:
     """(resolution, ours blocks, ltb blocks) across the Table 1 sizes.
 
@@ -103,7 +148,7 @@ def overhead_vs_resolution(
         algorithm_banks if algorithm_banks is not None else partition(pattern).n_banks
     )
     tasks = [(name, shape, banks) for name, shape in RESOLUTIONS.items()]
-    return run_parallel(_resolution_row_task, tasks, jobs=jobs)
+    return _map_rows(_resolution_row_task, tasks, jobs=jobs, on_row=on_row)
 
 
 def _unroll_row_task(
@@ -121,6 +166,7 @@ def throughput_vs_unroll(
     factors: Sequence[int],
     n_max: int | None = None,
     jobs: int | None = None,
+    on_row: Optional[RowCallback] = None,
 ) -> List[Tuple[int, int, int, float]]:
     """(factor, banks, II, elements-per-cycle) for unrolled variants.
 
@@ -129,7 +175,7 @@ def throughput_vs_unroll(
     banks until ``n_max`` caps it.
     """
     tasks = [(pattern, factor, n_max) for factor in factors]
-    return run_parallel(_unroll_row_task, tasks, jobs=jobs)
+    return _map_rows(_unroll_row_task, tasks, jobs=jobs, on_row=on_row)
 
 
 def energy_vs_scheme(

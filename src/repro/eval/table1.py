@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracer import span
 from ..patterns.library import BENCHMARKS, benchmark_shape
+from ..sched import map_tasks, sched_enabled
 from .metrics import AlgorithmRun, improvement, run_ltb, run_ours, storage_blocks
 from .paper_data import RESOLUTION_ORDER
 from .parallel import run_parallel
@@ -128,7 +129,7 @@ def build_row(
 def _build_row_task(
     task: Tuple[str, int, str]
 ) -> Tuple[Table1Row, Dict[str, Any]]:
-    """Worker entry: one row, plus the metrics it recorded.
+    """Flat-pool worker entry: one row, plus the metrics it recorded.
 
     Runs in a forked worker whose process-global registry is an opaque copy
     of the parent's — so it is reset first, and everything the row records
@@ -147,6 +148,20 @@ def _build_row_task(
     return row, registry.dump(worker_id=f"pid{os.getpid()}")
 
 
+def _row_task(task: Tuple[str, int, str]) -> Table1Row:
+    """Scheduler task body: one row, bare.
+
+    The scheduler's process channel resets the worker registry and merges
+    its dump home automatically, so unlike :func:`_build_row_task` this
+    returns only the row — doing the dump here too would double-count
+    every metric the row records.
+    """
+    benchmark, time_repetitions, ltb_engine = task
+    return build_row(
+        benchmark, time_repetitions=time_repetitions, ltb_engine=ltb_engine
+    )
+
+
 def build_table(
     benchmarks: Sequence[str] | None = None,
     time_repetitions: int = 20,
@@ -155,22 +170,24 @@ def build_table(
 ) -> Table1:
     """Measure the full Table 1 (or a subset of rows).
 
-    ``jobs`` > 1 measures rows on that many worker processes; results (and
-    the metrics each row publishes) come back in benchmark order, so the
-    table and the registry match a serial run.
+    ``jobs`` > 1 measures rows on that many worker processes — through the
+    DAG scheduler (:func:`repro.sched.map_tasks`) by default, or the flat
+    pool when ``REPRO_SCHED=0``; results (and the metrics each row
+    publishes) come back in benchmark order either way, so the table and
+    the registry match a serial run.
     """
     names = list(benchmarks) if benchmarks is not None else list(BENCHMARKS)
     with span("eval.table1.build", benchmarks=",".join(names), jobs=jobs):
         if jobs is not None and jobs > 1:
-            outcomes = run_parallel(
-                _build_row_task,
-                [(name, time_repetitions, ltb_engine) for name in names],
-                jobs=jobs,
-            )
-            registry = obs_registry()
-            for _, dump in outcomes:
-                registry.merge(dump)
-            rows = tuple(row for row, _ in outcomes)
+            payloads = [(name, time_repetitions, ltb_engine) for name in names]
+            if sched_enabled():
+                rows = tuple(map_tasks(_row_task, payloads, jobs=jobs))
+            else:
+                outcomes = run_parallel(_build_row_task, payloads, jobs=jobs)
+                registry = obs_registry()
+                for _, dump in outcomes:
+                    registry.merge(dump)
+                rows = tuple(row for row, _ in outcomes)
         else:
             rows = tuple(
                 build_row(

@@ -11,12 +11,13 @@ Partitioning solves are CPU-bound, so the intake path instead:
 2. **Micro-batches** — queued distinct jobs drain in batches (up to
    ``batch_max``) into one executor hop, so the event loop pays one
    thread handoff per batch, not per request.
-3. **Solves through the shared tier** — each batch runs through
-   :func:`repro.eval.parallel.run_parallel`: serial in-process for
-   ``jobs <= 1`` (default; shares the in-memory solve cache and metrics
-   registry with the server process), or on a bounded process pool for
-   ``jobs > 1`` (crash-resilient via ``run_parallel``'s broken-pool
-   fallback).
+3. **Solves through the shared tier** — each batch runs through the DAG
+   scheduler (:func:`repro.sched.map_tasks`, digest-keyed): inline
+   in-process for ``jobs <= 1`` (default; shares the in-memory solve
+   cache and metrics registry with the server process), or on a bounded
+   process pool for ``jobs > 1`` (a crashed worker reschedules its task
+   once on a fresh pool).  ``REPRO_SCHED=0`` falls back to the flat
+   :func:`repro.eval.parallel.run_parallel` tier.
 4. **Checks the store first** — a :class:`~repro.serve.store.SolutionStore`
    hit resolves the job without any solve and seeds the in-memory cache,
    which is what makes a warm restart serve its old working set with zero
@@ -45,11 +46,11 @@ from typing import Any, ContextManager, Dict, List, Optional, Tuple
 from ..core import cache as solve_cache
 from ..core.solver import solve
 from ..errors import InfeasibleConstraintError, ReproError
-from ..eval.parallel import run_parallel
 from ..obs import state as obs_state
 from ..obs.metrics import registry as obs_registry
 from ..obs.tracecontext import trace
 from ..obs.tracer import span
+from ..sched import map_tasks
 from .protocol import ERROR_INFEASIBLE, ERROR_INTERNAL, ERROR_SHUTTING_DOWN, SolveSpec
 from .store import SolutionStore
 
@@ -136,12 +137,15 @@ def _execute_batch(
 ) -> Dict[str, Outcome]:
     """Resolve one micro-batch of distinct jobs (runs on an executor thread).
 
-    Store hits short-circuit; the remainder solves through
-    :func:`run_parallel`.  Fresh solutions are persisted to the store and
-    seeded into the in-memory solve cache so later requests hit without
-    touching disk.  Each item carries its leader's trace id, so store
-    lookups and solves span into the right request tree even though the
-    batch serves many requests at once.
+    Store hits short-circuit; the remainder solves through the scheduler's
+    :func:`~repro.sched.map_tasks` tier, keyed by canonical digest (the
+    coalescer already deduplicates upstream, so the keys are belt-and-
+    braces against a caller that batches duplicates directly).  Fresh
+    solutions are persisted to the store and seeded into the in-memory
+    solve cache so later requests hit without touching disk.  Each item
+    carries its leader's trace id, so store lookups and solves span into
+    the right request tree even though the batch serves many requests at
+    once.
     """
     if solve_delay_s > 0:
         time.sleep(solve_delay_s)
@@ -160,7 +164,14 @@ def _execute_batch(
         else:
             to_solve.append((digest, spec, trace_id))
     if to_solve:
-        results = run_parallel(_solve_task, to_solve, jobs=jobs)
+        # jobs <= 1 (including the CLI's `--jobs 0` default) means the
+        # serial in-process tier; the scheduler spells that `jobs=None`.
+        results = map_tasks(
+            _solve_task,
+            to_solve,
+            jobs=jobs if jobs > 1 else None,
+            keys=[digest for digest, _spec, _tid in to_solve],
+        )
         for (digest, spec, _trace_id), outcome in zip(to_solve, results):
             outcomes[digest] = outcome
             if outcome[0] != "ok":

@@ -18,11 +18,16 @@ Metrics: every run mirrors ``verify.cases`` / ``verify.failures`` (and
 per-oracle ``verify.oracle.<name>.failures``) into the process-global
 registry, visible through ``--emit-metrics`` like every other harness.
 
-Parallelism reuses :func:`repro.eval.parallel.run_parallel` — case specs
-are JSON payloads, so they pickle trivially, and results come back in
-input order, keeping corpora deterministic for a given seed regardless of
-``jobs``.  Shrinking always happens in the parent process (the predicate
-re-runs oracles many times on tiny cases; worker startup would dominate).
+Parallelism goes through the DAG scheduler (:func:`repro.sched.map_tasks`,
+``REPRO_SCHED=0`` falls back to the flat
+:func:`repro.eval.parallel.run_parallel`) — case specs are JSON payloads,
+so they pickle trivially and double as deduplication keys: replaying a
+file set that contains the same case twice runs its oracles once, with the
+identical record fanned out to every occurrence (corpus bytes unchanged).
+Results come back in input order, keeping corpora deterministic for a
+given seed regardless of ``jobs``.  Shrinking always happens in the parent
+process (the predicate re-runs oracles many times on tiny cases; worker
+startup would dominate).
 """
 
 from __future__ import annotations
@@ -33,8 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..eval.parallel import run_parallel
 from ..obs.metrics import registry as obs_registry
+from ..sched import map_tasks
 from .gen import CaseSpec, iter_cases
 from .oracles import CaseOutcome, OracleFailure, run_oracles
 from .shrink import DEFAULT_BUDGET, same_oracle, shrink_case
@@ -178,7 +183,8 @@ def run_suite(
     """
     began = time.monotonic()
     specs = list(iter_cases(cases, seed, start=start))
-    records = run_parallel(_run_payload, [s.to_dict() for s in specs], jobs=jobs)
+    payloads = [s.to_dict() for s in specs]
+    records = map_tasks(_run_payload, payloads, jobs=jobs, keys=payloads)
     _publish_metrics(records)
 
     report = SuiteReport(cases=len(records), records=records)
@@ -254,7 +260,8 @@ def replay_paths(
     specs: List[CaseSpec] = []
     for path in paths:
         specs.extend(_specs_from_file(Path(path)))
-    records = run_parallel(_run_payload, [s.to_dict() for s in specs], jobs=jobs)
+    payloads = [s.to_dict() for s in specs]
+    records = map_tasks(_run_payload, payloads, jobs=jobs, keys=payloads)
     _publish_metrics(records)
     report = SuiteReport(cases=len(records), records=records)
     if corpus_path is not None:

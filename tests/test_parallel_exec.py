@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.eval import resolve_jobs, run_parallel
 from repro.eval.casestudy import run_case_study
 from repro.eval.cli import main_casestudy, main_sweeps, main_table1
@@ -25,12 +27,20 @@ def _square(x: int) -> int:
 class TestRunParallel:
     def test_resolve_jobs(self):
         assert resolve_jobs(None, 10) == 1
-        assert resolve_jobs(0, 10) == 1
         assert resolve_jobs(1, 10) == 1
         assert resolve_jobs(4, 10) == 4
         assert resolve_jobs(8, 3) == 3  # never more workers than items
         assert resolve_jobs(4, 1) == 1
         assert resolve_jobs(4, 0) == 1
+
+    def test_resolve_jobs_rejects_nonpositive(self):
+        # "Zero workers" is an upstream bug, not a serial request.
+        with pytest.raises(ValueError, match="positive worker count"):
+            resolve_jobs(0, 10)
+        with pytest.raises(ValueError, match="positive worker count"):
+            resolve_jobs(-2, 10)
+        with pytest.raises(ValueError, match="positive worker count"):
+            run_parallel(_square, [1, 2, 3], jobs=0)
 
     def test_serial_and_parallel_agree_in_order(self):
         items = list(range(20))
