@@ -20,11 +20,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import random
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -473,6 +475,237 @@ def _bench_serve(preset: str) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Zipf warm-traffic bench knobs per preset.  ``sweep`` is the n_max walk
+#: the prefetch phase replays per kernel (constant stride, so the
+#: prefetcher's direction extrapolation can land ahead of the client).
+ZIPF_CONFIGS: Dict[str, Dict[str, Any]] = {
+    "micro": {"requests": 60, "n_max": 8, "sweep": [4, 6, 8, 10], "sweep_kernels": 2},
+    "small": {"requests": 150, "n_max": 8, "sweep": [4, 6, 8, 10, 12], "sweep_kernels": 3},
+    "full": {"requests": 400, "n_max": 8, "sweep": [4, 6, 8, 10, 12, 14], "sweep_kernels": 4},
+}
+
+#: Deliberately *asymmetric* base kernels: every 2-D benchmark stencil in
+#: the library (log, se, prewitt, median, gaussian) is reflection-symmetric,
+#: so its symmetry orbit collapses to the translation orbit and the quotient
+#: would have nothing to show.  A corner stencil and a 3-D slab have real
+#: orbits under reflection and leading-axis permutation.
+ZIPF_BASES: List[Tuple[str, Tuple[Tuple[int, ...], ...], Tuple[int, ...]]] = [
+    ("corner2d", ((0, 0), (0, 1), (1, 0)), (24, 24)),
+    ("slab3d", ((0, 0, 0), (0, 1, 0), (1, 1, 0), (0, 0, 1)), (8, 8, 8)),
+]
+
+
+def _zipf_universe() -> List[Tuple[str, Pattern, Tuple[int, ...]]]:
+    """Every kernel variant Zipf traffic draws from.
+
+    Per base: the identity, its reflections, its leading-axis permutations
+    (3-D only), two seeded compositions, and a translated twin of each —
+    the full symmetry orbit the canonical cache claims to collapse.
+    """
+    from repro.verify.gen import symmetry_variants
+
+    universe: List[Tuple[str, Pattern, Tuple[int, ...]]] = []
+    for name, offsets, shape in ZIPF_BASES:
+        base = Pattern(offsets, name=name)
+        members = [(f"{name}/id", base, shape)]
+        for kind in ("reflection", "permutation", "composed"):
+            if kind == "permutation" and base.ndim < 3:
+                continue
+            members.extend(
+                (f"{name}/{tag}", variant, v_shape)
+                for tag, variant, v_shape in symmetry_variants(
+                    base, shape, kind, seed=7, count=2
+                )
+            )
+        seen: set = set()
+        distinct: List[Tuple[str, Pattern, Tuple[int, ...]]] = []
+        for tag, variant, v_shape in members:
+            key = (variant.offsets, v_shape)
+            if key in seen:
+                continue
+            seen.add(key)
+            distinct.append((tag, variant.with_name(tag), v_shape))
+        for tag, variant, v_shape in list(distinct):
+            shifted = variant.translated(tuple(1 for _ in range(variant.ndim)))
+            distinct.append((f"{tag}+t1", shifted.with_name(f"{tag}+t1"), v_shape))
+        universe.extend(distinct)
+    return universe
+
+
+def _zipf_traffic(
+    universe: List[Any], requests: int, seed_tag: str
+) -> List[Any]:
+    """A seeded Zipf(s=1.1) request sequence over the variant universe."""
+    rng = random.Random(f"repro-zipf:{seed_tag}")
+    order = list(range(len(universe)))
+    rng.shuffle(order)  # decouple popularity rank from construction order
+    weights = [1.0 / (rank + 1) ** 1.1 for rank in range(len(order))]
+    return [universe[i] for i in rng.choices(order, weights=weights, k=requests)]
+
+
+def _zipf_phase(
+    workload: str,
+    mode: str,
+    traffic: List[Any],
+    n_max_of: Any,
+    store_dir: str,
+    prefetch: bool = False,
+    inter_request_sleep_s: float = 0.0,
+    reference: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    """One server lifetime replaying ``traffic`` under canonical mode ``mode``.
+
+    ``n_max_of(i, tag)`` supplies the per-request bank ceiling (constant for
+    the Zipf phases, the sweep walk for the prefetch phase).  Every response
+    is checked bit-identical against an in-process cold solve with the same
+    mode; when ``reference`` responses are given (the warm-restart phase)
+    the response stream must also match them element-for-element.
+    """
+    from repro.io import solution_to_dict
+    from repro.serve import ServeClient, serve_in_thread
+
+    previous_mode = os.environ.get("REPRO_SOLVE_CANON")
+    os.environ["REPRO_SOLVE_CANON"] = mode
+    solve_cache.reset()  # fresh memo under the new canonicalization mode
+    try:
+        kwargs: Dict[str, Any] = {"store_dir": store_dir}
+        if prefetch:
+            kwargs.update(prefetch=True, prefetch_cap=64)
+        latencies: List[float] = []
+        responses: List[Dict[str, Any]] = []
+        requested: List[Any] = []
+        with serve_in_thread(**kwargs) as srv:
+            with ServeClient(port=srv.port) as client:
+                entries_before = client.healthz()["store"]["entries"]
+                for i, (tag, pattern, shape) in enumerate(traffic):
+                    n_max = n_max_of(i, tag)
+                    t0 = time.perf_counter()
+                    doc = client.solve(pattern=pattern, shape=shape, n_max=n_max)
+                    latencies.append(time.perf_counter() - t0)
+                    responses.append(doc["solution"])
+                    requested.append((pattern, shape, n_max))
+                    if inter_request_sleep_s:
+                        time.sleep(inter_request_sleep_s)
+                if prefetch and srv.server.prefetcher is not None:
+                    srv.server.prefetcher.drain()
+                health = client.healthz()
+        entries_after = health["store"]["entries"]
+        prefetch_stats = health.get("prefetch") or {}
+
+        # Bit-identity: every response equals a fresh in-process solve of
+        # the requester's own pattern under the same canonical mode.
+        expected_memo: Dict[Any, Dict[str, Any]] = {}
+        identical = True
+        for (pattern, shape, n_max), got in zip(requested, responses):
+            memo_key = (pattern.offsets, shape, n_max)
+            if memo_key not in expected_memo:
+                expected_memo[memo_key] = solution_to_dict(
+                    solve(
+                        pattern, shape, n_max=n_max, cache=False, canon=mode
+                    ).solution
+                )
+            if got != expected_memo[memo_key]:
+                identical = False
+        if reference is not None and responses != reference:
+            identical = False
+
+        prefetch_stored = int(prefetch_stats.get("stored", 0)) if prefetch else 0
+        cold_solves = max(0, entries_after - entries_before - prefetch_stored)
+        row: Dict[str, Any] = {
+            "workload": workload,
+            "mode": mode,
+            "requests": len(traffic),
+            "distinct_variants": len({t[0] for t in traffic}),
+            "cold_solves": cold_solves,
+            "canonical_hit_rate": 1.0 - cold_solves / len(traffic) if traffic else 0.0,
+            "p50_ms": _percentile_ms(latencies, 0.50),
+            "p99_ms": _percentile_ms(latencies, 0.99),
+            "store_entries": entries_after,
+            "responses_identical": identical,
+        }
+        if prefetch:
+            row["prefetch"] = {
+                key: prefetch_stats.get(key, 0)
+                for key in ("enqueued", "solved", "stored", "skipped", "dropped", "errors")
+            }
+        row["_responses"] = responses  # stripped before the document is written
+        return row
+    finally:
+        if previous_mode is None:
+            os.environ.pop("REPRO_SOLVE_CANON", None)
+        else:
+            os.environ["REPRO_SOLVE_CANON"] = previous_mode
+        solve_cache.reset()
+
+
+def _bench_zipf(preset: str) -> List[Dict[str, Any]]:
+    """Zipf warm traffic: translation-only vs the full symmetry quotient.
+
+    Four phases over one seeded request sequence: (1) translation-only
+    canonicalization on a cold store, (2) the symmetry quotient on a cold
+    store — the canonical-hit-rate / cold-solve collapse the cache exists
+    for, (3) the same store after a server restart (every answer from
+    disk), and (4) a sweep workload against a prefetching server, where
+    the store is warmed *ahead* of the client by the idle-time neighbor
+    solver.
+    """
+    import tempfile
+
+    config = ZIPF_CONFIGS[preset]
+    universe = _zipf_universe()
+    traffic = _zipf_traffic(universe, config["requests"], preset)
+    fixed_n_max = config["n_max"]
+    constant = lambda i, tag: fixed_n_max  # noqa: E731
+
+    rows: List[Dict[str, Any]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-zipf-") as root:
+        trans_dir = os.path.join(root, "translation")
+        sym_dir = os.path.join(root, "symmetry")
+        prefetch_dir = os.path.join(root, "prefetch")
+        rows.append(
+            _zipf_phase(
+                f"zipf_{preset}_translation", "translation", traffic, constant, trans_dir
+            )
+        )
+        cold = _zipf_phase(
+            f"zipf_{preset}_symmetry_cold", "symmetry", traffic, constant, sym_dir
+        )
+        rows.append(cold)
+        rows.append(
+            _zipf_phase(
+                f"zipf_{preset}_symmetry_warm",
+                "symmetry",
+                traffic,
+                constant,
+                sym_dir,
+                reference=cold["_responses"],
+            )
+        )
+        # Sweep traffic: each kernel walks the n_max ladder in order, with a
+        # small gap between requests so the idle-gated prefetcher can run.
+        kernels = universe[: config["sweep_kernels"]]
+        sweep_traffic = [
+            (tag, pattern, shape)
+            for tag, pattern, shape in kernels
+            for _ in config["sweep"]
+        ]
+        sweep_values = config["sweep"] * len(kernels)
+        rows.append(
+            _zipf_phase(
+                f"zipf_{preset}_symmetry_warm_prefetch",
+                "symmetry",
+                sweep_traffic,
+                lambda i, tag: sweep_values[i],
+                prefetch_dir,
+                prefetch=True,
+                inter_request_sleep_s=0.02,
+            )
+        )
+    for row in rows:
+        row.pop("_responses", None)
+    return rows
+
+
 def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     """Execute every bench in ``preset`` and return the JSON document."""
     workloads = PRESETS[preset]
@@ -487,6 +720,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         "baseline_sim": [],
         "serve": [],
         "dag": [],
+        "zipf": [],
     }
     for name, factory, shape in workloads:
         pattern = factory()
@@ -503,6 +737,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     )
     doc["serve"].extend(_bench_serve(preset))
     doc["dag"].extend(_bench_dag(preset, repeat))
+    doc["zipf"].extend(_bench_zipf(preset))
     return doc
 
 
@@ -575,6 +810,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{row['dag_wall_s'] * 1e3:.1f}ms, "
             f"rows identical={row['rows_identical']}"
         )
+    for row in doc["zipf"]:
+        extra = ""
+        if "prefetch" in row:
+            pf = row["prefetch"]
+            extra = f", prefetch stored={pf['stored']} skipped={pf['skipped']}"
+        print(
+            f"zipf {row['workload']}: {row['requests']} reqs over "
+            f"{row['distinct_variants']} variants, cold solves "
+            f"{row['cold_solves']} (hit rate {row['canonical_hit_rate']:.2f}), "
+            f"p50 {row['p50_ms']:.2f}ms, p99 {row['p99_ms']:.2f}ms, "
+            f"identical={row['responses_identical']}{extra}"
+        )
     print(f"written: {args.output}")
 
     ok = (
@@ -583,6 +830,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         and all(r["reports_identical"] for r in doc["ltb_search"])
         and all(r["reports_identical"] for r in doc["baseline_sim"])
         and all(r["rows_identical"] for r in doc["dag"])
+        and all(r["responses_identical"] for r in doc["zipf"])
     )
     return 0 if ok else 1
 

@@ -67,6 +67,13 @@ CHECKS: List[Dict[str, Any]] = [
     {"section": "dag", "metric": "flat_wall_s", "kind": "time", "floor": 0.01},
     {"section": "dag", "metric": "dag_wall_s", "kind": "time", "floor": 0.01},
     {"section": "dag", "metric": "dag_rows_per_s", "kind": "throughput", "floor": 100.0},
+    # Zipf warm-traffic rows: latency like the serve rows (noisy, generous
+    # floors), plus cold_solves with a zero floor — canonicalization quietly
+    # weakening (more distinct solves for the same traffic) is a perf
+    # regression even when each individual solve stays fast.
+    {"section": "zipf", "metric": "p50_ms", "kind": "time", "floor": 25.0},
+    {"section": "zipf", "metric": "p99_ms", "kind": "time", "floor": 50.0},
+    {"section": "zipf", "metric": "cold_solves", "kind": "time", "floor": 0.0},
 ]
 
 

@@ -1,4 +1,4 @@
-"""Canonical solve cache: never re-solve a translated copy of a pattern.
+"""Canonical solve cache: never re-solve a symmetric copy of a pattern.
 
 Sweeps over resolutions, unroll factors, or bank budgets call the solver
 over and over with patterns that differ only by translation — and Theorem
@@ -14,6 +14,23 @@ pattern plus every argument that can change the answer:
   ``delta_max``.
 * ``partition`` key — normalized offsets, ``n_max``, ``same_size``.
 
+Beyond translation, :func:`canonicalize` quotients the richer symmetry
+group *translation × per-axis reflection × leading-axis permutation*: each
+pattern maps to the lexicographically smallest member of its orbit, the
+solver runs on that canonical representative, and the resulting solution
+is carried back into the caller's frame through the recorded
+:class:`SymmetryOp` (``α_caller[perm[k]] = ±α_canon[k]``).  Reflections
+negate an ``α`` component, which only re-signs pairwise ``z`` differences;
+permutations relabel axes wholesale — both leave every conflict count,
+``N_f`` verdict, and ``δ`` exactly invariant.  Permutations are restricted
+to those fixing the innermost axis (``perm[-1] == ndim - 1``): the §4.4
+intra-bank layout ``F`` keeps only the *last* coordinate compressed and is
+bijective precisely because ``|α[-1]| = 1``, so moving another axis
+innermost would hand ``F`` an ``α`` tail > 1 and collide addresses.  (This
+also keeps the ``w[-1]`` component of :func:`solve_key` consistent without
+re-keying: ``canonical_key`` still carries ``shape[perm[-1]]``, which the
+restriction pins to ``shape[-1]``.)
+
 Only the :class:`~repro.core.partition.PartitionSolution` is stored; a hit
 re-attaches the caller's own pattern (``dataclasses.replace``) and the
 caller rebuilds any shape-specific mapping/overhead, which is cheap
@@ -22,29 +39,42 @@ bypass the cache entirely — an op count answered from memory would falsify
 the paper's hardware-cost comparison.
 
 Hits and misses are mirrored into the :mod:`repro.obs` metrics registry as
-``solve.cache.hits`` / ``solve.cache.misses`` (visible via
-``--emit-metrics``).  Escape hatches: per call ``solve(..., cache=False)``
-or globally ``REPRO_SOLVE_CACHE=0``.
+``solve.cache.hits`` / ``solve.cache.misses``; LRU drops count into
+``solve.cache.evictions`` (all visible via ``--emit-metrics``).  Knobs:
+per call ``solve(..., cache=False)``, globally ``REPRO_SOLVE_CACHE=0``,
+capacity via ``REPRO_SOLVE_CACHE_SIZE`` (must be >= 1), and symmetry
+canonicalization via ``REPRO_SOLVE_CANON=translation`` to fall back to the
+translation-only quotient.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Hashable, Optional, Sequence, Tuple
 
 from ..obs.metrics import registry as obs_registry
 from .partition import PartitionSolution
 from .pattern import Pattern
+from .transform import LinearTransform
 
 _FALSY = ("", "0", "false", "no", "off")
 
 #: Default number of cached solutions; old entries evict LRU-first.
 DEFAULT_MAXSIZE = 1024
+
+#: Symmetry canonicalization beyond this many dimensions would enumerate
+#: ``(n-1)! · 2^n`` candidates per pattern; past 4-D the quotient falls
+#: back to translation-only rather than pay a factorial blowup.
+MAX_SYMMETRY_NDIM = 4
+
+#: ``REPRO_SOLVE_CANON`` values selecting the translation-only quotient.
+_TRANSLATION_MODES = ("translation", "none", "off", "0")
 
 
 def enabled() -> bool:
@@ -54,6 +84,46 @@ def enabled() -> bool:
     flip it without touching module state.
     """
     return os.environ.get("REPRO_SOLVE_CACHE", "1").strip().lower() not in _FALSY
+
+
+def canon_mode() -> str:
+    """The active canonicalization mode: ``"symmetry"`` or ``"translation"``.
+
+    ``REPRO_SOLVE_CANON`` selects it (default ``symmetry``); read from the
+    environment per call, like :func:`enabled`, so benches and tests can
+    flip modes without touching module state.
+    """
+    raw = os.environ.get("REPRO_SOLVE_CANON", "symmetry").strip().lower()
+    if raw in _TRANSLATION_MODES:
+        return "translation"
+    if raw in ("symmetry", "full", "1", "on"):
+        return "symmetry"
+    raise ValueError(
+        f"REPRO_SOLVE_CANON must be 'symmetry' or 'translation', got {raw!r}"
+    )
+
+
+def configured_maxsize() -> int:
+    """Cache capacity from ``REPRO_SOLVE_CACHE_SIZE`` (default 1024).
+
+    Raises :class:`ValueError` for non-integer or < 1 values — a silently
+    clamped capacity would make eviction behaviour impossible to reason
+    about in tests.
+    """
+    raw = os.environ.get("REPRO_SOLVE_CACHE_SIZE", "").strip()
+    if not raw:
+        return DEFAULT_MAXSIZE
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SOLVE_CACHE_SIZE must be an integer >= 1, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"REPRO_SOLVE_CACHE_SIZE must be an integer >= 1, got {value}"
+        )
+    return value
 
 
 class SolveCache:
@@ -67,6 +137,7 @@ class SolveCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -82,35 +153,64 @@ class SolveCache:
             self._entries.move_to_end(key)
             self.hits += 1
             obs_registry().counter("solve.cache.hits").inc()
-        if solution.pattern == pattern:
+        if (
+            solution.pattern.offsets == pattern.offsets
+            and solution.pattern.name == pattern.name
+        ):
             return solution
+        # Re-attach the caller's own pattern (offsets AND name): a warm hit
+        # must be indistinguishable from a cold solve of the caller's input.
         return dataclasses.replace(solution, pattern=pattern)
 
     def put(self, key: Hashable, solution: PartitionSolution) -> None:
+        evicted = 0
         with self._lock:
             self._entries[key] = solution
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                evicted += 1
+            self.evictions += evicted
+        if evicted:
+            obs_registry().counter("solve.cache.evictions").inc(evicted)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
 
-_cache = SolveCache()
+_cache: Optional[SolveCache] = None
+_cache_lock = threading.Lock()
 
 
 def cache() -> SolveCache:
-    """The process-wide cache instance."""
+    """The process-wide cache instance (sized by ``REPRO_SOLVE_CACHE_SIZE``)."""
+    global _cache
+    if _cache is None:
+        with _cache_lock:
+            if _cache is None:
+                _cache = SolveCache(maxsize=configured_maxsize())
     return _cache
 
 
 def clear() -> None:
     """Drop all cached solutions and reset the local hit/miss tallies."""
-    _cache.clear()
+    if _cache is not None:
+        _cache.clear()
+
+
+def reset() -> None:
+    """Discard the process-wide instance so the next use re-reads the env.
+
+    Tests that change ``REPRO_SOLVE_CACHE_SIZE`` call this to apply the new
+    capacity; the normal runtime never needs it.
+    """
+    global _cache
+    with _cache_lock:
+        _cache = None
 
 
 def _normalized_offsets(pattern: Pattern) -> Tuple[Tuple[int, ...], ...]:
@@ -147,6 +247,214 @@ def partition_key(
 ) -> Hashable:
     """Cache key for :func:`repro.core.partition.partition`."""
     return ("partition", _normalized_offsets(pattern), n_max, bool(same_size))
+
+
+# -- symmetry quotient ------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class SymmetryOp:
+    """The symmetry relating a caller's pattern to its canonical form.
+
+    Canonical coordinate ``k`` is built from caller coordinate ``perm[k]``,
+    negated when ``flips[k]`` (translation is implicit: canonical patterns
+    are origin-normalized).  The inverse direction — the one a cache hit
+    needs — maps a canonical-frame solution into the caller's frame by
+    re-signing and scattering ``α``: ``α_caller[perm[k]] = ε_k · α_canon[k]``
+    with ``ε_k = -1`` when ``flips[k]``.  Then for every caller offset
+    ``x``, ``α_caller · x = α_canon · y + const`` where ``y`` is the
+    canonical image of ``x`` — so bank residues shift by a constant,
+    conflict counts and ``δ`` are untouched, and ``|α_caller[-1]| = 1``
+    stays true (permutations never move the innermost axis).
+    """
+
+    perm: Tuple[int, ...]
+    flips: Tuple[bool, ...]
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the op is translation-only (no reflection/permutation)."""
+        return self.perm == tuple(range(len(self.perm))) and not any(self.flips)
+
+    def shape_to_canonical(
+        self, shape: Optional[Tuple[int, ...]]
+    ) -> Optional[Tuple[int, ...]]:
+        """Permute an array shape into the canonical frame.
+
+        Reflections don't change extents; only the axis order moves.  The
+        innermost extent — the single component :func:`solve_key` depends
+        on — is pinned in place by the ``perm[-1] == ndim - 1`` restriction.
+        """
+        if shape is None:
+            return None
+        if len(shape) != len(self.perm):
+            return tuple(shape)
+        return tuple(shape[axis] for axis in self.perm)
+
+    def solution_to_caller(
+        self, solution: PartitionSolution, pattern: Pattern
+    ) -> PartitionSolution:
+        """Express a canonical-frame solution in the caller's frame.
+
+        ``pattern`` is the caller's own pattern; the transform's ``α`` (and
+        extents) are scattered through ``perm`` and re-signed by ``flips``.
+        Identity ops re-attach the pattern and keep the transform object —
+        byte-identical to the translation-only cache's hit path.
+        """
+        if self.is_identity:
+            if (
+                solution.pattern.offsets == pattern.offsets
+                and solution.pattern.name == pattern.name
+            ):
+                return solution
+            return dataclasses.replace(solution, pattern=pattern)
+        alpha_c = solution.transform.alpha
+        extents_c = solution.transform.extents
+        n = len(self.perm)
+        alpha_p = [0] * n
+        extents_p = [0] * n
+        for k in range(n):
+            sign = -1 if self.flips[k] else 1
+            alpha_p[self.perm[k]] = sign * alpha_c[k]
+            extents_p[self.perm[k]] = (
+                extents_c[k] if len(extents_c) == n else 0
+            )
+        transform = LinearTransform(
+            alpha=tuple(alpha_p),
+            extents=tuple(extents_p) if len(extents_c) == n else extents_c,
+        )
+        return dataclasses.replace(solution, pattern=pattern, transform=transform)
+
+
+def _identity_op(ndim: int) -> SymmetryOp:
+    return SymmetryOp(perm=tuple(range(ndim)), flips=(False,) * ndim)
+
+
+def _leading_axis_permutations(ndim: int) -> Tuple[Tuple[int, ...], ...]:
+    """All axis orders keeping the innermost axis innermost."""
+    return tuple(
+        head + (ndim - 1,)
+        for head in itertools.permutations(range(ndim - 1))
+    )
+
+
+def _normalize_raw(
+    offsets: Sequence[Tuple[int, ...]]
+) -> Tuple[Tuple[int, ...], ...]:
+    ndim = len(offsets[0])
+    lo = [min(v[j] for v in offsets) for j in range(ndim)]
+    return tuple(
+        sorted(tuple(c - lo[j] for j, c in enumerate(v)) for v in offsets)
+    )
+
+
+#: Memo of ``(offsets, mode) -> (canonical offsets, perm, flips)``; bounded
+#: so pathological traffic can't grow it without bound.
+_CANON_MEMO_MAX = 4096
+_canon_memo: "OrderedDict[Hashable, Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...], Tuple[bool, ...]]]" = (
+    OrderedDict()
+)
+_canon_lock = threading.Lock()
+
+
+def canonicalize(
+    pattern: Pattern, mode: Optional[str] = None
+) -> Tuple[Pattern, SymmetryOp]:
+    """Map a pattern to its canonical orbit representative.
+
+    Returns ``(canonical_pattern, op)`` where ``op`` reconstructs the
+    caller's frame from the canonical one
+    (:meth:`SymmetryOp.solution_to_caller`).  The representative is the
+    lexicographically smallest normalized offset tuple over the group
+    *translation × per-axis reflection × leading-axis permutation*; ties
+    between group elements that produce the same representative (pattern
+    self-symmetries) break deterministically on enumeration order, so every
+    process picks the same op for the same pattern.
+
+    ``mode`` overrides ``REPRO_SOLVE_CANON`` (``"symmetry"`` /
+    ``"translation"``); patterns beyond :data:`MAX_SYMMETRY_NDIM`
+    dimensions always use the translation-only quotient.
+    """
+    if mode is None:
+        mode = canon_mode()
+    ndim = pattern.ndim
+    if mode == "translation" or ndim > MAX_SYMMETRY_NDIM:
+        return pattern.normalized(), _identity_op(ndim)
+
+    offsets = pattern.offsets
+    memo_key = (offsets, mode)
+    with _canon_lock:
+        cached = _canon_memo.get(memo_key)
+        if cached is not None:
+            _canon_memo.move_to_end(memo_key)
+    if cached is None:
+        best: Optional[Tuple[Tuple[int, ...], ...]] = None
+        best_perm: Tuple[int, ...] = tuple(range(ndim))
+        best_flips: Tuple[bool, ...] = (False,) * ndim
+        for perm in _leading_axis_permutations(ndim):
+            projected = [tuple(v[axis] for axis in perm) for v in offsets]
+            for bits in range(1 << ndim):
+                flips = tuple(bool(bits >> k & 1) for k in range(ndim))
+                candidate = _normalize_raw(
+                    [
+                        tuple(-c if flips[k] else c for k, c in enumerate(v))
+                        for v in projected
+                    ]
+                )
+                if best is None or candidate < best:
+                    best, best_perm, best_flips = candidate, perm, flips
+        assert best is not None
+        cached = (best, best_perm, best_flips)
+        with _canon_lock:
+            _canon_memo[memo_key] = cached
+            while len(_canon_memo) > _CANON_MEMO_MAX:
+                _canon_memo.popitem(last=False)
+
+    canon_offsets, perm, flips = cached
+    canon_pattern = Pattern(canon_offsets, name=pattern.name)
+    return canon_pattern, SymmetryOp(perm=perm, flips=flips)
+
+
+def canonical_solve_key(
+    canonical_offsets: Tuple[Tuple[int, ...], ...],
+    tail: Optional[int],
+    n_max: Optional[int],
+    objective_value: str,
+    delta_max: int,
+) -> Hashable:
+    """Assemble the symmetry-quotient solve key from precomputed parts."""
+    return (
+        "solve/canon",
+        canonical_offsets,
+        tail,
+        n_max,
+        objective_value,
+        delta_max,
+    )
+
+
+def canonical_key(
+    pattern: Pattern,
+    shape: Optional[Tuple[int, ...]],
+    n_max: Optional[int],
+    objective_value: str,
+    delta_max: int,
+    mode: Optional[str] = None,
+) -> Hashable:
+    """Symmetry-quotient cache key: equal across a pattern's whole orbit.
+
+    The structural twin of :func:`solve_key` with the pattern replaced by
+    its canonical representative and the shape tail carried through the
+    op's axis permutation (``shape[perm[-1]]`` — the permuted ``w[-1]``,
+    which the leading-axis restriction keeps equal to ``shape[-1]``).
+    :func:`solve_key` itself is untouched: its digests are pinned by the
+    serve store's on-disk artifacts and the golden-digest tests.
+    """
+    canon, op = canonicalize(pattern, mode=mode)
+    tail = int(shape[op.perm[-1]]) if shape else None
+    return canonical_solve_key(
+        canon.offsets, tail, n_max, objective_value, delta_max
+    )
 
 
 def _canonical(value: Any) -> Any:

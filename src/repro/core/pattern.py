@@ -138,6 +138,52 @@ class Pattern:
         moved = [tuple(c + shift_t[j] for j, c in enumerate(v)) for v in self._offsets]
         return Pattern(moved, name=self._name)
 
+    def reflected(self, axes: Sequence[int]) -> "Pattern":
+        """Return a copy mirrored (coordinate-negated) along ``axes``.
+
+        Reflection composes with translation: the result is generally not
+        normalized.  Bank mappings are invariant under reflection — negating
+        an axis negates the matching ``α`` component, which permutes the
+        pairwise ``z`` differences by sign and leaves every conflict count
+        unchanged — which is what lets the solve cache quotient reflections
+        away (see :func:`repro.core.cache.canonicalize`).
+
+        >>> Pattern([(0, 0), (0, 2)]).reflected([1]).normalized().offsets
+        ((0, 0), (0, 2))
+        """
+        chosen = set()
+        for axis in axes:
+            axis_i = int(axis)
+            if not -self.ndim <= axis_i < self.ndim:
+                raise DimensionMismatchError(
+                    f"axis {axis_i} out of range for {self.ndim} dimensions"
+                )
+            chosen.add(axis_i % self.ndim)
+        mirrored = [
+            tuple(-c if j in chosen else c for j, c in enumerate(v))
+            for v in self._offsets
+        ]
+        return Pattern(mirrored, name=self._name)
+
+    def permuted(self, perm: Sequence[int]) -> "Pattern":
+        """Return a copy with axes reordered: result axis ``k`` = axis ``perm[k]``.
+
+        ``perm`` must be a permutation of ``range(ndim)``.  Note the §4.4
+        intra-bank layout is only shared between permuted variants when the
+        innermost axis stays innermost (``perm[-1] == ndim - 1``); the
+        canonicalizer enforces that restriction, this helper does not.
+
+        >>> Pattern([(0, 1), (2, 0)]).permuted([1, 0]).offsets
+        ((0, 2), (1, 0))
+        """
+        perm_t = tuple(int(a) for a in perm)
+        if sorted(perm_t) != list(range(self.ndim)):
+            raise DimensionMismatchError(
+                f"perm {perm_t!r} is not a permutation of range({self.ndim})"
+            )
+        reordered = [tuple(v[a] for a in perm_t) for v in self._offsets]
+        return Pattern(reordered, name=self._name)
+
     def union(self, other: "Pattern", name: str = "") -> "Pattern":
         """Set union of two patterns (e.g. vertical + horizontal Prewitt)."""
         if other.ndim != self.ndim:

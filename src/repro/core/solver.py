@@ -123,6 +123,7 @@ def solve(
     delta_max: int = 0,
     ops: OpCounter | None = None,
     cache: bool = True,
+    canon: Optional[str] = None,
 ) -> SolverResult:
     """Solve Problem 1 for one pattern under the chosen objective order.
 
@@ -142,12 +143,18 @@ def solve(
         ``δP``.  Ignored by the other policies.
     ops:
         Optional arithmetic-op instrumentation.  Instrumented calls always
-        bypass the cache — a memoized answer would report zero hardware
-        ops and falsify the paper's cost comparison.
+        bypass the cache *and* canonicalization — op counts must reflect
+        the paper's algorithm on the caller's own pattern.
     cache:
         Look up / store the solution in the canonical solve cache
         (:mod:`repro.core.cache`).  ``False`` forces a fresh solve;
         ``REPRO_SOLVE_CACHE=0`` disables caching process-wide.
+    canon:
+        Canonicalization mode override (``"symmetry"``/``"translation"``);
+        ``None`` follows ``REPRO_SOLVE_CANON``.  Under the symmetry mode
+        the solver always runs on the canonical orbit representative and
+        maps the solution back into the caller's frame — cold and warm
+        paths therefore return bit-identical results by construction.
 
     Raises
     ------
@@ -163,19 +170,33 @@ def solve(
     >>> solve(log_pattern(), n_max=10).solution.n_banks
     7
     """
-    use_cache = cache and ops is None and solve_cache.enabled()
+    if ops is not None:
+        # Instrumented calls charge the paper's algorithm on the caller's
+        # own pattern: no canonical detour, no memoized answers.
+        with span(
+            "solve.solve",
+            ops=resolve(ops),
+            pattern=pattern.name or "?",
+            objective=objective.value,
+        ):
+            return _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+
+    use_cache = cache and solve_cache.enabled()
     started = time.perf_counter()
+    shape_t = tuple(shape) if shape else None
+    canon_pattern, op = solve_cache.canonicalize(pattern, mode=canon)
+    canon_shape = op.shape_to_canonical(shape_t)
+    key = solve_cache.canonical_solve_key(
+        canon_pattern.offsets,
+        int(canon_shape[-1]) if canon_shape else None,
+        n_max,
+        objective.value,
+        delta_max,
+    )
     if use_cache:
-        key = solve_cache.solve_key(
-            pattern,
-            tuple(shape) if shape else None,
-            n_max,
-            objective.value,
-            delta_max,
-        )
-        hit = solve_cache.cache().get(key, pattern)
+        hit = solve_cache.cache().get(key, canon_pattern)
         if hit is not None:
-            result = _finish_result(hit, shape)
+            result = _finish_result(op.solution_to_caller(hit, pattern), shape)
             obs_registry().log_histogram("solve.warm_ms").observe(
                 (time.perf_counter() - started) * 1000.0
             )
@@ -186,13 +207,17 @@ def solve(
         pattern=pattern.name or "?",
         objective=objective.value,
     ):
-        result = _solve_impl(pattern, shape, n_max, objective, delta_max, ops)
+        canon_result = _solve_impl(
+            canon_pattern, canon_shape, n_max, objective, delta_max, None
+        )
     obs_registry().log_histogram("solve.cold_ms").observe(
         (time.perf_counter() - started) * 1000.0
     )
     if use_cache:
-        solve_cache.cache().put(key, result.solution)
-    return result
+        solve_cache.cache().put(key, canon_result.solution)
+    return _finish_result(
+        op.solution_to_caller(canon_result.solution, pattern), shape
+    )
 
 
 def _solve_impl(

@@ -16,6 +16,10 @@ in front of them:
   artifacts keyed by :func:`repro.core.cache.stable_digest`, LRU-bounded,
   layered under the in-memory solve cache so a restarted server serves
   its old working set with zero new solves.
+* :class:`~repro.serve.prefetch.Prefetcher` — predictive store warming:
+  each store miss enqueues low-priority neighbor solves (adjacent
+  ``n_max``, the observed sweep direction) that run through the task
+  scheduler while the foreground intake is idle.
 * :class:`~repro.serve.client.ServeClient` — blocking client speaking the
   same protocol; ``repro-serve`` (:mod:`repro.serve.cli`) runs the server.
 
@@ -31,6 +35,7 @@ from .client import (
     ServerBusyError,
 )
 from .coalesce import Coalescer, QueueFullError
+from .prefetch import Prefetcher
 from .protocol import (
     BadRequestError,
     SimulateSpec,
@@ -47,6 +52,7 @@ __all__ = [
     "DeadlineExceededError",
     "InfeasibleRequestError",
     "PartitionServer",
+    "Prefetcher",
     "QueueFullError",
     "ServeClient",
     "ServeError",

@@ -81,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint attached to 429 responses",
     )
     parser.add_argument(
+        "--prefetch",
+        action="store_true",
+        help=(
+            "warm the store predictively: on each store miss, solve "
+            "neighbor specs (adjacent n_max, observed sweep direction) "
+            "during idle time (needs --store-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--prefetch-cap",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on queued prefetch neighbor solves",
+    )
+    parser.add_argument(
         "--debug",
         action="store_true",
         help=(
@@ -110,6 +126,8 @@ async def _run(args: argparse.Namespace) -> int:
         retry_after_s=args.retry_after,
         debug=args.debug,
         trace_buffer_size=args.trace_buffer,
+        prefetch=args.prefetch,
+        prefetch_cap=args.prefetch_cap,
     )
     await server.start()
     if args.port_file:

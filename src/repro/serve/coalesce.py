@@ -4,10 +4,11 @@ The server's throughput story is *not* "one asyncio task per solve".
 Partitioning solves are CPU-bound, so the intake path instead:
 
 1. **Coalesces** — every request is reduced to its canonical solve digest
-   (:meth:`~repro.serve.protocol.SolveSpec.digest`); requests whose digest
-   matches a queued or in-flight job attach to that job's future instead
-   of scheduling work.  Sixteen clients asking for translated copies of
-   the same stencil cost exactly one solve.
+   (:meth:`~repro.serve.protocol.SolveSpec.canonical_digest`, the
+   symmetry-quotient identity); requests whose digest matches a queued or
+   in-flight job attach to that job's future instead of scheduling work.
+   Sixteen clients asking for translated — or reflected, or leading-axis
+   permuted — copies of the same stencil cost exactly one solve.
 2. **Micro-batches** — queued distinct jobs drain in batches (up to
    ``batch_max``) into one executor hop, so the event loop pays one
    thread handoff per batch, not per request.
@@ -41,7 +42,7 @@ import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, ContextManager, Dict, List, Optional, Tuple
+from typing import Any, Callable, ContextManager, Dict, List, Optional, Tuple
 
 from ..core import cache as solve_cache
 from ..core.solver import solve
@@ -134,6 +135,7 @@ def _execute_batch(
     store: Optional[SolutionStore],
     jobs: int,
     solve_delay_s: float,
+    on_miss: Optional[Callable[[SolveSpec], None]] = None,
 ) -> Dict[str, Outcome]:
     """Resolve one micro-batch of distinct jobs (runs on an executor thread).
 
@@ -159,7 +161,7 @@ def _execute_batch(
         )
         if stored is not None:
             if solve_cache.enabled():
-                solve_cache.cache().put(spec.cache_key(), stored)
+                solve_cache.cache().put(spec.canonical_cache_key(), stored)
             outcomes[digest] = ("ok", stored)
         else:
             to_solve.append((digest, spec, trace_id))
@@ -187,7 +189,12 @@ def _execute_batch(
             # cache is invisible here; seed the server's own cache so the
             # next identical request is an in-memory hit.
             if jobs > 1 and solve_cache.enabled():
-                solve_cache.cache().put(spec.cache_key(), solution)
+                solve_cache.cache().put(spec.canonical_cache_key(), solution)
+            if on_miss is not None:
+                try:
+                    on_miss(spec)
+                except Exception:  # noqa: BLE001 - prefetch must never fail a batch
+                    obs_registry().counter("prefetch.observe_errors").inc()
     return outcomes
 
 
@@ -224,6 +231,7 @@ class Coalescer:
         max_pending: int = 256,
         retry_after_s: float = 1.0,
         solve_delay_s: float = 0.0,
+        on_miss: Optional[Callable[[SolveSpec], None]] = None,
     ) -> None:
         if batch_max < 1:
             raise ValueError(f"batch_max must be positive, got {batch_max}")
@@ -235,6 +243,9 @@ class Coalescer:
         self.max_pending = max_pending
         self.retry_after_s = retry_after_s
         self.solve_delay_s = solve_delay_s
+        #: Called (on the executor thread) with each spec that required a
+        #: fresh solve — the predictive prefetcher's observation hook.
+        self.on_miss = on_miss
         self._queued: "OrderedDict[str, _Job]" = OrderedDict()
         self._inflight: Dict[str, _Flight] = {}
         self._wake = asyncio.Event()
@@ -278,7 +289,7 @@ class Coalescer:
                 ("err", ERROR_SHUTTING_DOWN, "server is shutting down")
             )
             return future, None
-        digest = spec.digest()
+        digest = spec.canonical_digest()
         inflight = self._inflight.get(digest)
         if inflight is not None:
             registry.counter("serve.coalesce.attached").inc()
@@ -335,6 +346,7 @@ class Coalescer:
                         self.store,
                         self.jobs,
                         self.solve_delay_s,
+                        self.on_miss,
                     )
                 except Exception as exc:  # noqa: BLE001 - keep the loop alive
                     outcomes = {

@@ -1,0 +1,253 @@
+"""Predictive store warming: solve likely-next requests during idle time.
+
+Sweep-style clients walk a predictable path through spec space — the same
+kernel at ``n_max`` 6, then 8, then 10 — so every store miss is a signal
+about the *next* miss.  The :class:`Prefetcher` subscribes to the
+coalescer's miss hook (:attr:`repro.serve.coalesce.Coalescer.on_miss`) and
+enqueues **low-priority neighbor solves**:
+
+* adjacent bank budgets (``n_max ± 1``), and
+* the extrapolated next step in the observed sweep direction (per
+  canonical pattern: if the last miss was at ``n_max=6`` and this one at
+  ``8``, prefetch ``10``).
+
+Neighbors run through the PR-7 scheduler (:func:`repro.sched.gather` with
+``placement="thread"`` tasks, dedup-keyed by canonical digest) on a single
+daemon worker that only drains while the foreground intake is idle, and
+results land in the :class:`~repro.serve.store.SolutionStore` in the
+canonical frame — exactly the artifact a future request would have written
+— tagged ``meta["prefetch"] = true``.
+
+Foreground protection is layered: the queue is a hard ``cap`` (drops count
+into ``prefetch.dropped``), the worker re-checks the idle predicate
+between jobs, and there is exactly one worker thread.  The counter family:
+
+``prefetch.enqueued``
+    neighbor specs accepted onto the queue,
+``prefetch.dropped``
+    neighbors rejected because the queue was at capacity,
+``prefetch.skipped``
+    drained neighbors that were already in the store (or raced a
+    foreground solve there),
+``prefetch.solved`` / ``prefetch.stored``
+    neighbors actually solved and persisted,
+``prefetch.errors``
+    neighbor solves that failed (infeasible ``n_max`` etc. — expected at
+    sweep edges, never fatal).
+
+All counters surface on the serve ``/metrics`` endpoint and in
+``--emit-metrics`` dumps; :meth:`Prefetcher.stats` feeds ``/healthz`` and
+``/debug/store``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..obs.metrics import registry as obs_registry
+from ..sched import Task, gather
+from .coalesce import _solve_task
+from .protocol import SolveSpec
+from .store import SolutionStore
+
+#: Default bound on queued neighbor solves.
+DEFAULT_CAP = 64
+
+#: How long the worker sleeps between idle-predicate polls (seconds).
+_IDLE_POLL_S = 0.005
+
+#: Sweep histories kept (one per canonical pattern family).
+_HISTORY_MAX = 512
+
+
+class Prefetcher:
+    """Idle-time neighbor solver writing into the solution store.
+
+    Parameters
+    ----------
+    store:
+        Destination for prefetched solutions (required — prefetch without
+        a durable store would warm nothing a restart could reuse).
+    idle:
+        Predicate polled before each neighbor solve; the worker only
+        proceeds while it returns True (the server passes "no foreground
+        jobs queued or in flight").  ``None`` means always idle.
+    cap:
+        Hard bound on the neighbor queue; excess neighbors are dropped,
+        never queued — prefetch must not become backpressure.
+    """
+
+    def __init__(
+        self,
+        store: SolutionStore,
+        idle: Optional[Callable[[], bool]] = None,
+        cap: int = DEFAULT_CAP,
+    ) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be positive, got {cap}")
+        self.store = store
+        self.cap = cap
+        self._idle = idle if idle is not None else (lambda: True)
+        self._queue: Deque[SolveSpec] = deque()
+        self._queued_digests: Dict[str, None] = {}
+        self._history: Dict[Tuple, int] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-prefetch", daemon=True
+        )
+        self._worker.start()
+
+    # -- observation (called from the coalescer's executor thread) ---------
+
+    def observe(self, spec: SolveSpec) -> None:
+        """Record a store-miss solve and enqueue its likely neighbors."""
+        registry = obs_registry()
+        for neighbor in self._neighbors(spec):
+            digest = neighbor.canonical_digest()
+            with self._lock:
+                if self._closed:
+                    return
+                if digest in self._queued_digests:
+                    continue
+                if len(self._queue) >= self.cap:
+                    registry.counter("prefetch.dropped").inc()
+                    continue
+                self._queue.append(neighbor)
+                self._queued_digests[digest] = None
+            registry.counter("prefetch.enqueued").inc()
+            self._wake.set()
+
+    def _neighbors(self, spec: SolveSpec) -> List[SolveSpec]:
+        """Adjacent ``n_max`` values plus the sweep-direction extrapolation.
+
+        The sweep history is keyed by the canonical pattern (plus the
+        non-``n_max`` spec fields), so reflected/permuted variants of one
+        kernel share a direction estimate — they share solves, after all.
+        """
+        if spec.n_max is None:
+            return []
+        family = (
+            spec.pattern.offsets,
+            spec.shape,
+            spec.objective.value,
+            spec.delta_max,
+        )
+        with self._lock:
+            previous = self._history.get(family)
+            self._history[family] = spec.n_max
+            while len(self._history) > _HISTORY_MAX:
+                self._history.pop(next(iter(self._history)))
+        candidates: List[int] = []
+        if previous is not None and previous != spec.n_max:
+            stride = spec.n_max - previous
+            candidates.append(spec.n_max + stride)
+        candidates.extend((spec.n_max + 1, spec.n_max - 1))
+        seen = set()
+        out: List[SolveSpec] = []
+        for n_max in candidates:
+            if n_max < 1 or n_max == spec.n_max or n_max in seen:
+                continue
+            seen.add(n_max)
+            out.append(dataclasses.replace(spec, n_max=n_max))
+        return out
+
+    # -- the worker ---------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait()
+            if self._closed:
+                return
+            with self._lock:
+                if not self._queue:
+                    self._wake.clear()
+                    continue
+                spec = self._queue.popleft()
+                self._queued_digests.pop(spec.canonical_digest(), None)
+            # Low priority: yield to foreground work before solving.
+            while not self._closed and not self._idle():
+                self._wake.wait(_IDLE_POLL_S)
+            if self._closed:
+                return
+            self._execute(spec)
+
+    def _execute(self, spec: SolveSpec) -> None:
+        registry = obs_registry()
+        digest = spec.canonical_digest()
+        if digest in self.store.digests():
+            registry.counter("prefetch.skipped").inc()
+            return
+        task = Task(
+            _solve_task,
+            args=((digest, spec, None),),
+            key=("prefetch", digest),
+            placement="thread",
+            name="prefetch.solve",
+        )
+        try:
+            outcome = gather([task])[0]
+        except Exception:  # noqa: BLE001 - a bad neighbor must not kill the worker
+            registry.counter("prefetch.errors").inc()
+            return
+        if outcome[0] != "ok":
+            registry.counter("prefetch.errors").inc()
+            return
+        registry.counter("prefetch.solved").inc()
+        self.store.put(
+            digest,
+            outcome[1],
+            meta={
+                "pattern": spec.pattern.name,
+                "m": spec.pattern.size,
+                "prefetch": True,
+            },
+        )
+        registry.counter("prefetch.stored").inc()
+
+    # -- lifecycle / introspection ------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Queue occupancy + the full counter family, for /healthz & debug."""
+        registry = obs_registry()
+        with self._lock:
+            queued = len(self._queue)
+        return {
+            "queued": queued,
+            "cap": self.cap,
+            "enqueued": registry.counter("prefetch.enqueued").value,
+            "dropped": registry.counter("prefetch.dropped").value,
+            "skipped": registry.counter("prefetch.skipped").value,
+            "solved": registry.counter("prefetch.solved").value,
+            "stored": registry.counter("prefetch.stored").value,
+            "errors": registry.counter("prefetch.errors").value,
+        }
+
+    def drain(self, timeout_s: float = 5.0) -> bool:
+        """Block until the queue is empty (tests/benches); True on success."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._queue and not self._wake.is_set():
+                    return True
+                if not self._queue:
+                    # Worker may still be mid-solve; give it a beat.
+                    pass
+            time.sleep(_IDLE_POLL_S)
+        with self._lock:
+            return not self._queue
+
+    def close(self) -> None:
+        """Stop the worker; queued neighbors are discarded."""
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+            self._queued_digests.clear()
+        self._wake.set()
+        self._worker.join(timeout=5.0)

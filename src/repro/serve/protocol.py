@@ -16,17 +16,28 @@ schema:
 
 Identity: a spec's :meth:`~SolveSpec.cache_key` is exactly the in-memory
 solve-cache key, and :meth:`~SolveSpec.digest` is its
-:func:`~repro.core.cache.stable_digest` — the coalescer, the on-disk
-store, and the in-memory cache therefore agree on which requests are "the
-same solve" (translated patterns included).
+:func:`~repro.core.cache.stable_digest`.  The coalescer and the on-disk
+store key by the *symmetry* identity instead —
+:meth:`~SolveSpec.canonicalized` /  :meth:`~SolveSpec.canonical_digest` —
+so requests that differ by translation, per-axis reflection, or a
+leading-axis permutation all resolve to one solve, stored once in the
+canonical frame and mapped back into each requester's frame through its
+:class:`~repro.core.cache.SymmetryOp`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-from ..core.cache import solve_key, stable_digest
+from ..core.cache import (
+    SymmetryOp,
+    canonical_key,
+    canonicalize,
+    solve_key,
+    stable_digest,
+)
 from ..core.mapping import BankMapping, ours_overhead_elements
 from ..core.partition import PartitionSolution
 from ..core.pattern import Pattern
@@ -151,7 +162,7 @@ class SolveSpec:
     delta_max: int
 
     def cache_key(self) -> Hashable:
-        """The in-memory solve-cache key this request resolves to."""
+        """The translation-normalized solve-cache key (:func:`solve_key`)."""
         return solve_key(
             self.pattern, self.shape, self.n_max, self.objective.value, self.delta_max
         )
@@ -159,6 +170,44 @@ class SolveSpec:
     def digest(self) -> str:
         """Cross-process identity: :func:`stable_digest` of :meth:`cache_key`."""
         return stable_digest(self.cache_key())
+
+    def canonical_cache_key(self) -> Hashable:
+        """The symmetry-quotient key (:func:`repro.core.cache.canonical_key`).
+
+        Equal for every spec in the pattern's symmetry orbit (same shape
+        tail / ``n_max`` / objective / ``delta_max``) — this is what the
+        in-memory cache actually indexes by under the canonical pipeline.
+        """
+        return canonical_key(
+            self.pattern, self.shape, self.n_max, self.objective.value, self.delta_max
+        )
+
+    def canonical_digest(self) -> str:
+        """Orbit-wide identity: what the coalescer and the store key by."""
+        return stable_digest(self.canonical_cache_key())
+
+    def canonicalized(self) -> Tuple["SolveSpec", SymmetryOp]:
+        """The canonical-frame twin of this spec plus the op mapping back.
+
+        The returned spec's pattern is the orbit representative and its
+        shape is permuted into the canonical frame (the innermost extent
+        stays put — permutations are restricted to leading axes).  Solving
+        the canonical spec and applying
+        :meth:`~repro.core.cache.SymmetryOp.solution_to_caller` yields a
+        solution in this spec's own frame, bit-identical to solving this
+        spec directly.
+        """
+        canon_pattern, op = canonicalize(self.pattern)
+        if op.is_identity and canon_pattern.offsets == self.pattern.offsets:
+            return self, op
+        return (
+            dataclasses.replace(
+                self,
+                pattern=canon_pattern,
+                shape=op.shape_to_canonical(self.shape),
+            ),
+            op,
+        )
 
 
 @dataclass(frozen=True)

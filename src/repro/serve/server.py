@@ -58,8 +58,10 @@ import dataclasses
 import json
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Awaitable, Callable, Dict, List, Optional, Tuple, Union
 
+from ..core import cache as solve_cache
 from ..core.mapping import BankMapping
 from ..obs import state as obs_state
 from ..obs.export import to_prometheus_text
@@ -84,10 +86,14 @@ from .protocol import (
     parse_timeout_s,
     solution_payload,
 )
+from .prefetch import Prefetcher
 from .store import SolutionStore
 
 #: Largest accepted request body; patterns are small, this is generous.
 MAX_BODY_BYTES = 1 << 20
+
+#: Canonical groups tracked for /debug/store (LRU beyond this).
+_CANON_GROUPS_MAX = 1024
 
 #: Request span trees kept for ``/debug/traces``.
 DEFAULT_TRACE_BUFFER = 128
@@ -153,6 +159,8 @@ class PartitionServer:
         solve_delay_s: float = 0.0,
         debug: bool = False,
         trace_buffer_size: int = DEFAULT_TRACE_BUFFER,
+        prefetch: bool = False,
+        prefetch_cap: int = 64,
     ) -> None:
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -161,6 +169,13 @@ class PartitionServer:
             if store_dir
             else None
         )
+        self._prefetch_requested = prefetch
+        self._prefetch_cap = prefetch_cap
+        self.prefetcher: Optional[Prefetcher] = None
+        # canonical digest -> distinct caller (translation-level) digests
+        # seen for it; sizes > 1 mean the symmetry quotient is collapsing
+        # reflected/permuted variants onto one solve.
+        self._canon_groups: "OrderedDict[str, set]" = OrderedDict()
         self._coalescer_config = dict(
             jobs=jobs,
             batch_max=batch_max,
@@ -179,8 +194,20 @@ class PartitionServer:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the batch pipeline."""
-        self.coalescer = Coalescer(store=self.store, **self._coalescer_config)
+        """Bind the socket and start the batch pipeline (and prefetcher)."""
+        if self._prefetch_requested and self.store is not None:
+            # Late-bound: the coalescer is created just below; "idle" means
+            # no foreground jobs queued or in flight.
+            self.prefetcher = Prefetcher(
+                self.store,
+                idle=lambda: self.coalescer is None or self.coalescer.pending == 0,
+                cap=self._prefetch_cap,
+            )
+        self.coalescer = Coalescer(
+            store=self.store,
+            on_miss=self.prefetcher.observe if self.prefetcher else None,
+            **self._coalescer_config,
+        )
         self._batch_task = asyncio.get_running_loop().create_task(
             self.coalescer.run()
         )
@@ -205,6 +232,9 @@ class PartitionServer:
             self._batch_task = None
         if self.coalescer is not None:
             self.coalescer.close()
+        if self.prefetcher is not None:
+            self.prefetcher.close()
+            self.prefetcher = None
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI wires signals to cancellation)."""
@@ -399,17 +429,38 @@ class PartitionServer:
 
     # -- the solve path ----------------------------------------------------
 
+    def _note_canon_group(self, digest: str, spec: SolveSpec) -> None:
+        """Track which caller-frame identities collapse onto one canonical solve."""
+        group = self._canon_groups.get(digest)
+        if group is None:
+            group = set()
+            self._canon_groups[digest] = group
+            while len(self._canon_groups) > _CANON_GROUPS_MAX:
+                self._canon_groups.popitem(last=False)
+        else:
+            self._canon_groups.move_to_end(digest)
+        if len(group) < 256:
+            group.add(spec.digest())
+
     async def _await_solution(
         self, spec: SolveSpec, deadline: Optional[float], ctx: _RequestContext
-    ):
+    ) -> Tuple[Any, str]:
         """Submit a spec and await its (shared) outcome under the deadline.
 
-        Returns the canonical solution with the *caller's* pattern
-        re-attached, mirroring what a direct in-process cache hit does.
-        When the request coalesces onto another request's in-flight job,
-        the leader's trace id lands in ``ctx.links``.
+        The spec is reduced to its canonical-frame twin before intake, so
+        requests that differ by translation, reflection, or leading-axis
+        permutation coalesce onto one solve; the shared canonical solution
+        is mapped back through the spec's own
+        :class:`~repro.core.cache.SymmetryOp` — bit-identical to what a
+        direct in-process solve of the caller's pattern returns.  Returns
+        ``(solution_in_caller_frame, canonical_digest)``.  When the request
+        coalesces onto another request's in-flight job, the leader's trace
+        id lands in ``ctx.links``.
         """
         assert self.coalescer is not None
+        canon_spec, op = spec.canonicalized()
+        digest = canon_spec.canonical_digest()
+        self._note_canon_group(digest, spec)
         # An already-expired deadline is rejected before intake so a dead
         # request never consumes queue capacity.
         remaining = None if deadline is None else deadline - time.monotonic()
@@ -421,7 +472,7 @@ class PartitionServer:
             )
         try:
             future, leader_trace = self.coalescer.submit_traced(
-                spec, trace_id=ctx.trace_id
+                canon_spec, trace_id=ctx.trace_id
             )
             if (
                 leader_trace is not None
@@ -454,10 +505,7 @@ class PartitionServer:
             raise _HttpReply(
                 HTTP_STATUS.get(code, 500), error_payload(code, message)
             )
-        solution = outcome[1]
-        if solution.pattern != spec.pattern:
-            solution = dataclasses.replace(solution, pattern=spec.pattern)
-        return solution
+        return op.solution_to_caller(outcome[1], spec.pattern), digest
 
     @staticmethod
     def _deadline_from(doc: Any) -> Optional[float]:
@@ -467,13 +515,13 @@ class PartitionServer:
     async def _handle_solve(self, doc: Any, ctx: _RequestContext) -> Dict[str, Any]:
         deadline = self._deadline_from(doc)
         spec = parse_solve_spec(doc)
-        solution = await self._await_solution(spec, deadline, ctx)
-        return solution_payload(solution, spec, spec.digest())
+        solution, digest = await self._await_solution(spec, deadline, ctx)
+        return solution_payload(solution, spec, digest)
 
     async def _handle_simulate(self, doc: Any, ctx: _RequestContext) -> Dict[str, Any]:
         deadline = self._deadline_from(doc)
         sim: SimulateSpec = parse_simulate_spec(doc)
-        solution = await self._await_solution(sim.solve, deadline, ctx)
+        solution, digest = await self._await_solution(sim.solve, deadline, ctx)
         mapping = BankMapping(solution=solution, shape=sim.solve.shape)
         trace_id = ctx.trace_id
 
@@ -514,7 +562,7 @@ class PartitionServer:
                 HTTP_STATUS[ERROR_DEADLINE],
                 error_payload(ERROR_DEADLINE, "deadline expired during simulation"),
             )
-        payload = solution_payload(solution, sim.solve, sim.solve.digest())
+        payload = solution_payload(solution, sim.solve, digest)
         payload["report"] = report.to_dict()
         return payload
 
@@ -578,20 +626,47 @@ class PartitionServer:
             "max_pending": self.coalescer.max_pending,
             "debug": self.debug,
             "store": self.store.stats() if self.store is not None else None,
+            "prefetch": (
+                self.prefetcher.stats() if self.prefetcher is not None else None
+            ),
         }
 
     async def _handle_metrics(self, _doc: Any, _ctx: _RequestContext) -> str:
         # Mirror the store's occupancy into gauges (and make sure its
         # traffic counters exist even before the first lookup) so the
         # Prometheus text always carries the full serve.store.* family.
+        registry = obs_registry()
         if self.store is not None:
-            registry = obs_registry()
             stats = self.store.stats()
             registry.gauge("serve.store.entries").set(stats["entries"])
             registry.gauge("serve.store.bytes").set(stats["bytes"])
             registry.gauge("serve.store.max_entries").set(stats["max_entries"])
             for name in ("hits", "misses", "writes", "evictions"):
                 registry.counter(f"serve.store.{name}").inc(0)
+        # The in-memory solve cache's lifetime tallies, as gauges (the
+        # matching solve.cache.* counters reset with the registry; the
+        # instance tallies don't, and a hit-rate derives from this pair).
+        mem = solve_cache.cache()
+        registry.gauge("serve.solve_cache.hits").set(mem.hits)
+        registry.gauge("serve.solve_cache.misses").set(mem.misses)
+        registry.gauge("serve.solve_cache.evictions").set(mem.evictions)
+        registry.gauge("serve.solve_cache.entries").set(len(mem))
+        registry.gauge("serve.solve_cache.maxsize").set(mem.maxsize)
+        # Materialize the prefetch counter family even when it is all-zero
+        # so dashboards see the metrics exist as soon as prefetch is on.
+        if self.prefetcher is not None:
+            for name in (
+                "enqueued",
+                "dropped",
+                "skipped",
+                "solved",
+                "stored",
+                "errors",
+            ):
+                registry.counter(f"prefetch.{name}").inc(0)
+            registry.gauge("prefetch.queued").set(
+                self.prefetcher.stats()["queued"]
+            )
         return to_prometheus_text()
 
     # -- debug surface (off unless debug=True) -----------------------------
@@ -621,7 +696,23 @@ class PartitionServer:
 
     async def _handle_debug_store(self, _doc: Any, _ctx: _RequestContext) -> Dict[str, Any]:
         self._require_debug()
-        return {"store": self.store.stats() if self.store is not None else None}
+        sizes = {
+            digest: len(group) for digest, group in self._canon_groups.items()
+        }
+        return {
+            "store": self.store.stats() if self.store is not None else None,
+            "prefetch": (
+                self.prefetcher.stats() if self.prefetcher is not None else None
+            ),
+            # How many distinct caller-frame request identities each
+            # canonical solve is serving: >1 means symmetry collapse.
+            "canonical_groups": {
+                "groups": len(sizes),
+                "max_size": max(sizes.values()) if sizes else 0,
+                "collapsed": sum(1 for v in sizes.values() if v > 1),
+                "sizes": {d[:12]: v for d, v in sizes.items()},
+            },
+        }
 
 
 class ThreadedServer:

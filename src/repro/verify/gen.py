@@ -25,9 +25,10 @@ seed enumerates the same suite on a laptop, a CI runner, or a worker pool.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..core.pattern import Pattern
 
@@ -293,3 +294,99 @@ def iter_cases(count: int, seed: int, start: int = 0) -> Iterator[CaseSpec]:
         raise ValueError(f"count must be non-negative, got {count}")
     for index in range(start, start + count):
         yield generate_case(seed, index)
+
+
+# -- symmetry variants --------------------------------------------------------
+#
+# The solve cache quotients patterns by translation × per-axis reflection ×
+# leading-axis permutation (see repro.core.cache.canonicalize).  The builders
+# below enumerate members of that orbit for a given (pattern, shape) pair so
+# the symmetry oracles and the property tests share one variant vocabulary.
+
+
+def leading_axis_permutations(ndim: int) -> List[Tuple[int, ...]]:
+    """Axis permutations that keep the innermost axis innermost.
+
+    This is the subgroup the canonicalizer quotients by: moving the last
+    axis would change ``|α[-1]|`` and break the Section 4.4 intra-bank
+    layout's bijectivity, so those permutations are never identified.
+    """
+    return [perm + (ndim - 1,) for perm in itertools.permutations(range(ndim - 1))]
+
+
+def symmetry_variants(
+    pattern: "Pattern",
+    shape: Tuple[int, ...],
+    kind: str,
+    seed: int = 0,
+    count: int = 3,
+) -> List[Tuple[str, "Pattern", Tuple[int, ...]]]:
+    """Orbit members of ``(pattern, shape)`` under one symmetry family.
+
+    ``kind`` selects the family: ``"reflection"`` mirrors each axis (and,
+    above 1-D, all axes at once), ``"permutation"`` applies every
+    non-identity leading-axis permutation (shape permuted to match), and
+    ``"composed"`` draws ``count`` seeded random permutation∘reflection∘
+    translation compositions.  Variants are returned translation-normalized
+    — the translation leg of a composition cancels under ``normalized()``,
+    which is exactly the claim the key-invariance checks exercise — and
+    variants identical to the input are dropped (a symmetric pattern can
+    have a smaller orbit than its group).
+
+    Returns ``(tag, variant_pattern, variant_shape)`` triples.
+    """
+    shape_t = tuple(int(w) for w in shape)
+    ndim = pattern.ndim
+    out: List[Tuple[str, "Pattern", Tuple[int, ...]]] = []
+    if kind == "reflection":
+        axis_sets = [(axis,) for axis in range(ndim)]
+        if ndim > 1:
+            axis_sets.append(tuple(range(ndim)))
+        for axes in axis_sets:
+            out.append(
+                (
+                    f"reflect{list(axes)}",
+                    pattern.reflected(axes).normalized(),
+                    shape_t,
+                )
+            )
+    elif kind == "permutation":
+        identity = tuple(range(ndim))
+        for perm in leading_axis_permutations(ndim):
+            if perm == identity:
+                continue
+            out.append(
+                (
+                    f"permute{list(perm)}",
+                    pattern.permuted(perm),
+                    tuple(shape_t[a] for a in perm),
+                )
+            )
+    elif kind == "composed":
+        rng = random.Random(f"repro-verify:symmetry:{seed}")
+        perms = leading_axis_permutations(ndim)
+        for i in range(count):
+            perm = rng.choice(perms)
+            axes = tuple(j for j in range(ndim) if rng.random() < 0.5)
+            variant = pattern.permuted(perm)
+            if axes:
+                variant = variant.reflected(axes)
+            shift = tuple(rng.randint(-3, 3) for _ in range(ndim))
+            variant = variant.translated(shift).normalized()
+            out.append(
+                (
+                    f"compose[{i}]perm{list(perm)}flip{list(axes)}",
+                    variant,
+                    tuple(shape_t[a] for a in perm),
+                )
+            )
+    else:
+        raise ValueError(
+            f"unknown symmetry-variant kind {kind!r}; expected "
+            "'reflection', 'permutation', or 'composed'"
+        )
+    return [
+        (tag, variant, v_shape)
+        for tag, variant, v_shape in out
+        if variant.offsets != pattern.offsets or v_shape != shape_t
+    ]

@@ -41,7 +41,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 from ..obs.metrics import registry as obs_registry
 from ..sched import map_tasks
 from .gen import CaseSpec, iter_cases
-from .oracles import CaseOutcome, OracleFailure, run_oracles
+from .oracles import ORACLE_NAMES, CaseOutcome, OracleFailure, run_oracles
 from .shrink import DEFAULT_BUDGET, same_oracle, shrink_case
 
 CASE_FORMAT = "repro/verify-case"
@@ -218,6 +218,30 @@ def run_suite(
     return report
 
 
+def _validate_oracle_names(path: Path, document: Dict[str, Any]) -> None:
+    """Reject records referencing oracles this build does not know.
+
+    Renaming or removing an oracle must not let its corpus entries degrade
+    into silently-unchecked specs: a record whose ``checked`` list or
+    failure verdicts name an unknown oracle is a corpus/catalog mismatch,
+    and replay errors loudly instead of replaying a weaker suite.  (Records
+    that merely *lack* newer oracles replay fine — adding oracles never
+    invalidates an old corpus.)
+    """
+    named = set(document.get("checked", ()))
+    named.update(f.get("oracle") for f in document.get("failures", ()))
+    if "failure" in document:  # counterexample artifact
+        named.add(document["failure"].get("oracle"))
+    known = set(ORACLE_NAMES) | {"crash"}
+    unknown = sorted(str(n) for n in named - known)
+    if unknown:
+        raise ValueError(
+            f"{path}: record references unknown oracle(s) {unknown}; this "
+            f"build knows {sorted(known)} — regenerate the corpus or fix "
+            "the oracle name"
+        )
+
+
 def _specs_from_file(path: Path) -> List[CaseSpec]:
     """Extract every case spec a corpus / artifact / spec file contains."""
     text = path.read_text()
@@ -233,8 +257,10 @@ def _specs_from_file(path: Path) -> List[CaseSpec]:
         if not isinstance(document, dict):
             raise ValueError(f"{path}: expected JSON objects, got {document!r}")
         if document.get("format") == COUNTEREXAMPLE_FORMAT:
+            _validate_oracle_names(path, document)
             specs.append(CaseSpec.from_dict(document["shrunk"]))
         elif document.get("format") == CASE_FORMAT or "case" in document:
+            _validate_oracle_names(path, document)
             specs.append(CaseSpec.from_dict(document["case"]))
         elif "offsets" in document:
             specs.append(CaseSpec.from_dict(document))

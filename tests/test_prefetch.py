@@ -1,0 +1,222 @@
+"""Predictive store warming: neighbor generation, caps, idle gating, serving.
+
+The :class:`~repro.serve.prefetch.Prefetcher` must only ever help: it
+solves likely-next specs during idle time and writes them into the
+solution store, but never becomes backpressure (hard cap, drops counted)
+and never races foreground work (idle predicate re-checked per job).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.obs import registry
+from repro.serve import Prefetcher, ServeClient, SolutionStore, serve_in_thread
+from repro.serve.protocol import parse_solve_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    registry().reset()
+    yield
+    registry().reset()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SolutionStore(tmp_path / "store")
+
+
+def _spec(n_max=8, benchmark="log"):
+    return parse_solve_spec({"benchmark": benchmark, "n_max": n_max})
+
+
+class TestNeighborGeneration:
+    def test_unbounded_spec_has_no_neighbors(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            assert pf._neighbors(_spec(n_max=None)) == []
+        finally:
+            pf.close()
+
+    def test_adjacent_budgets_without_history(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            neighbors = pf._neighbors(_spec(n_max=8))
+            assert [n.n_max for n in neighbors] == [9, 7]
+        finally:
+            pf.close()
+
+    def test_sweep_direction_is_extrapolated(self, store):
+        """6 then 8 predicts 10 first — the sweep's next rung."""
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec(n_max=6))
+            neighbors = pf._neighbors(_spec(n_max=8))
+            assert [n.n_max for n in neighbors] == [10, 9, 7]
+        finally:
+            pf.close()
+
+    def test_downward_sweeps_never_emit_non_positive_budgets(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec(n_max=3))
+            neighbors = pf._neighbors(_spec(n_max=1))
+            assert all(n.n_max >= 1 for n in neighbors)
+            assert [n.n_max for n in neighbors] == [2]
+        finally:
+            pf.close()
+
+    def test_histories_are_per_kernel_family(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec(n_max=6, benchmark="log"))
+            # A different kernel at 8 must not inherit log's 6->? stride.
+            neighbors = pf._neighbors(_spec(n_max=8, benchmark="se"))
+            assert [n.n_max for n in neighbors] == [9, 7]
+        finally:
+            pf.close()
+
+
+class TestQueueDiscipline:
+    def test_cap_drops_are_counted_never_queued(self, store):
+        pf = Prefetcher(store, idle=lambda: False, cap=1)
+        try:
+            pf.observe(_spec(n_max=8))  # two neighbors against a cap of 1
+            stats = pf.stats()
+            assert stats["queued"] == 1
+            assert stats["enqueued"] == 1
+            assert stats["dropped"] == 1
+        finally:
+            pf.close()
+
+    def test_cap_must_be_positive(self, store):
+        with pytest.raises(ValueError, match="cap"):
+            Prefetcher(store, cap=0)
+
+    def test_duplicate_neighbors_enqueue_once(self, store):
+        pf = Prefetcher(store, idle=lambda: False, cap=16)
+        try:
+            pf.observe(_spec(n_max=8))
+            pf.observe(_spec(n_max=8))  # same neighbors, already queued
+            assert pf.stats()["enqueued"] == 2
+            assert pf.stats()["queued"] == 2
+        finally:
+            pf.close()
+
+    def test_close_discards_the_queue_and_ignores_later_observes(self, store):
+        pf = Prefetcher(store, idle=lambda: False, cap=16)
+        pf.observe(_spec(n_max=8))
+        pf.close()
+        assert pf.stats()["queued"] == 0
+        pf.observe(_spec(n_max=12))
+        assert pf.stats()["queued"] == 0
+
+
+class TestExecution:
+    def test_neighbors_are_solved_and_stored_with_prefetch_meta(self, store):
+        pf = Prefetcher(store, cap=16)
+        try:
+            spec = _spec(n_max=8)
+            pf.observe(spec)
+            assert pf.drain(timeout_s=30.0)
+            stats = pf.stats()
+            assert stats["stored"] == stats["solved"] == 2
+            assert stats["errors"] == 0
+            for n_max in (9, 7):
+                digest = dataclasses.replace(spec, n_max=n_max).canonical_digest()
+                path = store.root / f"{digest}.json"
+                assert path.exists(), n_max
+                document = json.loads(path.read_text())
+                assert document["meta"]["prefetch"] is True
+        finally:
+            pf.close()
+
+    def test_already_stored_neighbors_are_skipped(self, store):
+        pf = Prefetcher(store, cap=16)
+        try:
+            spec = _spec(n_max=8)
+            pf.observe(spec)
+            assert pf.drain(timeout_s=30.0)
+            first = pf.stats()
+            assert first["stored"] == 2
+            # The same miss again: both neighbors are now store hits.
+            pf.observe(spec)
+            assert pf.drain(timeout_s=30.0)
+            deadline = time.monotonic() + 5.0
+            while pf.stats()["skipped"] < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            second = pf.stats()
+            assert second["skipped"] == 2
+            assert second["stored"] == first["stored"]
+        finally:
+            pf.close()
+
+    def test_solver_failures_count_errors_not_crashes(self, store, monkeypatch):
+        def boom(item):
+            raise RuntimeError("injected neighbor failure")
+
+        monkeypatch.setattr("repro.serve.prefetch._solve_task", boom)
+        pf = Prefetcher(store, cap=16)
+        try:
+            pf.observe(_spec(n_max=8))
+            deadline = time.monotonic() + 10.0
+            while pf.stats()["errors"] < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            stats = pf.stats()
+            assert stats["errors"] == 2
+            assert stats["stored"] == 0
+            assert len(store) == 0
+        finally:
+            pf.close()
+
+    def test_idle_gate_blocks_solving_until_released(self, store):
+        gate = {"idle": False}
+        pf = Prefetcher(store, idle=lambda: gate["idle"], cap=16)
+        try:
+            pf.observe(_spec(n_max=8))
+            time.sleep(0.1)
+            assert pf.stats()["stored"] == 0, "solved while foreground was busy"
+            gate["idle"] = True
+            deadline = time.monotonic() + 30.0
+            while pf.stats()["stored"] < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pf.stats()["stored"] == 2
+        finally:
+            pf.close()
+
+
+class TestServerIntegration:
+    def test_misses_warm_the_store_and_surface_in_health(self, tmp_path):
+        with serve_in_thread(
+            store_dir=str(tmp_path / "store"), prefetch=True, prefetch_cap=16
+        ) as srv:
+            with ServeClient(port=srv.port) as client:
+                client.solve(benchmark="log", n_max=8)
+                assert srv.server.prefetcher is not None
+                assert srv.server.prefetcher.drain(timeout_s=30.0)
+                deadline = time.monotonic() + 10.0
+                while (
+                    srv.server.prefetcher.stats()["stored"] < 2
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+                health = client.healthz()
+                assert health["prefetch"]["stored"] == 2
+                assert health["prefetch"]["errors"] == 0
+                # 1 foreground artifact + 2 prefetched neighbors (7 and 9).
+                assert health["store"]["entries"] == 3
+                metrics = client.metrics_text()
+                assert "repro_prefetch_stored_total" in metrics
+                assert "repro_serve_solve_cache_hits" in metrics
+
+    def test_prefetch_off_means_no_prefetcher(self, tmp_path):
+        with serve_in_thread(store_dir=str(tmp_path / "store")) as srv:
+            assert srv.server.prefetcher is None
+            with ServeClient(port=srv.port) as client:
+                client.solve(benchmark="log", n_max=8)
+                assert client.healthz()["prefetch"] is None

@@ -125,6 +125,44 @@ class TestSolveCacheBasics:
         with pytest.raises(ValueError, match="maxsize"):
             SolveCache(maxsize=0)
 
+    def test_eviction_counter_and_registry_mirror(self):
+        reg = obs_metrics.registry()
+        reg.reset()
+        cache = SolveCache(maxsize=2)
+        sol = partition(log_pattern(), cache=False)
+        for key in ("a", "b", "c", "d"):
+            cache.put(key, sol)
+        assert cache.evictions == 2
+        assert reg.snapshot()["counters"]["solve.cache.evictions"] == 2
+        cache.clear()
+        assert cache.evictions == 0
+
+    def test_env_capacity_applied_after_reset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_SIZE", "2")
+        solve_cache.reset()
+        try:
+            cache = solve_cache.cache()
+            assert cache.maxsize == 2
+            solve(log_pattern(), n_max=6)
+            solve(log_pattern(), n_max=7)
+            solve(log_pattern(), n_max=8)  # evicts the n_max=6 entry
+            assert len(cache) == 2
+            assert cache.evictions == 1
+        finally:
+            monkeypatch.delenv("REPRO_SOLVE_CACHE_SIZE")
+            solve_cache.reset()
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "nope", "1.5"])
+    def test_env_capacity_rejects_non_positive_values(self, raw, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVE_CACHE_SIZE", raw)
+        solve_cache.reset()
+        try:
+            with pytest.raises(ValueError, match="REPRO_SOLVE_CACHE_SIZE"):
+                solve_cache.cache()
+        finally:
+            monkeypatch.delenv("REPRO_SOLVE_CACHE_SIZE")
+            solve_cache.reset()
+
     def test_partition_cached_too(self, count_partitions):
         partition(log_pattern(), n_max=8)
         partition(log_pattern(), n_max=8)

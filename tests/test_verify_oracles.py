@@ -24,9 +24,11 @@ def _case(**overrides):
 
 class TestCoverage:
     def test_small_case_runs_every_oracle(self):
+        # 2-D: the leading-axis permutation subgroup is trivial, so the
+        # permutation oracle declares itself not applicable.
         outcome = run_oracles(_case())
         assert outcome.ok, outcome.failures
-        assert set(outcome.checked) == set(ORACLE_NAMES)
+        assert set(outcome.checked) == set(ORACLE_NAMES) - {"symmetry_permutation"}
 
     def test_two_level_case_is_clean(self):
         outcome = run_oracles(_case(n_max=4, scheme="two-level"))
@@ -43,7 +45,10 @@ class TestCoverage:
         assert len(offsets) > LTB_MAX_SIZE
         outcome = run_oracles(_case(offsets=offsets, shape=[6, 6]))
         assert outcome.ok, outcome.failures
-        assert set(outcome.checked) == set(ORACLE_NAMES) - {"ltb_differential"}
+        assert set(outcome.checked) == set(ORACLE_NAMES) - {
+            "ltb_differential",
+            "symmetry_permutation",  # 2-D: no non-trivial leading-axis perm
+        }
 
     def test_4d_case_skips_only_the_ltb_oracle(self):
         assert 4 > LTB_MAX_NDIM

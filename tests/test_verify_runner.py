@@ -89,6 +89,35 @@ class TestReplayInputs:
         with pytest.raises(ValueError, match="unrecognized record"):
             replay_paths([path])
 
+    def test_unknown_oracle_name_is_a_loud_error(self, tmp_path):
+        """Growing the oracle catalog must never silently orphan old
+        corpus entries — a record naming an oracle this build doesn't know
+        is a corpus/catalog skew and replay refuses to paper over it."""
+        record = {
+            "format": CASE_FORMAT,
+            "case": generate_case(1, 0).to_dict(),
+            "status": "ok",
+            "checked": ["mapping", "oracle_from_the_future"],
+            "failures": [],
+        }
+        path = tmp_path / "skew.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ValueError, match="oracle_from_the_future"):
+            replay_paths([path])
+
+    def test_unknown_oracle_in_counterexample_is_a_loud_error(self, tmp_path):
+        artifact = {
+            "format": COUNTEREXAMPLE_FORMAT,
+            "original": generate_case(1, 0).to_dict(),
+            "shrunk": generate_case(1, 1).to_dict(),
+            "failure": {"oracle": "renamed_oracle", "message": "stale"},
+            "evaluations": 3,
+        }
+        path = tmp_path / "ce.json"
+        path.write_text(json.dumps(artifact, indent=2))
+        with pytest.raises(ValueError, match="renamed_oracle"):
+            replay_paths([path])
+
 
 class TestCli:
     def test_clean_run_exits_zero(self, capsys):
