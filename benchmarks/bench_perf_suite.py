@@ -706,6 +706,241 @@ def _bench_zipf(preset: str) -> List[Dict[str, Any]]:
     return rows
 
 
+#: Cluster bench knobs per preset.  ``keys`` distinct solve specs (plus a
+#: simulate variant every 4th request), driven by ``concurrency`` threaded
+#: clients.  ``micro`` stays lean because the regression-gate tests run it
+#: repeatedly inside the tier-1 suite.
+CLUSTER_CONFIGS: Dict[str, Dict[str, int]] = {
+    "micro": {
+        "shards": 3,
+        "keys": 6,
+        "warm_requests": 48,
+        "concurrency": 4,
+        "chaos_requests": 24,
+    },
+    "small": {
+        "shards": 4,
+        "keys": 10,
+        "warm_requests": 120,
+        "concurrency": 8,
+        "chaos_requests": 48,
+    },
+    "full": {
+        "shards": 4,
+        "keys": 16,
+        "warm_requests": 320,
+        "concurrency": 12,
+        "chaos_requests": 96,
+    },
+}
+
+#: Simulation shape/limit for the cluster bench's simulate requests — small
+#: on purpose; the bench measures serving, not the simulator.
+_CLUSTER_SIM_SHAPE = [24, 24]
+_CLUSTER_SIM_LIMIT = 32
+
+
+def _cluster_request_mix(keys: int, total: int) -> List[Tuple[str, int]]:
+    """``total`` interleaved ``("solve"|"simulate", n_max)`` descriptors.
+
+    Every 4th request is a simulate; keys repeat round-robin so duplicates
+    land on every shard and the warm path dominates.
+    """
+    n_values = list(range(4, 4 + keys))
+    mix: List[Tuple[str, int]] = []
+    for i in range(total):
+        kind = "simulate" if i % 4 == 3 else "solve"
+        mix.append((kind, n_values[i % keys]))
+    return mix
+
+
+def _cluster_issue(client: Any, kind: str, n_max: int) -> Dict[str, Any]:
+    if kind == "simulate":
+        return client.simulate(
+            shape=_CLUSTER_SIM_SHAPE,
+            benchmark="log",
+            n_max=n_max,
+            limit=_CLUSTER_SIM_LIMIT,
+        )
+    return client.solve(benchmark="log", n_max=n_max)
+
+
+def _cluster_drive(
+    port: int,
+    mix: List[Tuple[str, int]],
+    concurrency: int,
+    retries: int = 0,
+) -> Tuple[List[float], Dict[Tuple[str, int], Dict[str, Any]], List[str]]:
+    """Drive the request mix with ``concurrency`` threaded clients.
+
+    Returns per-request latencies, one response per distinct descriptor,
+    and a list of failure strings (empty on a clean run).  The same
+    harness drives the single-process reference and the cluster, so the
+    rps comparison is apples-to-apples.
+    """
+    import queue as queue_mod
+    import threading
+
+    from repro.serve import ServeClient
+
+    work: "queue_mod.Queue[Tuple[str, int]]" = queue_mod.Queue()
+    for item in mix:
+        work.put(item)
+    latencies: List[float] = []
+    responses: Dict[Tuple[str, int], Dict[str, Any]] = {}
+    failures: List[str] = []
+    lock = threading.Lock()
+
+    def worker() -> None:
+        client = ServeClient(port=port, retries=retries, backoff_s=0.05)
+        try:
+            while True:
+                try:
+                    kind, n_max = work.get_nowait()
+                except queue_mod.Empty:
+                    return
+                t0 = time.perf_counter()
+                try:
+                    resp = _cluster_issue(client, kind, n_max)
+                except Exception as exc:  # noqa: BLE001 - tallied, not fatal
+                    with lock:
+                        failures.append(f"{kind} n_max={n_max}: {exc}")
+                    continue
+                elapsed = time.perf_counter() - t0
+                with lock:
+                    latencies.append(elapsed)
+                    responses[(kind, n_max)] = resp
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"cluster-bench-{i}")
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, responses, failures
+
+
+def _bench_cluster(preset: str) -> List[Dict[str, Any]]:
+    """Sharded-cluster serving vs the single-process server, plus chaos.
+
+    Three phases under one threaded-client harness:
+
+    1. **single** — a single in-process server is seeded cold, then the
+       mixed solve/simulate traffic is replayed warm; its responses are
+       the identity reference.
+    2. **cluster** — a :class:`repro.cluster.LocalCluster` (front router +
+       N worker shards) serves the same traffic; every response must be
+       identical to the single-process reference (routing must not
+       perturb bytes), and per-shard p99s come from the router.
+    3. **chaos** — the shard owning the hottest key is SIGKILLed mid-load;
+       retrying clients must lose zero requests, the supervisor must
+       respawn the worker, and post-recovery responses must still match
+       the reference.
+
+    ``speedup_vs_single_warm`` is recorded honestly for the machine the
+    bench runs on — multi-process speedup needs multiple cores, so the
+    ≥2x acceptance claim is gated in CI only where ``os.cpu_count() >= 4``
+    (the identity and zero-loss claims are asserted everywhere).
+    """
+    import signal as signal_mod
+    import tempfile
+    import threading
+
+    from repro.cluster import LocalCluster
+    from repro.serve import serve_in_thread
+    from repro.serve.protocol import parse_solve_spec
+
+    config = CLUSTER_CONFIGS[preset]
+    shards = config["shards"]
+    keys = config["keys"]
+    mix = _cluster_request_mix(keys, config["warm_requests"])
+    seed_mix = sorted(set(mix))
+    chaos_mix = _cluster_request_mix(keys, config["chaos_requests"])
+
+    # Phase 1: single-process reference under the identical harness.
+    solve_cache.clear()
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-bench-") as store_dir:
+        with serve_in_thread(store_dir=store_dir) as srv:
+            _cluster_drive(srv.port, seed_mix, 1)
+            started = time.perf_counter()
+            _, ref_responses, ref_failures = _cluster_drive(
+                srv.port, mix, config["concurrency"]
+            )
+            single_warm_s = time.perf_counter() - started
+    single_warm_rps = len(mix) / single_warm_s
+
+    # Phases 2 + 3: the cluster.
+    solve_cache.clear()
+    with LocalCluster(shards=shards) as cluster:
+        _cluster_drive(cluster.port, seed_mix, 1)
+        cluster.router.reset_shard_latency()
+        started = time.perf_counter()
+        latencies, cl_responses, cl_failures = _cluster_drive(
+            cluster.port, mix, config["concurrency"]
+        )
+        warm_s = time.perf_counter() - started
+        per_shard = cluster.router.shard_latency_summary()
+
+        warm_identical = not ref_failures and not cl_failures and all(
+            cl_responses.get(key) == ref_responses.get(key) for key in ref_responses
+        )
+
+        # Chaos: kill the owner of the hottest key mid-load.
+        hot_digest = parse_solve_spec(
+            {"benchmark": "log", "n_max": 4}
+        ).canonical_digest()
+        victim = cluster.supervisor.preference(hot_digest)[0]
+        killer = threading.Timer(
+            0.05, cluster.supervisor.kill, args=(victim, signal_mod.SIGKILL)
+        )
+        killer.start()
+        _, _, chaos_failures = _cluster_drive(
+            cluster.port, chaos_mix, config["concurrency"], retries=10
+        )
+        killer.join()
+        respawned = cluster.supervisor.wait_all_alive(timeout_s=30.0)
+        _, post_responses, post_failures = _cluster_drive(cluster.port, seed_mix, 1)
+        post_identical = not post_failures and all(
+            post_responses.get(key) == ref_responses.get(key)
+            for key in ref_responses
+        )
+
+    warm_rps = len(mix) / warm_s
+    return [
+        {
+            "workload": f"mixed_{preset}_{shards}shards",
+            "shards": shards,
+            "requests": len(mix),
+            "distinct_keys": len(seed_mix),
+            "concurrency": config["concurrency"],
+            "warm_rps": warm_rps,
+            "single_warm_rps": single_warm_rps,
+            "speedup_vs_single_warm": warm_rps / single_warm_rps,
+            "p50_ms": _percentile_ms(latencies, 0.50),
+            "p99_ms": _percentile_ms(latencies, 0.99),
+            "per_shard_p99_ms": {
+                str(shard): stats["p99_ms"] for shard, stats in per_shard.items()
+            },
+            "max_shard_p99_ms": max(
+                (stats["p99_ms"] for stats in per_shard.values()), default=0.0
+            ),
+            "responses_identical": warm_identical,
+            "chaos": {
+                "requests": len(chaos_mix),
+                "killed_shard": victim,
+                "failed": len(chaos_failures),
+                "failures": chaos_failures[:5],
+                "respawned": respawned,
+                "post_recovery_identical": post_identical,
+            },
+        }
+    ]
+
+
 def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     """Execute every bench in ``preset`` and return the JSON document."""
     workloads = PRESETS[preset]
@@ -721,6 +956,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         "serve": [],
         "dag": [],
         "zipf": [],
+        "cluster": [],
     }
     for name, factory, shape in workloads:
         pattern = factory()
@@ -738,6 +974,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
     doc["serve"].extend(_bench_serve(preset))
     doc["dag"].extend(_bench_dag(preset, repeat))
     doc["zipf"].extend(_bench_zipf(preset))
+    doc["cluster"].extend(_bench_cluster(preset))
     return doc
 
 
@@ -822,6 +1059,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"p50 {row['p50_ms']:.2f}ms, p99 {row['p99_ms']:.2f}ms, "
             f"identical={row['responses_identical']}{extra}"
         )
+    for row in doc["cluster"]:
+        chaos = row["chaos"]
+        print(
+            f"cluster {row['workload']}: {row['requests']} reqs x"
+            f"{row['concurrency']} clients, warm {row['warm_rps']:.0f} rps "
+            f"(single {row['single_warm_rps']:.0f} rps, "
+            f"{row['speedup_vs_single_warm']:.2f}x), "
+            f"p99 {row['p99_ms']:.2f}ms, max shard p99 "
+            f"{row['max_shard_p99_ms']:.2f}ms, "
+            f"identical={row['responses_identical']}; chaos: "
+            f"killed shard {chaos['killed_shard']}, "
+            f"failed {chaos['failed']}/{chaos['requests']}, "
+            f"respawned={chaos['respawned']}, "
+            f"post identical={chaos['post_recovery_identical']}"
+        )
     print(f"written: {args.output}")
 
     ok = (
@@ -831,6 +1083,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         and all(r["reports_identical"] for r in doc["baseline_sim"])
         and all(r["rows_identical"] for r in doc["dag"])
         and all(r["responses_identical"] for r in doc["zipf"])
+        and all(
+            r["responses_identical"]
+            and r["chaos"]["failed"] == 0
+            and r["chaos"]["respawned"]
+            and r["chaos"]["post_recovery_identical"]
+            for r in doc["cluster"]
+        )
     )
     return 0 if ok else 1
 

@@ -74,6 +74,12 @@ CHECKS: List[Dict[str, Any]] = [
     {"section": "zipf", "metric": "p50_ms", "kind": "time", "floor": 25.0},
     {"section": "zipf", "metric": "p99_ms", "kind": "time", "floor": 50.0},
     {"section": "zipf", "metric": "cold_solves", "kind": "time", "floor": 0.0},
+    # Cluster rows: warm throughput through the digest-routing front must
+    # not collapse, and no single shard may become a latency hot spot.
+    # Floors are generous — multi-process timings on shared CI runners are
+    # the noisiest numbers in the suite.
+    {"section": "cluster", "metric": "warm_rps", "kind": "throughput", "floor": 20.0},
+    {"section": "cluster", "metric": "max_shard_p99_ms", "kind": "time", "floor": 50.0},
 ]
 
 

@@ -1,0 +1,59 @@
+"""repro.cluster — sharded multi-worker serving over a store cluster.
+
+The paper's core idea is a mapping function that routes each array element
+to the one memory bank that can answer it conflict-free.  This package
+applies the same idea one level up: the *solve-key space* (canonical
+digests, :meth:`repro.serve.protocol.SolveSpec.canonical_digest`) is
+consistent-hashed across N :class:`~repro.serve.server.PartitionServer`
+worker processes so the service itself becomes a banked memory —
+
+* :class:`~repro.cluster.ring.HashRing` — the bank-mapping function:
+  deterministic digest → shard placement with minimal movement when a
+  shard dies (keys re-route to ring successors, everything else stays).
+* :class:`~repro.cluster.supervisor.ClusterSupervisor` — spawns one
+  worker process per shard (each with its own port and
+  :class:`~repro.serve.store.SolutionStore` directory), respawns the dead,
+  and backfills a respawned shard's store from its peers.
+* :class:`~repro.cluster.router.ClusterRouter` — the front-end process
+  owning the public socket; routes ``/solve``/``/simulate`` bodies by
+  canonical digest over the ring, fails over to ring successors when a
+  shard is down, and aggregates every worker's metrics registry into one
+  ``/metrics`` + ``/debug/cluster`` view.
+* :class:`~repro.cluster.peers.PeerFetcher` /
+  :class:`~repro.cluster.peers.PeerReplicator` — the tiered store's
+  third tier: a worker that misses memory and local disk asks the ring's
+  other replica holders over HTTP (``GET /peer/solution/<digest>``)
+  before solving, and replicates fresh artifacts to its successor so any
+  worker answers any warm key.
+
+Artifacts are content-addressed and serialized canonically
+(``json.dumps(..., indent=2, sort_keys=True)``), so a peer-fetched,
+replicated, or backfilled artifact is byte-identical to the one the
+owning shard wrote — the cluster-wide invariant the tests and the
+``cluster[]`` bench section assert.
+
+:class:`~repro.cluster.router.LocalCluster` embeds the whole thing
+(supervisor + router thread) in a synchronous program, mirroring
+:func:`repro.serve.server.serve_in_thread`; ``repro-cluster`` (and
+``repro-serve --shards N``) runs it from the command line.  Architecture,
+failure model, and the ops runbook live in ``docs/CLUSTER.md``.
+"""
+
+from .mapfile import ClusterMap, read_cluster_map, write_cluster_map
+from .peers import PeerFetcher, PeerReplicator
+from .ring import HashRing
+from .router import ClusterRouter, LocalCluster, cluster_in_thread
+from .supervisor import ClusterSupervisor
+
+__all__ = [
+    "ClusterMap",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "HashRing",
+    "LocalCluster",
+    "PeerFetcher",
+    "PeerReplicator",
+    "cluster_in_thread",
+    "read_cluster_map",
+    "write_cluster_map",
+]

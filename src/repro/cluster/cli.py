@@ -1,0 +1,183 @@
+"""``repro-cluster`` — run a sharded partitioning cluster.
+
+Examples::
+
+    repro-cluster --shards 4 --store-root /var/lib/repro-cluster
+    repro-cluster --shards 4 --port 0 --port-file port.txt &
+    curl -s -X POST localhost:8642/solve -d '{"benchmark": "log", "n_max": 10}'
+
+One front process (this one) owns the public socket and routes by
+canonical digest; ``--shards N`` worker processes each serve their own
+store shard under ``<store-root>/shard-<i>/`` on ephemeral local ports.
+``--port-file`` writes the *front's* bound port.  SIGINT/SIGTERM stop the
+front, then SIGTERM the workers; worker stores are durable, so the fleet
+restarts warm.  ``repro-serve --shards N`` is an alias for this command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .router import ClusterRouter
+from .supervisor import ClusterSupervisor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description=(
+            "Serve memory-partitioning solves from a sharded multi-worker "
+            "cluster: a digest-routing front over N store-shard workers "
+            "with tiered peer lookup and automatic respawn."
+        ),
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, metavar="N", help="worker process count"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="front TCP port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        default=None,
+        help="write the front's bound port number to PATH after startup",
+    )
+    parser.add_argument(
+        "--store-root",
+        metavar="DIR",
+        default=None,
+        help=(
+            "root directory for per-shard stores and the cluster map "
+            "(omit for a temporary directory removed on exit)"
+        ),
+    )
+    parser.add_argument(
+        "--store-max",
+        type=int,
+        default=4096,
+        help="per-shard store capacity in artifacts",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="solve-tier worker processes per shard (<=1: solve in-process)",
+    )
+    parser.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        help="max distinct solves per micro-batch, per shard",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="per-shard backpressure bound on queued+in-flight solves",
+    )
+    parser.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="Retry-After hint on 429/503 responses",
+    )
+    parser.add_argument(
+        "--prefetch",
+        action="store_true",
+        help="enable predictive store warming on every shard",
+    )
+    parser.add_argument(
+        "--prefetch-cap",
+        type=int,
+        default=64,
+        metavar="N",
+        help="per-shard bound on queued prefetch solves",
+    )
+    parser.add_argument(
+        "--no-respawn",
+        action="store_true",
+        help="do not respawn dead workers (chaos/debugging aid)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="enable worker /debug/* endpoints (the front's /debug/cluster "
+        "is always on)",
+    )
+    return parser
+
+
+async def _run(args: argparse.Namespace, store_root: str) -> int:
+    supervisor = ClusterSupervisor(
+        shards=args.shards,
+        store_root=store_root,
+        host=args.host,
+        store_max_entries=args.store_max,
+        jobs=args.jobs,
+        batch_max=args.batch_max,
+        max_pending=args.max_pending,
+        retry_after_s=args.retry_after,
+        prefetch=args.prefetch,
+        prefetch_cap=args.prefetch_cap,
+        worker_debug=args.debug,
+        respawn=not args.no_respawn,
+    )
+    router = ClusterRouter(
+        supervisor, host=args.host, port=args.port, retry_after_s=args.retry_after
+    )
+    loop = asyncio.get_running_loop()
+    try:
+        await loop.run_in_executor(None, supervisor.start)
+        await router.start()
+        if args.port_file:
+            Path(args.port_file).write_text(f"{router.port}\n")
+        print(
+            f"repro-cluster front on {router.host}:{router.port} "
+            f"({args.shards} shards, store root: {store_root})",
+            flush=True,
+        )
+
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                signal.signal(sig, lambda *_: stop.set())
+
+        serve_task = loop.create_task(router.serve_forever())
+        await stop.wait()
+        print("repro-cluster: shutting down", flush=True)
+        serve_task.cancel()
+        try:
+            await serve_task
+        except asyncio.CancelledError:
+            pass
+    finally:
+        await router.stop()
+        await loop.run_in_executor(None, supervisor.stop)
+    return 0
+
+
+def main_cluster(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-cluster`` console script."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.store_root is None:
+            with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+                return asyncio.run(_run(args, tmp))
+        return asyncio.run(_run(args, args.store_root))
+    except KeyboardInterrupt:  # pragma: no cover - double ^C during shutdown
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_cluster())

@@ -1,0 +1,101 @@
+"""The cluster map file: which shard listens where.
+
+One small JSON document, written atomically by the supervisor and read by
+every worker and the router::
+
+    {"format": "repro/cluster-map", "version": 1,
+     "shards": {"0": {"host": "127.0.0.1", "port": 40001}, ...}}
+
+Workers are spawned on ephemeral ports, so the map is only complete once
+every port file has landed; the supervisor rewrites it after each spawn
+and respawn.  :class:`ClusterMap` is an mtime-cached reader — callers can
+consult it on every request without re-parsing an unchanged file, and a
+respawn (new port) propagates to peers on their next lookup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+MAP_FORMAT = "repro/cluster-map"
+MAP_VERSION = 1
+
+#: shard id -> (host, port)
+ShardAddrs = Dict[int, Tuple[str, int]]
+
+
+def write_cluster_map(path: Union[str, Path], shards: ShardAddrs) -> None:
+    """Atomically (re)write the map so readers never see a torn file."""
+    path = Path(path)
+    document = {
+        "format": MAP_FORMAT,
+        "version": MAP_VERSION,
+        "shards": {
+            str(shard): {"host": host, "port": int(port)}
+            for shard, (host, port) in sorted(shards.items())
+        },
+    }
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:  # pragma: no cover - clean up the temp file
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def read_cluster_map(path: Union[str, Path]) -> ShardAddrs:
+    """Parse the map; missing or malformed files read as an empty cluster.
+
+    Tolerance is deliberate: workers start *before* the supervisor knows
+    every port, so an absent map simply means "no peers yet".
+    """
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(document, dict) or document.get("format") != MAP_FORMAT:
+        return {}
+    shards: ShardAddrs = {}
+    for key, value in (document.get("shards") or {}).items():
+        try:
+            shards[int(key)] = (str(value["host"]), int(value["port"]))
+        except (TypeError, KeyError, ValueError):
+            continue
+    return shards
+
+
+class ClusterMap:
+    """An mtime-cached view of the map file, safe to poll per request."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._mtime: float = -1.0
+        self._shards: ShardAddrs = {}
+
+    def shards(self) -> ShardAddrs:
+        """The current shard table (a copy; callers may mutate freely)."""
+        try:
+            mtime = self.path.stat().st_mtime
+        except OSError:
+            mtime = -1.0
+        with self._lock:
+            if mtime != self._mtime:
+                self._shards = read_cluster_map(self.path) if mtime >= 0 else {}
+                self._mtime = mtime
+            return dict(self._shards)
+
+    def addr(self, shard: int) -> Tuple[str, int]:
+        """Address of one shard; raises ``KeyError`` when unknown."""
+        return self.shards()[shard]

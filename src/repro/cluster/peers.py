@@ -1,0 +1,312 @@
+"""The tiered store's cluster tier: peer fetch and re-replication.
+
+A worker that misses its in-memory cache *and* its local store shard does
+not immediately solve — in a cluster the key may be warm on a sibling
+shard (it owns the digest's ring arc, or it solved the key while this
+shard was dead).  :class:`PeerFetcher` is the coalescer's ``peer_fetch``
+hook: it walks the ring's preference order for the digest, asks each live
+peer ``GET /peer/solution/<digest>``, writes the first hit into the local
+store **byte-identically** (both ends serialize artifacts canonically, so
+replication-on-read is idempotent re-replication), and returns the
+decoded solution.  Misses everywhere fall through to a normal solve.
+
+:class:`PeerReplicator` is the write-side mirror — the coalescer's
+``on_stored`` hook.  Every fresh solve is queued (bounded, drop-oldest
+never blocks the solve path) and a daemon thread pushes the artifact to
+the next ``copies - 1`` shards in the digest's preference order via
+``PUT /peer/solution/<digest>``.  That is what makes the chaos story
+work: when a shard dies, its keys' replicas are exactly where the ring
+walk re-routes the requests.
+
+Both classes read peer addresses from the supervisor-maintained map file
+(:mod:`repro.cluster.mapfile`) on every operation (mtime-cached), so a
+respawned peer's new port propagates without restarts, and both count
+into the ``cluster.peer.*`` / ``cluster.replicate.*`` metric families.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+
+from ..core.partition import PartitionSolution
+from ..io import SerializationError, solution_from_dict
+from ..obs import state as obs_state
+from ..obs.metrics import registry as obs_registry
+from ..obs.tracecontext import trace
+from ..obs.tracer import span
+from ..serve.client import ServeClient, ServeError
+from ..serve.protocol import SolveSpec
+from ..serve.store import SolutionStore
+from .mapfile import ClusterMap
+from .ring import DEFAULT_REPLICAS, HashRing
+
+#: How many shards hold each artifact (the owner plus ``copies - 1``
+#: ring successors).  Two survives any single-shard death.
+DEFAULT_COPIES = 2
+
+#: Peer HTTP timeout — peers are local-network siblings; a slow peer is
+#: treated as down and the walk moves on (or the worker just solves).
+DEFAULT_PEER_TIMEOUT_S = 5.0
+
+
+class _PeerPool:
+    """One cached :class:`ServeClient` per peer address, thread-safe."""
+
+    def __init__(self, timeout_s: float) -> None:
+        self.timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._clients: Dict[Tuple[str, int], ServeClient] = {}
+
+    def client(self, host: str, port: int) -> ServeClient:
+        with self._lock:
+            client = self._clients.get((host, port))
+            if client is None:
+                client = ServeClient(host=host, port=port, timeout=self.timeout_s)
+                self._clients[(host, port)] = client
+            return client
+
+    def discard(self, host: str, port: int) -> None:
+        with self._lock:
+            client = self._clients.pop((host, port), None)
+        if client is not None:
+            client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for client in clients:
+            client.close()
+
+
+class _RingView:
+    """Shared map-file plumbing: a ring over whatever shards the map lists."""
+
+    def __init__(
+        self,
+        map_path: Union[str, "Any"],
+        shard_id: int,
+        ring_replicas: int = DEFAULT_REPLICAS,
+        timeout_s: float = DEFAULT_PEER_TIMEOUT_S,
+    ) -> None:
+        self.map = ClusterMap(map_path)
+        self.shard_id = int(shard_id)
+        self.ring_replicas = ring_replicas
+        self.pool = _PeerPool(timeout_s)
+        self._ring_key: Optional[Tuple[int, ...]] = None
+        self._ring: Optional[HashRing] = None
+        self._ring_lock = threading.Lock()
+
+    def ring_for(self, shard_ids: Tuple[int, ...]) -> Optional[HashRing]:
+        if not shard_ids:
+            return None
+        with self._ring_lock:
+            if self._ring_key != shard_ids:
+                self._ring = HashRing(shard_ids, replicas=self.ring_replicas)
+                self._ring_key = shard_ids
+            return self._ring
+
+    def peer_order(self, digest: str) -> List[Tuple[int, str, int]]:
+        """Ring-preferred ``(shard, host, port)`` peers, excluding self."""
+        shards = self.map.shards()
+        ring = self.ring_for(tuple(sorted(shards)))
+        if ring is None:
+            return []
+        return [
+            (shard, shards[shard][0], shards[shard][1])
+            for shard in ring.preference(digest)
+            if shard != self.shard_id and shard in shards
+        ]
+
+    def close(self) -> None:
+        self.pool.close()
+
+
+class PeerFetcher(_RingView):
+    """Read-through to sibling shards; the coalescer's ``peer_fetch`` hook."""
+
+    def __init__(
+        self,
+        map_path: Union[str, "Any"],
+        shard_id: int,
+        store: Optional[SolutionStore] = None,
+        ring_replicas: int = DEFAULT_REPLICAS,
+        timeout_s: float = DEFAULT_PEER_TIMEOUT_S,
+    ) -> None:
+        super().__init__(map_path, shard_id, ring_replicas, timeout_s)
+        self.store = store
+
+    def fetch_document(
+        self, digest: str, trace_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Ask ring-preferred peers for the artifact; first hit wins.
+
+        A dead or erroring peer is skipped (counted, connection dropped) —
+        exactly the behaviour the dead-shard window needs: the walk
+        reaches the replica holder and the request is served warm.
+        """
+        registry = obs_registry()
+        started = time.perf_counter()
+        try:
+            for shard, host, port in self.peer_order(digest):
+                client = self.pool.client(host, port)
+                try:
+                    document = client.peer_solution(digest, trace_id=trace_id)
+                except (ServeError, OSError) as exc:
+                    registry.counter("cluster.peer.errors").inc()
+                    registry.counter(f"cluster.peer.errors.shard{shard}").inc()
+                    if isinstance(exc, OSError):
+                        self.pool.discard(host, port)
+                    continue
+                if document is not None:
+                    registry.counter("cluster.peer.hits").inc()
+                    registry.counter(f"cluster.peer.hits.shard{shard}").inc()
+                    return document
+            registry.counter("cluster.peer.misses").inc()
+            return None
+        finally:
+            registry.log_histogram("cluster.peer.fetch_ms").observe(
+                (time.perf_counter() - started) * 1000.0
+            )
+
+    def __call__(
+        self, digest: str, spec: SolveSpec, trace_id: Optional[str] = None
+    ) -> Optional[PartitionSolution]:
+        """Fetch, persist locally (byte-identical), decode; None on miss."""
+        if obs_state.enabled() and trace_id is not None:
+            with trace(trace_id):
+                with span("cluster.peer.fetch", digest=digest[:12]) as record:
+                    solution = self._fetch_solution(digest, spec, trace_id)
+                    record.annotate(hit=solution is not None)
+                    return solution
+        return self._fetch_solution(digest, spec, trace_id)
+
+    def _fetch_solution(
+        self, digest: str, spec: SolveSpec, trace_id: Optional[str]
+    ) -> Optional[PartitionSolution]:
+        document = self.fetch_document(digest, trace_id)
+        if document is None:
+            return None
+        try:
+            if self.store is not None:
+                # put_document validates and re-serializes canonically, so
+                # the local artifact's bytes equal the peer's.
+                self.store.put_document(digest, document)
+            solution = solution_from_dict(document["solution"])
+        except (KeyError, ValueError, SerializationError):
+            obs_registry().counter("cluster.peer.invalid").inc()
+            return None
+        if spec.pattern != solution.pattern:
+            solution = dataclasses.replace(solution, pattern=spec.pattern)
+        return solution
+
+
+class PeerReplicator(_RingView):
+    """Write-side replication; the coalescer's ``on_stored`` hook."""
+
+    def __init__(
+        self,
+        map_path: Union[str, "Any"],
+        shard_id: int,
+        store: SolutionStore,
+        copies: int = DEFAULT_COPIES,
+        cap: int = 512,
+        ring_replicas: int = DEFAULT_REPLICAS,
+        timeout_s: float = DEFAULT_PEER_TIMEOUT_S,
+    ) -> None:
+        if copies < 1:
+            raise ValueError(f"copies must be >= 1, got {copies}")
+        if cap < 1:
+            raise ValueError(f"cap must be positive, got {cap}")
+        super().__init__(map_path, shard_id, ring_replicas, timeout_s)
+        self.store = store
+        self.copies = copies
+        self.cap = cap
+        self._queue: Deque[str] = deque()
+        self._queued: Dict[str, None] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._closed = False
+        self._busy = False
+        self._worker = threading.Thread(
+            target=self._run, name=f"repro-replicate-{self.shard_id}", daemon=True
+        )
+        self._worker.start()
+
+    def offer(self, digest: str, _spec: Optional[SolveSpec] = None) -> None:
+        """Queue a freshly stored digest for replication (never blocks)."""
+        registry = obs_registry()
+        with self._lock:
+            if self._closed or digest in self._queued:
+                return
+            if len(self._queue) >= self.cap:
+                registry.counter("cluster.replicate.dropped").inc()
+                return
+            self._queue.append(digest)
+            self._queued[digest] = None
+        registry.counter("cluster.replicate.enqueued").inc()
+        self._wake.set()
+
+    def _run(self) -> None:
+        while True:
+            self._wake.wait()
+            if self._closed:
+                return
+            with self._lock:
+                if not self._queue:
+                    self._wake.clear()
+                    continue
+                digest = self._queue.popleft()
+                self._queued.pop(digest, None)
+                self._busy = True
+            try:
+                self._replicate(digest)
+            finally:
+                with self._lock:
+                    self._busy = False
+
+    def _replicate(self, digest: str) -> None:
+        registry = obs_registry()
+        document = self.store.get_document(digest)
+        if document is None:  # evicted before the worker got to it
+            registry.counter("cluster.replicate.skipped").inc()
+            return
+        targets = self.peer_order(digest)[: max(0, self.copies - 1)]
+        if not targets:
+            registry.counter("cluster.replicate.skipped").inc()
+            return
+        for shard, host, port in targets:
+            client = self.pool.client(host, port)
+            try:
+                client.peer_put(digest, document)
+            except (ServeError, OSError) as exc:
+                registry.counter("cluster.replicate.errors").inc()
+                if isinstance(exc, OSError):
+                    self.pool.discard(host, port)
+                continue
+            registry.counter("cluster.replicate.sent").inc()
+            registry.counter(f"cluster.replicate.sent.shard{shard}").inc()
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Block until the queue empties (tests/benches); True on success."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._queue and not self._busy and not self._wake.is_set():
+                    return True
+            time.sleep(0.005)
+        with self._lock:
+            return not self._queue and not self._busy
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._queue.clear()
+            self._queued.clear()
+        self._wake.set()
+        self._worker.join(timeout=5.0)
+        self.pool.close()

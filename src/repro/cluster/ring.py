@@ -1,0 +1,109 @@
+"""Consistent hashing over the canonical-digest space.
+
+The single-process store already keys artifacts by
+:func:`repro.core.cache.stable_digest` — a 256-bit content address.  The
+ring places each shard at ``replicas`` pseudo-random points on the
+``[0, 2**64)`` circle (virtual nodes, derived from ``sha256`` of the
+shard id so placement is deterministic across processes) and maps a
+digest to the first shard point at or after the digest's own position.
+
+Why a ring and not ``int(digest, 16) % n``?  The modulo map reshuffles
+almost every key when ``n`` changes; the ring moves only the keys whose
+arc belonged to the dead shard — exactly the paper's "minimal storage
+overhead" criterion applied to shard placement.  :meth:`HashRing.preference`
+returns the full ordered walk (owner first, then successors), which is
+simultaneously the failover order for the router and the replica
+placement order for :class:`~repro.cluster.peers.PeerReplicator`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Collection, Iterable, List, Optional, Tuple
+
+#: Virtual nodes per shard; 64 keeps the max/mean arc ratio comfortably
+#: under 1.5 for small clusters while the ring stays a few-KB structure.
+DEFAULT_REPLICAS = 64
+
+_SPACE_BITS = 64
+_SPACE_MASK = (1 << _SPACE_BITS) - 1
+
+
+def _point(label: str) -> int:
+    """A deterministic position on the circle for a virtual-node label."""
+    raw = hashlib.sha256(label.encode("ascii")).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+def digest_position(digest: str) -> int:
+    """Where a canonical digest sits on the circle.
+
+    The digest is already a uniform hash, so its leading 64 bits *are*
+    the position; anything that is not a hex digest (defensive — the
+    router sees arbitrary bodies) is re-hashed instead of rejected.
+    """
+    try:
+        return int(digest[:16], 16) & _SPACE_MASK
+    except (ValueError, TypeError):
+        return _point(f"key:{digest!r}")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over integer shard ids."""
+
+    def __init__(
+        self, shard_ids: Iterable[int], replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be positive, got {replicas}")
+        self.shard_ids: Tuple[int, ...] = tuple(sorted(set(int(s) for s in shard_ids)))
+        if not self.shard_ids:
+            raise ValueError("a ring needs at least one shard")
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in self.shard_ids:
+            for vnode in range(replicas):
+                points.append((_point(f"shard:{shard}:vnode:{vnode}"), shard))
+        # Ties (astronomically unlikely) break toward the lower shard id so
+        # every process computes the identical ring.
+        points.sort()
+        self._positions = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def __len__(self) -> int:
+        return len(self.shard_ids)
+
+    def owner(self, digest: str) -> int:
+        """The shard that owns ``digest`` with every shard alive."""
+        return self._owners[self._start(digest)]
+
+    def preference(
+        self, digest: str, alive: Optional[Collection[int]] = None
+    ) -> List[int]:
+        """Distinct shards in ring order from ``digest``'s position.
+
+        The first entry is the owner, the rest are its successors — the
+        order in which the router fails over and the replicator places
+        copies.  ``alive`` filters the walk without changing its order,
+        so a dead owner's keys land on the exact shard that holds their
+        replica.
+        """
+        allowed = None if alive is None else {int(s) for s in alive}
+        order: List[int] = []
+        seen = set()
+        start = self._start(digest)
+        for i in range(len(self._owners)):
+            shard = self._owners[(start + i) % len(self._owners)]
+            if shard in seen:
+                continue
+            seen.add(shard)
+            if allowed is None or shard in allowed:
+                order.append(shard)
+            if len(seen) == len(self.shard_ids):
+                break
+        return order
+
+    def _start(self, digest: str) -> int:
+        index = bisect.bisect_left(self._positions, digest_position(digest))
+        return index % len(self._positions)

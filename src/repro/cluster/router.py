@@ -1,0 +1,558 @@
+"""The cluster front: one public socket, N shards behind it.
+
+:class:`ClusterRouter` is the process clients talk to.  It owns the
+listening socket, and for every ``/solve``/``/simulate`` request it:
+
+1. extracts the body's **canonical digest** (the same symmetry-quotient
+   identity the workers coalesce and store by — computed once per unique
+   body thanks to a small LRU over raw body bytes, since warm traffic
+   repeats bodies verbatim);
+2. walks the ring's **preference order** restricted to live shards
+   (:meth:`ClusterSupervisor.preference`) — the owner first, then its
+   successors;
+3. **proxies** the request over a pooled keep-alive connection, stamping
+   the ``X-Repro-Trace`` header so worker and peer spans join the front's
+   trace, and relays the worker's response bytes verbatim (the front
+   never re-serializes, so routing cannot perturb response bytes);
+4. on a **connection failure** — the dead-shard window — retries the next
+   shard in preference order (solves are idempotent and content-
+   addressed, so cross-shard retry is always safe).  Only when every live
+   candidate fails does the client see ``503 no_live_shard`` with a
+   ``Retry-After`` hint.
+
+Bodies without a solve identity (``/table1``, malformed JSON that a
+worker must answer ``400`` for) round-robin instead of hashing.
+
+The front also aggregates: ``GET /metrics`` pulls every live worker's
+registry dump (``GET /peer/registry``), merges them — per-shard copies
+under ``worker.<shard>.*``, cluster totals unprefixed — into a *fresh*
+registry together with the front's own, and renders one Prometheus
+document.  ``GET /debug/cluster`` reports topology, per-worker health,
+per-shard store occupancy and latency summaries.
+
+:class:`LocalCluster` packages supervisor + router behind one object for
+synchronous embedding (tests, the ``cluster[]`` bench), mirroring
+:func:`repro.serve.server.serve_in_thread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..obs import state as obs_state
+from ..obs.export import to_prometheus_text
+from ..obs.metrics import LogHistogram, MetricsRegistry, registry as obs_registry
+from ..obs.tracecontext import new_trace_id
+from ..serve.protocol import (
+    ERROR_NO_LIVE_SHARD,
+    TRACE_HEADER,
+    error_payload,
+    parse_simulate_spec,
+    parse_solve_spec,
+)
+from ..serve.server import read_http_request, write_http_response
+from .supervisor import ClusterSupervisor
+
+#: Distinct request bodies whose digest we remember (raw bytes -> digest).
+DIGEST_CACHE_SIZE = 4096
+
+#: Connect timeout when opening a proxy connection to a worker.
+CONNECT_TIMEOUT_S = 5.0
+
+#: Paths routed by canonical digest; everything else round-robins.
+_HASHED_PATHS = {"/solve", "/simulate"}
+
+#: Idle proxy connections kept per (shard, port).
+_POOL_PER_SHARD = 32
+
+
+class ClusterRouter:
+    """Digest-routing HTTP front over a :class:`ClusterSupervisor`."""
+
+    def __init__(
+        self,
+        supervisor: ClusterSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port  # rebound after start()
+        self.retry_after_s = retry_after_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._digest_cache: "OrderedDict[bytes, Optional[str]]" = OrderedDict()
+        self._pools: Dict[Tuple[int, int], List[Tuple[Any, Any]]] = {}
+        self._started_at = 0.0
+        self._requests = 0
+        # Per-shard request latency, owned by this router instance (reset
+        # per cluster run — what the bench reads); every observation is
+        # mirrored into the global registry's cluster.shard<i>.request_ms
+        # for /metrics continuity.
+        self._shard_latency: Dict[int, LogHistogram] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections park their handler task in
+        # read_http_request; cancel them so loop shutdown is silent.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        for pool in self._pools.values():
+            for _reader, writer in pool:
+                writer.close()
+        self._pools.clear()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                request = await read_http_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                status, payload, extra, content_type = await self._route(
+                    method, target, headers, body
+                )
+                write_http_response(
+                    writer,
+                    status,
+                    payload,
+                    extra,
+                    keep_alive,
+                    content_type=content_type,
+                    counter_prefix="cluster",
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionResetError,
+        ):
+            pass
+        except asyncio.CancelledError:  # router stop() during keep-alive idle
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - peer reset / stop() mid-close
+                pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, Union[Dict[str, Any], str, bytes], Dict[str, str], Optional[str]]:
+        self._requests += 1
+        registry = obs_registry()
+        registry.counter("cluster.requests").inc()
+        started = time.monotonic()
+        path = target.split("?", 1)[0]
+        try:
+            if (method, path) == ("GET", "/healthz"):
+                return 200, await self._front_healthz(), {}, None
+            if (method, path) == ("GET", "/metrics"):
+                return 200, await self._aggregate_metrics(), {}, None
+            if (method, path) == ("GET", "/debug/cluster"):
+                return 200, await self._debug_cluster(), {}, None
+            return await self._forward(method, path, headers, body)
+        except Exception as exc:  # noqa: BLE001 - the front must not die
+            registry.counter("cluster.errors.internal").inc()
+            return (
+                500,
+                error_payload("internal", f"{type(exc).__name__}: {exc}"),
+                {},
+                None,
+            )
+        finally:
+            registry.log_histogram("cluster.request.latency_ms").observe(
+                (time.monotonic() - started) * 1000.0
+            )
+
+    def _shard_key(self, path: str, body: bytes) -> Optional[str]:
+        """The canonical digest of a request body, LRU-cached by bytes.
+
+        ``None`` means "no solve identity" (non-hashed path, or a body the
+        workers will reject as 400) — the caller round-robins those.
+        """
+        if path not in _HASHED_PATHS:
+            return None
+        cached = self._digest_cache.get(body)
+        if cached is not None or body in self._digest_cache:
+            self._digest_cache.move_to_end(body)
+            return cached
+        digest: Optional[str]
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            if path == "/simulate":
+                digest = parse_simulate_spec(doc).solve.canonical_digest()
+            else:
+                digest = parse_solve_spec(doc).canonical_digest()
+        except Exception:  # noqa: BLE001 - workers answer 400 authoritatively
+            digest = None
+        self._digest_cache[body] = digest
+        while len(self._digest_cache) > DIGEST_CACHE_SIZE:
+            self._digest_cache.popitem(last=False)
+        return digest
+
+    async def _forward(
+        self, method: str, path: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str], Optional[str]]:
+        registry = obs_registry()
+        digest = self._shard_key(path, body)
+        order = self.supervisor.preference(digest)
+        trace_id = headers.get(TRACE_HEADER.lower()) or (
+            new_trace_id() if obs_state.enabled() else None
+        )
+        for attempt, shard in enumerate(order):
+            started = time.perf_counter()
+            try:
+                status, resp_body, content_type = await self._proxy(
+                    shard, method, path, body, trace_id
+                )
+            except (OSError, asyncio.IncompleteReadError, EOFError, KeyError):
+                # The dead-shard window: this worker is gone, mid-respawn,
+                # or its port is not bound yet (KeyError from addr()).
+                # Solves are idempotent and content-addressed, so the next
+                # shard in ring preference answers instead.
+                registry.counter("cluster.route.failover").inc()
+                registry.counter(f"cluster.route.failover.shard{shard}").inc()
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            hist = self._shard_latency.get(shard)
+            if hist is None:
+                hist = self._shard_latency[shard] = LogHistogram()
+            hist.observe(elapsed_ms)
+            registry.log_histogram(f"cluster.shard{shard}.request_ms").observe(
+                elapsed_ms
+            )
+            registry.counter(f"cluster.routed.shard{shard}").inc()
+            if attempt > 0:
+                registry.counter("cluster.route.rerouted").inc()
+            extra = {TRACE_HEADER: trace_id} if trace_id else {}
+            return status, resp_body, extra, content_type
+        registry.counter("cluster.route.exhausted").inc()
+        return (
+            503,
+            error_payload(
+                ERROR_NO_LIVE_SHARD,
+                "no live shard could serve the request",
+                retry_after_s=self.retry_after_s,
+            ),
+            {"Retry-After": f"{max(1, round(self.retry_after_s))}"},
+            None,
+        )
+
+    # -- proxying ----------------------------------------------------------
+
+    def _pool_get(self, shard: int, port: int) -> Optional[Tuple[Any, Any]]:
+        # Pools keyed by (shard, current port): a respawned worker gets a
+        # fresh key, and connections to its dead predecessor are dropped.
+        for key in [k for k in self._pools if k[0] == shard and k[1] != port]:
+            for _reader, writer in self._pools.pop(key):
+                writer.close()
+        pool = self._pools.get((shard, port))
+        if pool:
+            return pool.pop()
+        return None
+
+    def _pool_put(self, shard: int, port: int, conn: Tuple[Any, Any]) -> None:
+        pool = self._pools.setdefault((shard, port), [])
+        if len(pool) < _POOL_PER_SHARD:
+            pool.append(conn)
+        else:
+            conn[1].close()
+
+    async def _proxy(
+        self,
+        shard: int,
+        method: str,
+        path: str,
+        body: bytes,
+        trace_id: Optional[str],
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[int, bytes, str]:
+        """One proxied request to one worker; raises OSError family on death."""
+        host, port = self.supervisor.addr(shard)
+        for fresh in (False, True):
+            conn = None if fresh else self._pool_get(shard, port)
+            pooled = conn is not None
+            if conn is None:
+                conn = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=CONNECT_TIMEOUT_S
+                )
+            reader, writer = conn
+            try:
+                head = [
+                    f"{method} {path} HTTP/1.1",
+                    f"Host: {host}:{port}",
+                    f"Content-Length: {len(body)}",
+                    "Content-Type: application/json",
+                    "Connection: keep-alive",
+                ]
+                if trace_id:
+                    head.append(f"{TRACE_HEADER}: {trace_id}")
+                writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+                await writer.drain()
+                result = await asyncio.wait_for(
+                    self._read_response(reader), timeout=timeout_s
+                )
+            except (OSError, asyncio.IncompleteReadError, EOFError, asyncio.TimeoutError):
+                writer.close()
+                if pooled and not fresh:
+                    continue  # stale keep-alive; retry once on a fresh socket
+                raise
+            status, resp_body, content_type, resp_keep_alive = result
+            if resp_keep_alive:
+                self._pool_put(shard, port, conn)
+            else:
+                writer.close()
+            return status, resp_body, content_type
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, bytes, str, bool]:
+        line = await reader.readline()
+        if not line:
+            raise asyncio.IncompleteReadError(line, None)
+        parts = line.decode("ascii", "replace").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise asyncio.IncompleteReadError(line, None)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = raw.decode("latin-1").partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "keep-alive") != "close"
+        return status, body, headers.get("content-type", "application/json"), keep_alive
+
+    # -- aggregation and introspection -------------------------------------
+
+    async def _worker_json(
+        self, shard: int, path: str, timeout_s: float = 15.0
+    ) -> Optional[Dict[str, Any]]:
+        """GET a JSON document from one worker; None when unreachable."""
+        try:
+            status, body, _ = await self._proxy(
+                shard, "GET", path, b"", None, timeout_s=timeout_s
+            )
+            if status != 200:
+                return None
+            return json.loads(body.decode("utf-8"))
+        except (OSError, asyncio.IncompleteReadError, EOFError, ValueError,
+                asyncio.TimeoutError, KeyError):
+            return None
+
+    async def _aggregate_metrics(self) -> str:
+        """One Prometheus document for the whole cluster.
+
+        Worker dumps merge into a *fresh* registry — never the process
+        global one, which would double-count on every poll — and the
+        front's own registry (cluster.* counters, routing histograms)
+        merges in last, unprefixed.
+        """
+        aggregate = MetricsRegistry()
+        for shard in self.supervisor.alive_shards():
+            dump = await self._worker_json(shard, "/peer/registry")
+            if dump is not None:
+                try:
+                    aggregate.merge(dump)
+                except (TypeError, ValueError, KeyError):
+                    obs_registry().counter("cluster.metrics.merge_errors").inc()
+        aggregate.merge(obs_registry().dump())
+        return to_prometheus_text(aggregate)
+
+    async def _front_healthz(self) -> Dict[str, Any]:
+        alive = self.supervisor.alive_shards()
+        return {
+            "status": "ok" if alive else "degraded",
+            "role": "cluster-front",
+            "uptime_s": time.monotonic() - self._started_at,
+            "requests": self._requests,
+            "shards": self.supervisor.shards,
+            "alive_shards": alive,
+        }
+
+    async def _debug_cluster(self) -> Dict[str, Any]:
+        """Topology + per-shard health/store stats + routing tallies."""
+        registry = obs_registry()
+        description = self.supervisor.describe()
+        for worker in description["workers"]:
+            shard = worker["shard"]
+            health = (
+                await self._worker_json(shard, "/healthz", timeout_s=5.0)
+                if worker["alive"]
+                else None
+            )
+            worker["store"] = (health or {}).get("store")
+            worker["pending"] = (health or {}).get("pending")
+            worker["routed"] = registry.counter(
+                f"cluster.routed.shard{shard}"
+            ).value
+            worker["latency"] = self.shard_latency_summary().get(shard)
+        snapshot = registry.snapshot()
+        description["front"] = {
+            "host": self.host,
+            "port": self.port,
+            "requests": self._requests,
+            "counters": {
+                name: value
+                for name, value in snapshot["counters"].items()
+                if name.startswith("cluster.")
+            },
+        }
+        return description
+
+    def reset_shard_latency(self) -> None:
+        """Forget per-shard latency history (benches reset between phases)."""
+        self._shard_latency.clear()
+
+    def shard_latency_summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-shard routed-request latency for this router's lifetime."""
+        return {
+            shard: {
+                "count": hist.count,
+                "p50_ms": hist.percentile(50),
+                "p99_ms": hist.percentile(99),
+                "max_ms": hist.max if hist.count else 0.0,
+            }
+            for shard, hist in sorted(self._shard_latency.items())
+        }
+
+
+class LocalCluster:
+    """Supervisor + router, embedded in a synchronous program.
+
+    Construction spawns the worker fleet, waits until every shard serves,
+    and binds the front socket on a daemon thread — mirroring
+    :class:`repro.serve.server.ThreadedServer` one level up.  ``stop()``
+    (or the context manager) tears the whole thing down.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        store_root: Union[str, Any, None] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **supervisor_kwargs: Any,
+    ) -> None:
+        self._tmpdir = None
+        if store_root is None:
+            import tempfile
+
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            store_root = self._tmpdir.name
+        self.supervisor = ClusterSupervisor(
+            shards=shards, store_root=store_root, host=host, **supervisor_kwargs
+        )
+        self.router = ClusterRouter(self.supervisor, host=host, port=port)
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+        try:
+            self.supervisor.start()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-cluster-front", daemon=True
+            )
+            self._thread.start()
+            self._started.wait(timeout=30.0)
+            if self._startup_error is not None:
+                raise self._startup_error
+            if not self._started.is_set():  # pragma: no cover - defensive
+                raise RuntimeError("cluster front failed to start within 30s")
+        except BaseException:
+            self.stop()
+            raise
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.router.start())
+        except BaseException as exc:  # pragma: no cover - bind failures
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.router.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        """Stop the front, then the worker fleet."""
+        if self._thread is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        self.supervisor.stop()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+
+def cluster_in_thread(**kwargs: Any) -> LocalCluster:
+    """Start a full local cluster; returns once the front port is bound."""
+    return LocalCluster(**kwargs)

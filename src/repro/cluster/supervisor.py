@@ -1,0 +1,434 @@
+"""Worker lifecycle: spawn, watch, respawn, backfill.
+
+The supervisor owns N worker processes — each a stock ``repro-serve``
+(:mod:`repro.serve.cli`) started with ``--shard-id``/``--cluster-map`` so
+its peer API and replication tiers come up — plus the cluster map file
+that tells everyone where everyone listens.  Workers bind ephemeral ports
+and report them through port files; the supervisor collects them and
+rewrites the map atomically, so peers and the router always converge on
+the current topology.
+
+Failure model (the part the chaos bench exercises):
+
+1. a worker dies (crash, OOM, SIGKILL) — the monitor thread notices
+   within one poll interval and, with ``respawn=True``, relaunches it on
+   a fresh port against the *same store shard directory* (artifacts are
+   durable; the respawned worker reopens them);
+2. during the dead window the router's aliveness view excludes the shard,
+   so its keys re-route to ring successors — which hold the replicas the
+   dead shard's :class:`~repro.cluster.peers.PeerReplicator` pushed, or
+   fetch/solve on demand;
+3. once the respawned worker is serving, :meth:`ClusterSupervisor.backfill`
+   copies over every artifact the ring says the shard should own but its
+   store lacks (keys solved elsewhere during the window).  Backfill is
+   idempotent: artifacts are content-addressed and canonically
+   serialized, so re-running it rewrites identical bytes and changes
+   nothing.
+
+Everything is observable: ``cluster.worker.*`` counters (spawns, deaths,
+respawns), ``cluster.backfill.*`` (scanned/copied/errors), and
+:meth:`describe` feeds the router's ``/debug/cluster`` endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..obs.metrics import registry as obs_registry
+from ..serve.client import ServeClient, ServeError
+from .mapfile import write_cluster_map
+from .ring import DEFAULT_REPLICAS, HashRing
+
+#: How often the monitor thread polls worker liveness (seconds).
+MONITOR_POLL_S = 0.15
+
+#: How long one worker may take to write its port file.
+SPAWN_TIMEOUT_S = 60.0
+
+
+class _Worker:
+    """Book-keeping for one shard's process."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.proc: Optional[subprocess.Popen] = None
+        self.port: Optional[int] = None
+        self.restarts = 0
+        self.started_at = 0.0
+        self.last_exit: Optional[int] = None
+        self.death_handled = False
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+
+class ClusterSupervisor:
+    """Spawn and supervise one ``repro-serve`` worker per shard."""
+
+    def __init__(
+        self,
+        shards: int,
+        store_root: Union[str, Path],
+        host: str = "127.0.0.1",
+        store_max_entries: int = 4096,
+        jobs: int = 0,
+        batch_max: int = 32,
+        max_pending: int = 256,
+        retry_after_s: float = 1.0,
+        prefetch: bool = False,
+        prefetch_cap: int = 64,
+        worker_debug: bool = True,
+        respawn: bool = True,
+        auto_backfill: bool = True,
+        ring_replicas: int = DEFAULT_REPLICAS,
+        spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = shards
+        self.host = host
+        self.store_root = Path(store_root)
+        self.store_root.mkdir(parents=True, exist_ok=True)
+        self.map_path = self.store_root / "cluster-map.json"
+        self.ring = HashRing(range(shards), replicas=ring_replicas)
+        self.respawn = respawn
+        self.auto_backfill = auto_backfill
+        self.spawn_timeout_s = spawn_timeout_s
+        self._worker_args = dict(
+            store_max_entries=store_max_entries,
+            jobs=jobs,
+            batch_max=batch_max,
+            max_pending=max_pending,
+            retry_after_s=retry_after_s,
+            prefetch=prefetch,
+            prefetch_cap=prefetch_cap,
+            worker_debug=worker_debug,
+        )
+        self._workers: Dict[int, _Worker] = {
+            shard: _Worker(shard) for shard in range(shards)
+        }
+        self._lock = threading.RLock()
+        self._stopping = False
+        self._monitor_thread: Optional[threading.Thread] = None
+        self._rr = itertools.count()
+        self._started_at = 0.0
+
+    # -- topology queries (the router's view) ------------------------------
+
+    def shard_dir(self, shard: int) -> Path:
+        return self.store_root / f"shard-{shard}"
+
+    def addr(self, shard: int) -> Tuple[str, int]:
+        """Current (host, port) of a shard; raises ``KeyError`` if unknown."""
+        with self._lock:
+            worker = self._workers[shard]
+            if worker.port is None:
+                raise KeyError(f"shard {shard} has no bound port yet")
+            return self.host, worker.port
+
+    def alive_shards(self) -> List[int]:
+        with self._lock:
+            return [s for s, w in self._workers.items() if w.alive]
+
+    def preference(self, digest: Optional[str]) -> List[int]:
+        """Failover order for a request: live shards, owner first.
+
+        ``digest=None`` (a request whose body carries no solve identity —
+        ``/table1``, unparseable bodies the worker must answer 400 for)
+        round-robins across live shards instead.
+        """
+        alive = self.alive_shards()
+        if not alive:
+            return []
+        if digest is None:
+            start = next(self._rr) % len(alive)
+            return alive[start:] + alive[:start]
+        return self.ring.preference(digest, alive=alive)
+
+    def describe(self) -> Dict[str, Any]:
+        """Topology snapshot for ``/debug/cluster``."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                "shards": self.shards,
+                "host": self.host,
+                "map_path": str(self.map_path),
+                "ring": {
+                    "replicas": self.ring.replicas,
+                    "shard_ids": list(self.ring.shard_ids),
+                },
+                "uptime_s": now - self._started_at if self._started_at else 0.0,
+                "workers": [
+                    {
+                        "shard": w.shard,
+                        "pid": w.proc.pid if w.proc is not None else None,
+                        "port": w.port,
+                        "alive": w.alive,
+                        "restarts": w.restarts,
+                        "uptime_s": (now - w.started_at) if w.alive else 0.0,
+                        "last_exit": w.last_exit,
+                        "store_dir": str(self.shard_dir(w.shard)),
+                    }
+                    for w in self._workers.values()
+                ],
+            }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker, wait for all ports, publish the map."""
+        registry = obs_registry()
+        with self._lock:
+            for shard in range(self.shards):
+                self._spawn(shard)
+        for shard in range(self.shards):
+            self._await_port(shard)
+        self._write_map()
+        self._started_at = time.monotonic()
+        registry.gauge("cluster.shards").set(self.shards)
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="repro-cluster-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+
+    def stop(self) -> None:
+        """SIGTERM every worker, reap, SIGKILL stragglers."""
+        self._stopping = True
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            if worker.alive:
+                worker.proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 15.0
+        for worker in workers:
+            if worker.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                worker.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck worker
+                worker.proc.kill()
+                worker.proc.wait(timeout=5.0)
+            worker.last_exit = worker.proc.returncode
+
+    def kill(self, shard: int, sig: int = signal.SIGKILL) -> None:
+        """Chaos hook: kill one worker (the monitor will respawn it)."""
+        with self._lock:
+            worker = self._workers[shard]
+            if worker.alive:
+                worker.proc.send_signal(sig)
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.stop()
+
+    # -- spawning ----------------------------------------------------------
+
+    def _port_file(self, shard: int) -> Path:
+        return self.store_root / f"shard-{shard}.port"
+
+    def _log_file(self, shard: int) -> Path:
+        return self.store_root / f"shard-{shard}.log"
+
+    def _spawn(self, shard: int) -> None:
+        """Launch one worker process (caller holds the lock)."""
+        worker = self._workers[shard]
+        port_file = self._port_file(shard)
+        try:
+            port_file.unlink()
+        except OSError:
+            pass
+        args = self._worker_args
+        command = [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--host", self.host,
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--store-dir", str(self.shard_dir(shard)),
+            "--store-max", str(args["store_max_entries"]),
+            "--jobs", str(args["jobs"]),
+            "--batch-max", str(args["batch_max"]),
+            "--max-pending", str(args["max_pending"]),
+            "--retry-after", str(args["retry_after_s"]),
+            "--shard-id", str(shard),
+            "--cluster-map", str(self.map_path),
+        ]
+        if args["prefetch"]:
+            command += ["--prefetch", "--prefetch-cap", str(args["prefetch_cap"])]
+        if args["worker_debug"]:
+            command.append("--debug")
+        # Workers must import this exact checkout even when the package is
+        # not installed (tests, benches): prepend our package root.
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+        log = open(self._log_file(shard), "ab")
+        try:
+            worker.proc = subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        finally:
+            log.close()
+        worker.port = None
+        worker.started_at = time.monotonic()
+        worker.death_handled = False
+        obs_registry().counter("cluster.worker.spawns").inc()
+
+    def _await_port(self, shard: int) -> int:
+        """Block until a freshly spawned worker reports its port."""
+        worker = self._workers[shard]
+        port_file = self._port_file(shard)
+        deadline = time.monotonic() + self.spawn_timeout_s
+        while time.monotonic() < deadline:
+            if port_file.exists():
+                text = port_file.read_text().strip()
+                if text:
+                    worker.port = int(text)
+                    return worker.port
+            if not worker.alive:
+                raise RuntimeError(
+                    f"shard {shard} worker exited {worker.proc.returncode} "
+                    f"during startup (see {self._log_file(shard)})"
+                )
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"shard {shard} worker did not report a port within "
+            f"{self.spawn_timeout_s:.0f}s"
+        )
+
+    def _write_map(self) -> None:
+        with self._lock:
+            shards = {
+                w.shard: (self.host, w.port)
+                for w in self._workers.values()
+                if w.port is not None
+            }
+        write_cluster_map(self.map_path, shards)
+
+    # -- the monitor -------------------------------------------------------
+
+    def _monitor(self) -> None:
+        registry = obs_registry()
+        while not self._stopping:
+            time.sleep(MONITOR_POLL_S)
+            for shard in range(self.shards):
+                with self._lock:
+                    worker = self._workers[shard]
+                    if (
+                        worker.proc is None
+                        or worker.alive
+                        or worker.death_handled
+                        or self._stopping
+                    ):
+                        continue
+                    worker.last_exit = worker.proc.returncode
+                    worker.death_handled = True
+                    registry.counter("cluster.worker.deaths").inc()
+                    if not self.respawn:
+                        continue
+                    worker.restarts += 1
+                    registry.counter("cluster.respawns").inc()
+                    self._spawn(shard)
+                try:
+                    self._await_port(shard)
+                except RuntimeError:  # pragma: no cover - respawn crash-loop
+                    registry.counter("cluster.worker.respawn_failures").inc()
+                    continue
+                self._write_map()
+                if self.auto_backfill:
+                    try:
+                        self.backfill(shard)
+                    except Exception:  # noqa: BLE001 - never kill the monitor
+                        registry.counter("cluster.backfill.errors").inc()
+
+    def wait_all_alive(self, timeout_s: float = 30.0) -> bool:
+        """Block until every shard is serving again (tests/benches)."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if all(
+                    w.alive and w.port is not None
+                    for w in self._workers.values()
+                ):
+                    return True
+            time.sleep(0.02)
+        return False
+
+    # -- backfill ----------------------------------------------------------
+
+    def backfill(self, shard: int) -> Dict[str, int]:
+        """Copy ring-owned artifacts a shard is missing from its peers.
+
+        Scans every *other* live shard's digest list, keeps the digests
+        whose ring owner is ``shard``, and PUTs the ones absent locally
+        via the peer API.  Idempotent by construction — re-running copies
+        nothing new and rewrites identical bytes for anything raced.
+        """
+        registry = obs_registry()
+        stats = {"scanned": 0, "copied": 0, "errors": 0}
+        try:
+            target_host, target_port = self.addr(shard)
+        except KeyError:
+            return stats
+        with ServeClient(host=target_host, port=target_port, timeout=30.0) as target:
+            try:
+                have = set(target.peer_digests())
+            except (ServeError, OSError):
+                stats["errors"] += 1
+                registry.counter("cluster.backfill.errors").inc()
+                return stats
+            for peer_shard in self.alive_shards():
+                if peer_shard == shard:
+                    continue
+                try:
+                    peer_host, peer_port = self.addr(peer_shard)
+                except KeyError:
+                    continue
+                with ServeClient(
+                    host=peer_host, port=peer_port, timeout=30.0
+                ) as peer:
+                    try:
+                        peer_digests = peer.peer_digests()
+                    except (ServeError, OSError):
+                        stats["errors"] += 1
+                        registry.counter("cluster.backfill.errors").inc()
+                        continue
+                    for digest in peer_digests:
+                        stats["scanned"] += 1
+                        if digest in have:
+                            continue
+                        if self.ring.owner(digest) != shard:
+                            continue
+                        try:
+                            document = peer.peer_solution(digest)
+                            if document is None:
+                                continue
+                            target.peer_put(digest, document)
+                        except (ServeError, OSError):
+                            stats["errors"] += 1
+                            registry.counter("cluster.backfill.errors").inc()
+                            continue
+                        have.add(digest)
+                        stats["copied"] += 1
+        registry.counter("cluster.backfill.scanned").inc(stats["scanned"])
+        registry.counter("cluster.backfill.copied").inc(stats["copied"])
+        return stats

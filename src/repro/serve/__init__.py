@@ -18,13 +18,20 @@ in front of them:
   its old working set with zero new solves.
 * :class:`~repro.serve.prefetch.Prefetcher` — predictive store warming:
   each store miss enqueues low-priority neighbor solves (adjacent
-  ``n_max``, the observed sweep direction) that run through the task
-  scheduler while the foreground intake is idle.
+  ``n_max``, the observed sweep direction, unroll-factor ladders, shape
+  ladders) that run through the task scheduler while the foreground
+  intake is idle.
 * :class:`~repro.serve.client.ServeClient` — blocking client speaking the
-  same protocol; ``repro-serve`` (:mod:`repro.serve.cli`) runs the server.
+  same protocol, with optional bounded-jittered retries on 429/503 and
+  transport errors; ``repro-serve`` (:mod:`repro.serve.cli`) runs the
+  server.
+
+Scale-out lives one package over: :mod:`repro.cluster` shards this server
+N ways behind a digest-routing front with a tiered (memory → local store
+→ peer shard) lookup path.
 
 Protocol, batching, and store semantics are documented in
-``docs/SERVING.md``.
+``docs/SERVING.md``; the cluster in ``docs/CLUSTER.md``.
 """
 
 from .client import (
@@ -37,6 +44,7 @@ from .client import (
 from .coalesce import Coalescer, QueueFullError
 from .prefetch import Prefetcher
 from .protocol import (
+    TRACE_HEADER,
     BadRequestError,
     SimulateSpec,
     SolveSpec,
@@ -60,6 +68,7 @@ __all__ = [
     "SimulateSpec",
     "SolutionStore",
     "SolveSpec",
+    "TRACE_HEADER",
     "ThreadedServer",
     "parse_simulate_spec",
     "parse_solve_spec",

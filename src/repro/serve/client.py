@@ -16,6 +16,16 @@ The client is deliberately synchronous — callers embedding it in an async
 program should run it in an executor; the service side is where the
 concurrency lives.
 
+Retries are **off by default**: construct with ``retries=N`` to make the
+client absorb transient failures — 429 backpressure (honoring the
+server's ``retry_after_s`` hint), 503 answers (a restarting worker, a
+cluster front with no live shard), and transport errors (connection
+refused during a worker respawn) — with jittered exponential backoff
+(``backoff_s`` seeding the schedule).  Structural errors (400/404/422/
+500/504) never retry.  This is the same client the cluster's peer-fetch
+and backfill tiers use (:mod:`repro.cluster.peers`), via the ``peer_*``
+methods at the bottom.
+
 Example
 -------
 >>> from repro.serve.client import ServeClient           # doctest: +SKIP
@@ -29,14 +39,21 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.partition import PartitionSolution
 from ..core.pattern import Pattern
 from ..errors import ReproError
 from ..io import pattern_to_dict, solution_from_dict
-from .protocol import ERROR_DEADLINE, ERROR_INFEASIBLE, ERROR_QUEUE_FULL
+from .protocol import (
+    ERROR_DEADLINE,
+    ERROR_INFEASIBLE,
+    ERROR_QUEUE_FULL,
+    TRACE_HEADER,
+)
 
 
 class ServeError(ReproError):
@@ -93,15 +110,41 @@ def _pattern_fields(
     return {"mask": list(mask)}  # type: ignore[arg-type]
 
 
+#: Errors the retry loop treats as transient: backpressure, a server that
+#: is restarting or has no live shard behind it, and transport failures.
+_RETRYABLE_HTTP = (429, 503)
+
+
 class ServeClient:
-    """One keep-alive HTTP connection to a :class:`PartitionServer`."""
+    """One keep-alive HTTP connection to a :class:`PartitionServer`.
+
+    ``retries`` counts *additional* attempts after the first (0 keeps the
+    historical fail-fast behaviour); ``backoff_s`` is the base delay,
+    doubled per attempt up to ``max_backoff_s`` and jittered ±25% so a
+    herd of retrying clients does not re-stampede in lockstep.  A 429's
+    ``retry_after_s`` hint, when present, overrides the computed delay.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 30.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s < 0 or max_backoff_s < 0:
+            raise ValueError("backoff_s and max_backoff_s must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self._rng = random.Random()
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- connection management --------------------------------------------
@@ -127,13 +170,19 @@ class ServeClient:
     # -- transport ---------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, bytes, str]:
         payload = json.dumps(body).encode("utf-8") if body is not None else None
-        headers = {"Content-Type": "application/json"} if payload else {}
+        send_headers = {"Content-Type": "application/json"} if payload else {}
+        if headers:
+            send_headers.update(headers)
         conn = self._connection()
         try:
-            conn.request(method, path, body=payload, headers=headers)
+            conn.request(method, path, body=payload, headers=send_headers)
             response = conn.getresponse()
             data = response.read()
             return response.status, data, response.headers.get_content_type()
@@ -142,15 +191,46 @@ class ServeClient:
             # retry on a fresh connection, then let the error propagate.
             self.close()
             conn = self._connection()
-            conn.request(method, path, body=payload, headers=headers)
+            conn.request(method, path, body=payload, headers=send_headers)
             response = conn.getresponse()
             data = response.read()
             return response.status, data, response.headers.get_content_type()
 
-    def _json(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    def _delay(self, attempt: int, hint: Optional[float] = None) -> float:
+        """The jittered backoff before retry ``attempt`` (0-based)."""
+        delay = min(self.backoff_s * (2.0 ** attempt), self.max_backoff_s)
+        if hint is not None:
+            delay = min(max(hint, 0.0), self.max_backoff_s)
+        return delay * (1.0 + self._rng.uniform(-0.25, 0.25))
+
+    def _with_retries(self, call: Callable[[], Any]) -> Any:
+        """Run ``call``, absorbing up to ``self.retries`` transient failures."""
+        for attempt in range(self.retries + 1):
+            try:
+                return call()
+            except ServeError as exc:
+                if attempt >= self.retries or exc.http_status not in _RETRYABLE_HTTP:
+                    raise
+                hint = getattr(exc, "retry_after_s", None)
+                time.sleep(self._delay(attempt, hint))
+            except (http.client.HTTPException, socket.error):
+                # _request already burned its one clean-reconnect attempt;
+                # reaching here means the server end is really down (e.g. a
+                # worker mid-respawn), so wait before trying again.
+                if attempt >= self.retries:
+                    raise
+                self.close()
+                time.sleep(self._delay(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json_once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
-        status, data, _ = self._request(method, path, body)
+        status, data, _ = self._request(method, path, body, headers)
         try:
             doc = json.loads(data.decode("utf-8")) if data else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -164,6 +244,17 @@ class ServeClient:
                 error,
             )
         return doc
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, Any]:
+        return self._with_retries(
+            lambda: self._json_once(method, path, body, headers)
+        )
 
     # -- endpoints ---------------------------------------------------------
 
@@ -271,3 +362,60 @@ class ServeClient:
     def debug_store(self) -> Dict[str, Any]:
         """GET /debug/store — solution-store occupancy and hit-rate."""
         return self._json("GET", "/debug/store")
+
+    # -- peer protocol (workers running with the peer API enabled) ---------
+
+    def peer_solution(
+        self, digest: str, trace_id: Optional[str] = None
+    ) -> Optional[Dict[str, Any]]:
+        """GET /peer/solution/<digest> — the raw store artifact, or None.
+
+        Returns the artifact document exactly as the peer's store holds it
+        (so writing it locally reproduces the same bytes); a 404 — the
+        peer does not have the key — is a normal answer, not an error.
+        """
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+
+        def _call() -> Optional[Dict[str, Any]]:
+            status, data, _ = self._request(
+                "GET", f"/peer/solution/{digest}", headers=headers
+            )
+            if status == 404:
+                return None
+            doc = json.loads(data.decode("utf-8")) if data else {}
+            if status != 200:
+                error = doc.get("error", {}) if isinstance(doc, dict) else {}
+                _raise_for(
+                    error.get("code", "internal"),
+                    error.get("message", f"HTTP {status}"),
+                    status,
+                    error,
+                )
+            return doc
+
+        return self._with_retries(_call)
+
+    def peer_put(
+        self,
+        digest: str,
+        document: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """PUT /peer/solution/<digest> — replicate an artifact to a peer."""
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        return self._json(
+            "PUT", f"/peer/solution/{digest}", document, headers=headers
+        )
+
+    def peer_digests(self) -> List[str]:
+        """GET /peer/digests — every digest the peer's store holds."""
+        return list(self._json("GET", "/peer/digests").get("digests", []))
+
+    def peer_registry(self) -> Dict[str, Any]:
+        """GET /peer/registry — the worker's metrics registry as a dump.
+
+        The document is what :meth:`repro.obs.metrics.MetricsRegistry.dump`
+        produces; the cluster front merges one per shard into its
+        aggregated ``/metrics`` view.
+        """
+        return self._json("GET", "/peer/registry")

@@ -6,10 +6,18 @@ about the *next* miss.  The :class:`Prefetcher` subscribes to the
 coalescer's miss hook (:attr:`repro.serve.coalesce.Coalescer.on_miss`) and
 enqueues **low-priority neighbor solves**:
 
-* adjacent bank budgets (``n_max ± 1``), and
-* the extrapolated next step in the observed sweep direction (per
-  canonical pattern: if the last miss was at ``n_max=6`` and this one at
-  ``8``, prefetch ``10``).
+* ``nmax`` — adjacent bank budgets (``n_max ± 1``),
+* ``sweep`` — the extrapolated next step in the observed sweep direction
+  (per canonical pattern: if the last miss was at ``n_max=6`` and this
+  one at ``8``, prefetch ``10``),
+* ``unroll`` — the next rung of an unroll-factor ladder: when the
+  observed pattern equals :func:`repro.patterns.generators.unrolled`
+  of a recently seen base pattern at factor ``k``, prefetch factor
+  ``k + 1`` (clients exploring unrolling sweep exactly this ladder), and
+* ``shape`` — the next rung of a shape ladder: when consecutive misses
+  for one kernel step the array shape by a uniform per-axis ratio or
+  increment (``32×32`` then ``64×64`` → prefetch ``128×128``), bounded
+  by a volume cap so extrapolation never queues a pathological solve.
 
 Neighbors run through the PR-7 scheduler (:func:`repro.sched.gather` with
 ``placement="thread"`` tasks, dedup-keyed by canonical digest) on a single
@@ -23,7 +31,8 @@ into ``prefetch.dropped``), the worker re-checks the idle predicate
 between jobs, and there is exactly one worker thread.  The counter family:
 
 ``prefetch.enqueued``
-    neighbor specs accepted onto the queue,
+    neighbor specs accepted onto the queue (with per-class breakdowns
+    ``prefetch.enqueued.nmax`` / ``.sweep`` / ``.unroll`` / ``.shape``),
 ``prefetch.dropped``
     neighbors rejected because the queue was at capacity,
 ``prefetch.skipped``
@@ -47,7 +56,9 @@ import threading
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..core.pattern import Pattern
 from ..obs.metrics import registry as obs_registry
+from ..patterns.generators import unrolled
 from ..sched import Task, gather
 from .coalesce import _solve_task
 from .protocol import SolveSpec
@@ -61,6 +72,17 @@ _IDLE_POLL_S = 0.005
 
 #: Sweep histories kept (one per canonical pattern family).
 _HISTORY_MAX = 512
+
+#: Base patterns remembered per non-pattern spec family, for unroll-ladder
+#: detection (a ladder climbs from one of the last few observed kernels).
+_BASES_PER_FAMILY = 8
+
+#: Highest unroll factor we try to recognize an observed pattern as.
+_UNROLL_MAX = 8
+
+#: Shape-ladder extrapolations whose element count exceeds this are not
+#: queued — a runaway geometric sweep must not become a monster solve.
+_SHAPE_VOLUME_CAP = 1 << 22
 
 
 class Prefetcher:
@@ -94,6 +116,8 @@ class Prefetcher:
         self._queue: Deque[SolveSpec] = deque()
         self._queued_digests: Dict[str, None] = {}
         self._history: Dict[Tuple, int] = {}
+        self._bases: Dict[Tuple, Deque[Pattern]] = {}
+        self._shapes: Dict[Tuple, Tuple[int, ...]] = {}
         self._lock = threading.Lock()
         self._wake = threading.Event()
         self._closed = False
@@ -107,7 +131,7 @@ class Prefetcher:
     def observe(self, spec: SolveSpec) -> None:
         """Record a store-miss solve and enqueue its likely neighbors."""
         registry = obs_registry()
-        for neighbor in self._neighbors(spec):
+        for klass, neighbor in self._neighbors(spec):
             digest = neighbor.canonical_digest()
             with self._lock:
                 if self._closed:
@@ -120,14 +144,17 @@ class Prefetcher:
                 self._queue.append(neighbor)
                 self._queued_digests[digest] = None
             registry.counter("prefetch.enqueued").inc()
+            registry.counter(f"prefetch.enqueued.{klass}").inc()
             self._wake.set()
 
-    def _neighbors(self, spec: SolveSpec) -> List[SolveSpec]:
-        """Adjacent ``n_max`` values plus the sweep-direction extrapolation.
+    def _neighbors(self, spec: SolveSpec) -> List[Tuple[str, SolveSpec]]:
+        """Classed likely-next specs: ``(class, neighbor)`` pairs.
 
-        The sweep history is keyed by the canonical pattern (plus the
-        non-``n_max`` spec fields), so reflected/permuted variants of one
-        kernel share a direction estimate — they share solves, after all.
+        Histories are keyed by the canonical pattern (plus the other spec
+        fields), so reflected/permuted variants of one kernel share a
+        direction estimate — they share solves, after all.  Classes later
+        in the list are cheaper guesses; the queue preserves this order so
+        the strongest predictions solve first.
         """
         if spec.n_max is None:
             return []
@@ -142,19 +169,110 @@ class Prefetcher:
             self._history[family] = spec.n_max
             while len(self._history) > _HISTORY_MAX:
                 self._history.pop(next(iter(self._history)))
-        candidates: List[int] = []
+        out: List[Tuple[str, SolveSpec]] = []
+        seen_digests = set()
+
+        def emit(klass: str, neighbor: SolveSpec) -> None:
+            digest = neighbor.canonical_digest()
+            if digest not in seen_digests:
+                seen_digests.add(digest)
+                out.append((klass, neighbor))
+
+        for neighbor in self._unroll_neighbors(spec):
+            emit("unroll", neighbor)
+        for neighbor in self._shape_neighbors(spec):
+            emit("shape", neighbor)
         if previous is not None and previous != spec.n_max:
             stride = spec.n_max - previous
-            candidates.append(spec.n_max + stride)
-        candidates.extend((spec.n_max + 1, spec.n_max - 1))
-        seen = set()
-        out: List[SolveSpec] = []
-        for n_max in candidates:
-            if n_max < 1 or n_max == spec.n_max or n_max in seen:
-                continue
-            seen.add(n_max)
-            out.append(dataclasses.replace(spec, n_max=n_max))
+            if spec.n_max + stride >= 1:
+                emit("sweep", dataclasses.replace(spec, n_max=spec.n_max + stride))
+        for n_max in (spec.n_max + 1, spec.n_max - 1):
+            if n_max >= 1:
+                emit("nmax", dataclasses.replace(spec, n_max=n_max))
         return out
+
+    def _unroll_neighbors(self, spec: SolveSpec) -> List[SolveSpec]:
+        """The next rung when ``spec.pattern`` sits on an unroll ladder.
+
+        An unroll sweep presents ``unrolled(base, 2)``, ``unrolled(base,
+        3)``, … for a base kernel the client solved moments ago.  We keep
+        the last few observed patterns per non-pattern spec family; if the
+        incoming pattern is translation-equal to ``unrolled(base, k)`` for
+        one of them, the next request is overwhelmingly likely to be
+        ``k + 1``.
+        """
+        family = (spec.shape, spec.objective.value, spec.delta_max, spec.n_max)
+        observed = spec.pattern.normalized()
+        with self._lock:
+            bases = self._bases.get(family)
+            history = list(bases) if bases else []
+        out: List[SolveSpec] = []
+        for base in history:
+            if base.ndim != observed.ndim or base.size >= observed.size:
+                continue
+            for factor in range(2, _UNROLL_MAX + 1):
+                try:
+                    rung = unrolled(base, factor)
+                except Exception:  # noqa: BLE001 - geometry edge, skip base
+                    break
+                if rung.size > observed.size:
+                    break  # union size grows with factor; overshot already
+                if rung.normalized().offsets == observed.offsets:
+                    nxt = unrolled(base, factor + 1)
+                    out.append(dataclasses.replace(spec, pattern=nxt))
+                    break
+            if out:
+                break  # one ladder match is plenty
+        with self._lock:
+            bases = self._bases.setdefault(
+                family, deque(maxlen=_BASES_PER_FAMILY)
+            )
+            if observed not in bases:
+                bases.append(observed)
+            while len(self._bases) > _HISTORY_MAX:
+                self._bases.pop(next(iter(self._bases)))
+        return out
+
+    def _shape_neighbors(self, spec: SolveSpec) -> List[SolveSpec]:
+        """The next rung when consecutive misses climb a shape ladder.
+
+        Detects uniform per-axis progressions between the previous and
+        current shape for one kernel: a common integer ratio (``32×32`` →
+        ``64×64``, ratio 2) or a common increment (``+16`` per axis).  The
+        extrapolated shape must stay under :data:`_SHAPE_VOLUME_CAP`
+        elements and keep every extent positive.
+        """
+        if spec.shape is None:
+            return []
+        family = (spec.pattern.offsets, spec.objective.value, spec.delta_max,
+                  spec.n_max)
+        shape = tuple(spec.shape)
+        with self._lock:
+            previous = self._shapes.get(family)
+            self._shapes[family] = shape
+            while len(self._shapes) > _HISTORY_MAX:
+                self._shapes.pop(next(iter(self._shapes)))
+        if previous is None or len(previous) != len(shape) or previous == shape:
+            return []
+        nxt: Optional[Tuple[int, ...]] = None
+        if all(p > 0 and c % p == 0 for p, c in zip(previous, shape)):
+            ratios = {c // p for p, c in zip(previous, shape)}
+            if len(ratios) == 1 and (ratio := ratios.pop()) > 1:
+                nxt = tuple(c * ratio for c in shape)
+        if nxt is None:
+            deltas = {c - p for p, c in zip(previous, shape)}
+            if len(deltas) == 1 and (delta := deltas.pop()) != 0:
+                candidate = tuple(c + delta for c in shape)
+                if all(extent >= 1 for extent in candidate):
+                    nxt = candidate
+        if nxt is None:
+            return []
+        volume = 1
+        for extent in nxt:
+            volume *= extent
+        if volume > _SHAPE_VOLUME_CAP:
+            return []
+        return [dataclasses.replace(spec, shape=nxt)]
 
     # -- the worker ---------------------------------------------------------
 
@@ -220,6 +338,10 @@ class Prefetcher:
             "queued": queued,
             "cap": self.cap,
             "enqueued": registry.counter("prefetch.enqueued").value,
+            "enqueued_by_class": {
+                klass: registry.counter(f"prefetch.enqueued.{klass}").value
+                for klass in ("nmax", "sweep", "unroll", "shape")
+            },
             "dropped": registry.counter("prefetch.dropped").value,
             "skipped": registry.counter("prefetch.skipped").value,
             "solved": registry.counter("prefetch.solved").value,

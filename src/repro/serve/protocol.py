@@ -52,6 +52,7 @@ ERROR_INFEASIBLE = "infeasible"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_QUEUE_FULL = "queue_full"
 ERROR_SHUTTING_DOWN = "shutting_down"
+ERROR_NO_LIVE_SHARD = "no_live_shard"
 ERROR_INTERNAL = "internal"
 
 #: error code → HTTP status the server answers with.
@@ -62,8 +63,14 @@ HTTP_STATUS: Dict[str, int] = {
     ERROR_QUEUE_FULL: 429,
     ERROR_INTERNAL: 500,
     ERROR_SHUTTING_DOWN: 503,
+    ERROR_NO_LIVE_SHARD: 503,
     ERROR_DEADLINE: 504,
 }
+
+#: Request header carrying the originating trace id across process hops
+#: (client → cluster front → worker shard → peer shard), so the spans of
+#: one logical request reassemble into one tree no matter where they ran.
+TRACE_HEADER = "X-Repro-Trace"
 
 #: Simulation engines a request may name (mirrors ``sim.memsim.ENGINES``).
 SIM_ENGINES = ("auto", "scalar", "vectorized")

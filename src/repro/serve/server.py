@@ -77,6 +77,7 @@ from .protocol import (
     ERROR_NOT_FOUND,
     ERROR_QUEUE_FULL,
     HTTP_STATUS,
+    TRACE_HEADER,
     BadRequestError,
     SimulateSpec,
     SolveSpec,
@@ -129,6 +130,72 @@ class _HttpReply(Exception):
         self.headers = headers or {}
 
 
+async def read_http_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request off a stream; None at end of connection.
+
+    Shared by the worker server and the cluster front
+    (:mod:`repro.cluster.router`) — one wire parser, one set of limits.
+    Header names are lowercased.
+    """
+    line = await reader.readline()
+    if not line or line in (b"\r\n", b"\n"):
+        return None
+    try:
+        method, target, _version = line.decode("ascii").split()
+    except ValueError:
+        raise asyncio.IncompleteReadError(line, None)
+    headers: Dict[str, str] = {}
+    while True:
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = raw.decode("latin-1").partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise asyncio.LimitOverrunError("body too large", length)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def write_http_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Union[Dict[str, Any], str, bytes],
+    extra_headers: Dict[str, str],
+    keep_alive: bool,
+    content_type: Optional[str] = None,
+    counter_prefix: str = "serve",
+) -> None:
+    """Serialize and queue one response; shared with the cluster front.
+
+    ``bytes`` payloads pass through verbatim (the router relays worker
+    response bodies without re-encoding them — byte-identity across
+    routing paths is a cluster invariant, so the front never re-serializes
+    a worker's JSON).
+    """
+    if isinstance(payload, bytes):
+        body = payload
+        content_type = content_type or "application/json"
+    elif isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = content_type or "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        content_type = content_type or "application/json"
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{k}: {v}" for k, v in extra_headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
+    obs_registry().counter(f"{counter_prefix}.http.{status}").inc()
+
+
 @dataclasses.dataclass
 class _RequestContext:
     """Per-request trace identity, threaded through the handler.
@@ -161,6 +228,10 @@ class PartitionServer:
         trace_buffer_size: int = DEFAULT_TRACE_BUFFER,
         prefetch: bool = False,
         prefetch_cap: int = 64,
+        shard_id: Optional[int] = None,
+        cluster_map: Optional[str] = None,
+        peer_api: Optional[bool] = None,
+        replicate: bool = True,
     ) -> None:
         self.host = host
         self.port = port  # rebound to the real port after start()
@@ -169,6 +240,19 @@ class PartitionServer:
             if store_dir
             else None
         )
+        #: Cluster membership: this worker's shard id and the supervisor-
+        #: maintained map file naming every sibling.  The internal /peer/*
+        #: API defaults on exactly when the server is part of a cluster.
+        self.shard_id = shard_id
+        self.cluster_map = cluster_map
+        self.peer_api = (
+            peer_api
+            if peer_api is not None
+            else (shard_id is not None or cluster_map is not None)
+        )
+        self._replicate = replicate
+        self.peer_fetcher: Optional[Any] = None
+        self.replicator: Optional[Any] = None
         self._prefetch_requested = prefetch
         self._prefetch_cap = prefetch_cap
         self.prefetcher: Optional[Prefetcher] = None
@@ -188,6 +272,7 @@ class PartitionServer:
         self.traces = TraceBuffer(trace_buffer_size)
         self._server: Optional[asyncio.base_events.Server] = None
         self._batch_task: Optional[asyncio.Task] = None
+        self._conn_tasks: set = set()
         self._started_at = 0.0
         self._requests = 0
 
@@ -203,9 +288,24 @@ class PartitionServer:
                 idle=lambda: self.coalescer is None or self.coalescer.pending == 0,
                 cap=self._prefetch_cap,
             )
+        if self.cluster_map is not None and self.shard_id is not None:
+            # The cluster tiers: read-through to warm peers, write-side
+            # replication to ring successors.  Imported lazily — the serve
+            # package must not depend on repro.cluster outside cluster mode.
+            from ..cluster.peers import PeerFetcher, PeerReplicator
+
+            self.peer_fetcher = PeerFetcher(
+                self.cluster_map, self.shard_id, store=self.store
+            )
+            if self._replicate and self.store is not None:
+                self.replicator = PeerReplicator(
+                    self.cluster_map, self.shard_id, store=self.store
+                )
         self.coalescer = Coalescer(
             store=self.store,
             on_miss=self.prefetcher.observe if self.prefetcher else None,
+            peer_fetch=self.peer_fetcher,
+            on_stored=self.replicator.offer if self.replicator else None,
             **self._coalescer_config,
         )
         self._batch_task = asyncio.get_running_loop().create_task(
@@ -223,6 +323,14 @@ class PartitionServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Idle keep-alive handlers are parked in _read_request; cancel them
+        # so no coroutine outlives the loop (a GC'd parked handler raises
+        # "Event loop is closed" from its writer-close finally block).
+        if self._conn_tasks:
+            for task in list(self._conn_tasks):
+                task.cancel()
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+            self._conn_tasks.clear()
         if self._batch_task is not None:
             self._batch_task.cancel()
             try:
@@ -235,6 +343,12 @@ class PartitionServer:
         if self.prefetcher is not None:
             self.prefetcher.close()
             self.prefetcher = None
+        if self.replicator is not None:
+            self.replicator.close()
+            self.replicator = None
+        if self.peer_fetcher is not None:
+            self.peer_fetcher.close()
+            self.peer_fetcher = None
 
     async def serve_forever(self) -> None:
         """Run until cancelled (the CLI wires signals to cancellation)."""
@@ -246,6 +360,10 @@ class PartitionServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
         try:
             while True:
                 request = await self._read_request(reader)
@@ -253,7 +371,9 @@ class PartitionServer:
                     break
                 method, target, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive") != "close"
-                status, payload, extra = await self._route(method, target, body)
+                status, payload, extra = await self._route(
+                    method, target, body, headers
+                )
                 self._write_response(writer, status, payload, extra, keep_alive)
                 await writer.drain()
                 if not keep_alive:
@@ -264,35 +384,23 @@ class PartitionServer:
             ConnectionResetError,
         ):
             pass  # client went away mid-request; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server stopping while this connection idled
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover
                 pass
 
     async def _read_request(
         self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-        line = await reader.readline()
-        if not line or line in (b"\r\n", b"\n"):
-            return None
-        try:
-            method, target, _version = line.decode("ascii").split()
-        except ValueError:
-            raise asyncio.IncompleteReadError(line, None)
-        headers: Dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if raw in (b"\r\n", b"\n", b""):
-                break
-            key, _, value = raw.decode("latin-1").partition(":")
-            headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > MAX_BODY_BYTES:
-            raise asyncio.LimitOverrunError("body too large", length)
-        body = await reader.readexactly(length) if length else b""
-        return method.upper(), target, headers, body
+        return await read_http_request(reader)
 
     def _write_response(
         self,
@@ -302,26 +410,13 @@ class PartitionServer:
         extra_headers: Dict[str, str],
         keep_alive: bool,
     ) -> None:
-        if isinstance(payload, str):
-            body = payload.encode("utf-8")
-            content_type = "text/plain; version=0.0.4; charset=utf-8"
-        else:
-            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
-            content_type = "application/json"
-        head = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        head.extend(f"{k}: {v}" for k, v in extra_headers.items())
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body)
-        obs_registry().counter(f"serve.http.{status}").inc()
+        write_http_response(writer, status, payload, extra_headers, keep_alive)
 
     # -- routing -----------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         self._requests += 1
         registry = obs_registry()
@@ -329,8 +424,16 @@ class PartitionServer:
         started = time.monotonic()
         started_perf = time.perf_counter()
         path = target.split("?", 1)[0]
+        # A front-end router (or a peer worker) hands its trace id down in
+        # the X-Repro-Trace header; adopting it stitches the worker's spans
+        # into the originating request's tree instead of starting a new one.
+        incoming_trace = (headers or {}).get(TRACE_HEADER.lower()) or None
         ctx = _RequestContext(
-            trace_id=new_trace_id() if obs_state.enabled() else None
+            trace_id=(
+                (incoming_trace or new_trace_id())
+                if obs_state.enabled()
+                else None
+            )
         )
         status = 500
         try:
@@ -398,6 +501,8 @@ class PartitionServer:
     def _resolve_handler(
         self, method: str, path: str
     ) -> Callable[[Any, "_RequestContext"], Awaitable[Union[Dict[str, Any], str]]]:
+        if path.startswith("/peer/"):
+            return self._resolve_peer_handler(method, path)
         routes: Dict[Tuple[str, str], Callable[[Any, Any], Awaitable[Any]]] = {
             ("POST", "/solve"): self._handle_solve,
             ("POST", "/simulate"): self._handle_simulate,
@@ -417,6 +522,38 @@ class PartitionServer:
                 )
             raise _HttpReply(404, error_payload(ERROR_NOT_FOUND, f"no route {path}"))
         return handler
+
+    def _resolve_peer_handler(
+        self, method: str, path: str
+    ) -> Callable[[Any, "_RequestContext"], Awaitable[Union[Dict[str, Any], str]]]:
+        """Route the internal /peer/* API (enabled only in cluster mode)."""
+        if not self.peer_api:
+            raise _HttpReply(
+                404,
+                error_payload(
+                    ERROR_NOT_FOUND,
+                    "peer API is disabled (workers enable it in cluster mode)",
+                ),
+            )
+        if path.startswith("/peer/solution/"):
+            digest = path[len("/peer/solution/"):]
+            if not digest or "/" in digest:
+                raise _HttpReply(
+                    404, error_payload(ERROR_NOT_FOUND, f"bad peer path {path}")
+                )
+            if method == "GET":
+                return lambda doc, ctx: self._handle_peer_get(digest, doc, ctx)
+            if method == "PUT":
+                return lambda doc, ctx: self._handle_peer_put(digest, doc, ctx)
+            raise _HttpReply(
+                405,
+                error_payload(ERROR_BAD_REQUEST, f"{method} not allowed on {path}"),
+            )
+        if (method, path) == ("GET", "/peer/digests"):
+            return self._handle_peer_digests
+        if (method, path) == ("GET", "/peer/registry"):
+            return self._handle_peer_registry
+        raise _HttpReply(404, error_payload(ERROR_NOT_FOUND, f"no route {path}"))
 
     @staticmethod
     def _parse_body(body: bytes) -> Any:
@@ -629,6 +766,8 @@ class PartitionServer:
             "prefetch": (
                 self.prefetcher.stats() if self.prefetcher is not None else None
             ),
+            "shard": self.shard_id,
+            "peer_api": self.peer_api,
         }
 
     async def _handle_metrics(self, _doc: Any, _ctx: _RequestContext) -> str:
@@ -713,6 +852,70 @@ class PartitionServer:
                 "sizes": {d[:12]: v for d, v in sizes.items()},
             },
         }
+
+    # -- the peer API (cluster-internal; peer_api=True only) ---------------
+
+    def _require_store(self) -> SolutionStore:
+        if self.store is None:
+            raise _HttpReply(
+                404,
+                error_payload(ERROR_NOT_FOUND, "this worker has no solution store"),
+            )
+        return self.store
+
+    async def _handle_peer_get(
+        self, digest: str, _doc: Any, _ctx: _RequestContext
+    ) -> Dict[str, Any]:
+        """Serve a store artifact to a sibling shard, verbatim.
+
+        The response body is the artifact document itself, so the caller
+        can persist it byte-identically — content-addressed replication
+        needs no separate wire format.
+        """
+        document = self._require_store().get_document(digest)
+        if document is None:
+            raise _HttpReply(
+                404,
+                error_payload(ERROR_NOT_FOUND, f"no artifact for {digest[:12]}"),
+            )
+        obs_registry().counter("cluster.peer.served").inc()
+        return document
+
+    async def _handle_peer_put(
+        self, digest: str, doc: Any, _ctx: _RequestContext
+    ) -> Dict[str, Any]:
+        """Accept a replicated artifact from a sibling shard."""
+        store = self._require_store()
+        if not isinstance(doc, dict):
+            raise BadRequestError("replication body must be an artifact document")
+        try:
+            store.put_document(digest, doc)
+        except Exception as exc:  # noqa: BLE001 - malformed peer payloads are 400s
+            raise BadRequestError(f"invalid artifact for {digest[:12]}: {exc}")
+        obs_registry().counter("cluster.peer.received").inc()
+        return {"stored": digest, "entries": len(store)}
+
+    async def _handle_peer_digests(
+        self, _doc: Any, _ctx: _RequestContext
+    ) -> Dict[str, Any]:
+        """Every digest this shard holds — the backfill scan surface."""
+        store = self._require_store()
+        return {"shard": self.shard_id, "digests": store.digests()}
+
+    async def _handle_peer_registry(
+        self, _doc: Any, _ctx: _RequestContext
+    ) -> Dict[str, Any]:
+        """This worker's metrics registry as a mergeable dump.
+
+        The cluster front pulls one of these per shard and merges them
+        (namespaced ``worker.<shard>.*``) into its aggregated ``/metrics``.
+        Store gauges are refreshed first so occupancy is current even if
+        ``/metrics`` was never polled on this worker.
+        """
+        if self.store is not None:
+            self.store._publish_gauges()
+        worker_id = None if self.shard_id is None else str(self.shard_id)
+        return obs_registry().dump(worker_id=worker_id)
 
 
 class ThreadedServer:

@@ -1,0 +1,388 @@
+"""The cluster building blocks: ring, map file, peer tiers, client retries.
+
+Component-level coverage — the ring's placement algebra, the map file's
+tolerance, and the tiered store path between two real in-process servers
+sharing a hand-written cluster map.  Whole-cluster behaviour (subprocess
+workers, the front router, chaos) lives in ``test_cluster_integration``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import (
+    ClusterMap,
+    HashRing,
+    PeerFetcher,
+    PeerReplicator,
+    read_cluster_map,
+    write_cluster_map,
+)
+from repro.serve import ServeClient, ServeError, ServerBusyError, serve_in_thread
+from repro.serve.protocol import parse_solve_spec
+
+
+def _digests(count: int) -> list:
+    """Deterministic hex digests spread over the ring."""
+    from repro.core.cache import stable_digest
+
+    return [stable_digest(("ring-probe", i)) for i in range(count)]
+
+
+class TestHashRing:
+    def test_owner_is_deterministic(self):
+        a = HashRing(range(4))
+        b = HashRing([3, 1, 2, 0])  # order and type of ids must not matter
+        for digest in _digests(50):
+            assert a.owner(digest) == b.owner(digest)
+
+    def test_preference_lists_every_shard_once(self):
+        ring = HashRing(range(5))
+        for digest in _digests(20):
+            pref = ring.preference(digest)
+            assert sorted(pref) == [0, 1, 2, 3, 4]
+            assert pref[0] == ring.owner(digest)
+
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        """The consistent-hashing contract: surviving placements are stable."""
+        full = HashRing(range(4))
+        without = HashRing([0, 1, 3])  # shard 2 died
+        moved = 0
+        for digest in _digests(200):
+            old = full.owner(digest)
+            new = without.owner(digest)
+            if old == 2:
+                moved += 1
+                # Re-routed keys land on the old ring's next-preferred shard.
+                survivors = [s for s in full.preference(digest) if s != 2]
+                assert new == survivors[0]
+            else:
+                assert new == old
+        assert moved > 0  # shard 2 owned something
+
+    def test_alive_filter_keeps_preference_order(self):
+        ring = HashRing(range(4))
+        for digest in _digests(20):
+            pref = ring.preference(digest)
+            alive = ring.preference(digest, alive={1, 3})
+            assert alive == [s for s in pref if s in (1, 3)]
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = HashRing(range(4))
+        counts = {s: 0 for s in range(4)}
+        for digest in _digests(400):
+            counts[ring.owner(digest)] += 1
+        for shard, count in counts.items():
+            assert count > 400 * 0.05, f"shard {shard} owns almost nothing"
+
+    def test_non_hex_digest_still_places(self):
+        ring = HashRing(range(3))
+        assert ring.owner("not-hex-at-all") in (0, 1, 2)
+
+    def test_rejects_empty_shard_set(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestClusterMap:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "map.json"
+        shards = {0: ("127.0.0.1", 1111), 1: ("127.0.0.1", 2222)}
+        write_cluster_map(path, shards)
+        assert read_cluster_map(path) == shards
+
+    def test_missing_and_corrupt_files_read_empty(self, tmp_path):
+        assert read_cluster_map(tmp_path / "absent.json") == {}
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert read_cluster_map(bad) == {}
+
+    def test_reader_tracks_rewrites(self, tmp_path):
+        path = tmp_path / "map.json"
+        write_cluster_map(path, {0: ("127.0.0.1", 1111)})
+        cmap = ClusterMap(path)
+        assert cmap.addr(0) == ("127.0.0.1", 1111)
+        time.sleep(0.02)  # ensure a distinct mtime on coarse filesystems
+        write_cluster_map(path, {0: ("127.0.0.1", 3333), 1: ("127.0.0.1", 4444)})
+        assert cmap.addr(0) == ("127.0.0.1", 3333)
+        assert cmap.addr(1) == ("127.0.0.1", 4444)
+
+    def test_unknown_shard_raises(self, tmp_path):
+        path = tmp_path / "map.json"
+        write_cluster_map(path, {0: ("127.0.0.1", 1111)})
+        with pytest.raises(KeyError):
+            ClusterMap(path).addr(7)
+
+
+@pytest.fixture()
+def shard_pair(tmp_path):
+    """Two real in-process servers acting as shards 0 and 1 of one map."""
+    map_path = tmp_path / "map.json"
+    map_path.write_text("{}")  # workers tolerate an empty map at boot
+    servers = []
+    for shard in (0, 1):
+        servers.append(
+            serve_in_thread(
+                store_dir=str(tmp_path / f"shard-{shard}"),
+                shard_id=shard,
+                cluster_map=str(map_path),
+            )
+        )
+    write_cluster_map(
+        map_path, {i: ("127.0.0.1", srv.port) for i, srv in enumerate(servers)}
+    )
+    yield map_path, servers, tmp_path
+    # Quiesce write-side replication before stopping either server — an
+    # in-flight peer PUT racing a closing event loop is harmless but noisy
+    # (a connection accepted at the instant of close is never handled).
+    for srv in servers:
+        if srv.server.replicator is not None:
+            srv.server.replicator.drain()
+    for srv in servers:
+        srv.stop()
+
+
+def _artifact(tmp_path: Path, shard: int, digest: str) -> Path:
+    return tmp_path / f"shard-{shard}" / f"{digest}.json"
+
+
+class TestTieredStore:
+    def test_peer_fetch_serves_evicted_locally_but_warm_elsewhere(
+        self, shard_pair, monkeypatch
+    ):
+        """Shard 1 misses memory and disk but must not re-solve: the key is
+        warm on shard 0, one peer hop away."""
+        map_path, (srv0, srv1), tmp_path = shard_pair
+        spec = parse_solve_spec({"benchmark": "log", "n_max": 7})
+        digest = spec.canonical_digest()
+
+        with ServeClient(port=srv0.port) as client:
+            reference = client.solve(benchmark="log", n_max=7)
+        srv0.server.replicator.drain()  # quiesce write-side replication
+        assert _artifact(tmp_path, 0, digest).is_file()
+        # Shard 1 must answer without ever entering the solver.
+        solver_mod = importlib.import_module("repro.core.solver")
+
+        def boom(*_args, **_kwargs):  # pragma: no cover - failing is the test
+            raise AssertionError("shard 1 re-solved a peer-warm key")
+
+        monkeypatch.setattr(solver_mod, "_solve_impl", boom)
+        from repro.core import solve_cache
+
+        solve_cache.clear()  # memory tier must miss too
+        # Evict the key from shard 1's local store (replication may have
+        # already copied it there) — the cluster tier must now answer.
+        srv1.server.store._discard(digest, _artifact(tmp_path, 1, digest))
+        with ServeClient(port=srv1.port) as client:
+            answer = client.solve(benchmark="log", n_max=7)
+        assert answer["solution"] == reference["solution"]
+        assert answer["key"] == reference["key"]
+
+    def test_peer_fetch_replicates_byte_identically(self, shard_pair):
+        map_path, (srv0, srv1), tmp_path = shard_pair
+        spec = parse_solve_spec({"benchmark": "se", "n_max": 6})
+        digest = spec.canonical_digest()
+        with ServeClient(port=srv0.port) as client:
+            client.solve(benchmark="se", n_max=6)
+        from repro.core import solve_cache
+
+        solve_cache.clear()
+        with ServeClient(port=srv1.port) as client:
+            client.solve(benchmark="se", n_max=6)
+        a = _artifact(tmp_path, 0, digest)
+        b = _artifact(tmp_path, 1, digest)
+        assert a.is_file() and b.is_file()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_write_side_replication_copies_fresh_solves(self, shard_pair):
+        """A fresh solve on one shard lands on its ring successor too."""
+        map_path, (srv0, srv1), tmp_path = shard_pair
+        spec = parse_solve_spec({"benchmark": "prewitt", "n_max": 5})
+        digest = spec.canonical_digest()
+        # With two shards and copies=2, the solving shard's replica target
+        # is always the other shard, whoever owns the key.
+        with ServeClient(port=srv0.port) as client:
+            client.solve(benchmark="prewitt", n_max=5)
+        assert srv0.server.replicator.drain(timeout_s=10.0)
+        src = _artifact(tmp_path, 0, digest)
+        dst = _artifact(tmp_path, 1, digest)
+        assert src.is_file() and dst.is_file()
+        assert src.read_bytes() == dst.read_bytes()
+
+    def test_peer_put_is_idempotent(self, shard_pair):
+        map_path, (srv0, srv1), tmp_path = shard_pair
+        spec = parse_solve_spec({"benchmark": "log", "n_max": 5})
+        digest = spec.canonical_digest()
+        with ServeClient(port=srv0.port) as client:
+            client.solve(benchmark="log", n_max=5)
+            document = client.peer_solution(digest)
+        assert document is not None
+        with ServeClient(port=srv1.port) as client:
+            first = client.peer_put(digest, document)
+            before = _artifact(tmp_path, 1, digest).read_bytes()
+            second = client.peer_put(digest, document)
+            after = _artifact(tmp_path, 1, digest).read_bytes()
+        assert first["stored"] == second["stored"] == digest
+        assert first["entries"] == second["entries"]
+        assert before == after == _artifact(tmp_path, 0, digest).read_bytes()
+
+    def test_peer_digests_lists_the_shard_inventory(self, shard_pair):
+        map_path, (srv0, _srv1), _tmp = shard_pair
+        spec = parse_solve_spec({"benchmark": "log", "n_max": 9})
+        with ServeClient(port=srv0.port) as client:
+            client.solve(benchmark="log", n_max=9)
+            digests = client.peer_digests()
+        assert spec.canonical_digest() in digests
+
+    def test_peer_fetch_skips_dead_peers(self, shard_pair):
+        """A dead peer in the walk is an error counter, not a failure."""
+        map_path, (srv0, srv1), tmp_path = shard_pair
+        spec = parse_solve_spec({"benchmark": "log", "n_max": 8})
+        digest = spec.canonical_digest()
+        with ServeClient(port=srv0.port) as client:
+            client.solve(benchmark="log", n_max=8)
+        # A fetcher acting as a third shard: both peers in its walk, one dead.
+        write_cluster_map(
+            map_path,
+            {
+                0: ("127.0.0.1", srv0.port),
+                1: ("127.0.0.1", 1),  # nothing listens on port 1
+                2: ("127.0.0.1", 65000),
+            },
+        )
+        fetcher = PeerFetcher(map_path, shard_id=2)
+        try:
+            document = fetcher.fetch_document(digest)
+            assert document is not None and document["digest"] == digest
+        finally:
+            fetcher.close()
+
+    def test_peer_endpoints_absent_on_plain_servers(self, tmp_path):
+        with serve_in_thread(store_dir=str(tmp_path / "plain")) as srv:
+            with ServeClient(port=srv.port) as client:
+                with pytest.raises(ServeError) as err:
+                    client.peer_digests()
+        assert err.value.http_status == 404
+
+
+class _ScriptedHTTP:
+    """A socket server answering one canned HTTP response per connection."""
+
+    def __init__(self, responses):
+        self.responses = list(responses)
+        self.hits = 0
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while self.hits < len(self.responses):
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    conn.recv(65536)
+                    conn.sendall(self.responses[self.hits])
+                except OSError:
+                    pass
+                self.hits += 1
+
+    def close(self):
+        self._sock.close()
+
+    def settled_hits(self, expect: int, timeout_s: float = 2.0) -> int:
+        """hits, waiting briefly — the serve thread tallies after sendall."""
+        deadline = time.monotonic() + timeout_s
+        while self.hits < expect and time.monotonic() < deadline:
+            time.sleep(0.005)
+        return self.hits
+
+
+def _http(status: str, body: dict, extra_headers: str = "") -> bytes:
+    payload = json.dumps(body).encode()
+    return (
+        f"HTTP/1.1 {status}\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n{extra_headers}"
+        "Connection: close\r\n\r\n"
+    ).encode() + payload
+
+
+class TestClientRetries:
+    def test_retries_429_honoring_retry_after(self):
+        busy = _http(
+            "429 Too Many Requests",
+            {"error": {"code": "queue_full", "message": "try later",
+                       "retry_after_s": 0.01}},
+            "Retry-After: 0.01\r\n",
+        )
+        ok = _http("200 OK", {"status": "ok"})
+        server = _ScriptedHTTP([busy, busy, ok])
+        try:
+            with ServeClient(port=server.port, retries=3, backoff_s=0.01) as client:
+                started = time.perf_counter()
+                assert client.healthz() == {"status": "ok"}
+                elapsed = time.perf_counter() - started
+        finally:
+            server.close()
+        assert server.settled_hits(3) == 3
+        assert elapsed < 5.0  # hints kept the backoff tiny
+
+    def test_retries_zero_fails_fast(self):
+        busy = _http(
+            "429 Too Many Requests", {"error": {"code": "queue_full", "message": "no"}}
+        )
+        server = _ScriptedHTTP([busy, busy])
+        try:
+            with ServeClient(port=server.port) as client:  # retries=0 default
+                with pytest.raises(ServerBusyError):
+                    client.healthz()
+        finally:
+            server.close()
+        assert server.settled_hits(1) == 1
+
+    def test_exhausted_retries_surface_the_final_429(self):
+        busy = _http(
+            "429 Too Many Requests", {"error": {"code": "queue_full", "message": "no"}}
+        )
+        server = _ScriptedHTTP([busy] * 3)
+        try:
+            with ServeClient(port=server.port, retries=2, backoff_s=0.005) as client:
+                with pytest.raises(ServerBusyError):
+                    client.healthz()
+        finally:
+            server.close()
+        assert server.settled_hits(3) == 3  # initial try + 2 retries
+
+    def test_non_retryable_errors_never_retry(self):
+        bad = _http(
+            "400 Bad Request",
+            {"error": {"code": "bad_request", "message": "nope"}},
+        )
+        server = _ScriptedHTTP([bad, bad])
+        try:
+            with ServeClient(port=server.port, retries=5, backoff_s=0.005) as client:
+                with pytest.raises(ServeError) as err:
+                    client.healthz()
+        finally:
+            server.close()
+        assert err.value.http_status == 400
+        assert server.settled_hits(1) == 1
+
+    def test_invalid_retry_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ServeClient(retries=-1)
+        with pytest.raises(ValueError):
+            ServeClient(retries=1, backoff_s=-0.1)

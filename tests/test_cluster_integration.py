@@ -1,0 +1,188 @@
+"""Whole-cluster behaviour: routing, aggregation, chaos, backfill.
+
+One module-scoped :class:`~repro.cluster.router.LocalCluster` (3 shards,
+subprocess workers, real front socket) serves every test here — spawning
+a fleet per test would dominate the suite's wall clock.  Tests that
+perturb the fleet (chaos, backfill) run last and restore it via
+``wait_all_alive`` before yielding to the next.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.serve import ServeClient
+from repro.serve.protocol import parse_solve_spec
+
+SHARDS = 3
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cluster-store")
+    with LocalCluster(shards=SHARDS, store_root=root) as lc:
+        yield lc
+
+
+def _client(cluster: LocalCluster, **kwargs) -> ServeClient:
+    return ServeClient(host=cluster.host, port=cluster.port, **kwargs)
+
+
+def _solve_digest(n_max: int) -> str:
+    return parse_solve_spec({"benchmark": "log", "n_max": n_max}).canonical_digest()
+
+
+class TestRouting:
+    def test_front_healthz_reports_fleet(self, cluster):
+        with _client(cluster) as client:
+            health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "cluster-front"
+        assert health["shards"] == SHARDS
+        assert sorted(health["alive_shards"]) == list(range(SHARDS))
+
+    def test_solves_land_on_their_ring_owner(self, cluster):
+        """Digest routing is observable on disk: after a solve through the
+        front, the artifact exists in the *owner's* shard directory."""
+        with _client(cluster) as client:
+            for n_max in range(4, 10):
+                client.solve(benchmark="log", n_max=n_max)
+        deadline = time.monotonic() + 10.0
+        missing = dict.fromkeys(range(4, 10))
+        while missing and time.monotonic() < deadline:
+            for n_max in list(missing):
+                digest = _solve_digest(n_max)
+                owner = cluster.supervisor.ring.owner(digest)
+                path = cluster.supervisor.shard_dir(owner) / f"{digest}.json"
+                if path.is_file():
+                    del missing[n_max]
+            time.sleep(0.05)
+        assert not missing, f"owner artifacts never appeared for n_max={list(missing)}"
+
+    def test_duplicate_requests_are_identical_across_clients(self, cluster):
+        results = []
+        errors = []
+
+        def hammer():
+            try:
+                with _client(cluster) as client:
+                    results.append(client.solve(benchmark="se", n_max=6))
+            except Exception as exc:  # pragma: no cover - failing is the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        reference = json.dumps(results[0], sort_keys=True)
+        assert all(json.dumps(r, sort_keys=True) == reference for r in results)
+
+    def test_simulate_agrees_with_solve(self, cluster):
+        with _client(cluster) as client:
+            solved = client.solve(benchmark="log", n_max=5)
+            simulated = client.simulate(
+                shape=[24, 24], benchmark="log", n_max=5, limit=16
+            )
+        assert simulated["solution"] == solved["solution"]
+        assert simulated["report"]["measured_ii"] >= 1
+
+
+class TestObservability:
+    def test_metrics_aggregate_worker_shadows_and_front_counters(self, cluster):
+        with _client(cluster) as client:
+            client.solve(benchmark="log", n_max=4)  # ensure routed traffic
+            text = client.metrics_text()
+        # Worker registries merge in under per-shard shadow prefixes.
+        assert "worker_0" in text
+        # The front's own routing counters merge in unprefixed.
+        assert "cluster_routed" in text or "cluster_requests" in text
+
+    def test_debug_cluster_shape(self, cluster):
+        with _client(cluster) as client:
+            client.solve(benchmark="log", n_max=4)
+            doc = client._json("GET", "/debug/cluster")
+        assert doc["shards"] == SHARDS
+        assert len(doc["workers"]) == SHARDS
+        for worker in doc["workers"]:
+            assert worker["alive"] is True
+            assert isinstance(worker["pid"], int)
+            assert worker["store"] is not None
+        assert doc["front"]["port"] == cluster.port
+        routed = sum(w["routed"] for w in doc["workers"])
+        assert routed >= 1
+        assert any(
+            name.startswith("cluster.") for name in doc["front"]["counters"]
+        )
+
+
+class TestChaos:
+    def test_kill_owner_midstream_loses_nothing(self, cluster):
+        """SIGKILL the shard owning a hot key while a retrying client hammers
+        it: every request succeeds (via failover then respawn) and every
+        response matches the pre-chaos answer bit for bit."""
+        digest = _solve_digest(8)
+        with _client(cluster) as client:
+            reference = client.solve(benchmark="log", n_max=8)
+        victim = cluster.supervisor.preference(digest)[0]
+        before = cluster.supervisor.describe()["workers"][victim]["restarts"]
+
+        results = []
+        errors = []
+
+        def hammer():
+            try:
+                with _client(cluster, retries=10, backoff_s=0.05) as client:
+                    for _ in range(5):
+                        results.append(client.solve(benchmark="log", n_max=8))
+            except Exception as exc:  # pragma: no cover - failing is the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        cluster.supervisor.kill(victim)
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, f"requests lost during dead window: {errors[:3]}"
+        assert len(results) == 15
+        reference_json = json.dumps(reference, sort_keys=True)
+        assert all(
+            json.dumps(r, sort_keys=True) == reference_json for r in results
+        )
+        # The monitor notices the death asynchronously; wait for the respawn
+        # rather than racing it (the warm solves above finish in milliseconds).
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            after = cluster.supervisor.describe()["workers"][victim]["restarts"]
+            if after == before + 1:
+                break
+            time.sleep(0.05)
+        assert after == before + 1
+        assert cluster.supervisor.wait_all_alive(timeout_s=30.0)
+
+    def test_backfill_is_idempotent(self, cluster):
+        """Re-running backfill copies nothing new and perturbs no bytes."""
+        assert cluster.supervisor.wait_all_alive(timeout_s=30.0)
+        target = 0
+        first = cluster.supervisor.backfill(target)
+        snapshot = {
+            p.name: p.read_bytes()
+            for p in cluster.supervisor.shard_dir(target).glob("*.json")
+        }
+        second = cluster.supervisor.backfill(target)
+        assert second["copied"] == 0
+        assert second["errors"] == 0
+        assert first["errors"] == 0
+        after = {
+            p.name: p.read_bytes()
+            for p in cluster.supervisor.shard_dir(target).glob("*.json")
+        }
+        assert after == snapshot

@@ -35,6 +35,16 @@ def _spec(n_max=8, benchmark="log"):
     return parse_solve_spec({"benchmark": benchmark, "n_max": n_max})
 
 
+def _spec_offsets(offsets, n_max=8):
+    return parse_solve_spec({"offsets": offsets, "n_max": n_max})
+
+
+def _spec_shaped(shape, n_max=8, benchmark="log"):
+    return parse_solve_spec(
+        {"benchmark": benchmark, "shape": shape, "n_max": n_max}
+    )
+
+
 class TestNeighborGeneration:
     def test_unbounded_spec_has_no_neighbors(self, store):
         pf = Prefetcher(store, idle=lambda: False)
@@ -47,7 +57,10 @@ class TestNeighborGeneration:
         pf = Prefetcher(store, idle=lambda: False)
         try:
             neighbors = pf._neighbors(_spec(n_max=8))
-            assert [n.n_max for n in neighbors] == [9, 7]
+            assert [(k, n.n_max) for k, n in neighbors] == [
+                ("nmax", 9),
+                ("nmax", 7),
+            ]
         finally:
             pf.close()
 
@@ -57,7 +70,11 @@ class TestNeighborGeneration:
         try:
             pf._neighbors(_spec(n_max=6))
             neighbors = pf._neighbors(_spec(n_max=8))
-            assert [n.n_max for n in neighbors] == [10, 9, 7]
+            assert [(k, n.n_max) for k, n in neighbors] == [
+                ("sweep", 10),
+                ("nmax", 9),
+                ("nmax", 7),
+            ]
         finally:
             pf.close()
 
@@ -66,8 +83,8 @@ class TestNeighborGeneration:
         try:
             pf._neighbors(_spec(n_max=3))
             neighbors = pf._neighbors(_spec(n_max=1))
-            assert all(n.n_max >= 1 for n in neighbors)
-            assert [n.n_max for n in neighbors] == [2]
+            assert all(n.n_max >= 1 for _, n in neighbors)
+            assert [(k, n.n_max) for k, n in neighbors] == [("nmax", 2)]
         finally:
             pf.close()
 
@@ -77,7 +94,103 @@ class TestNeighborGeneration:
             pf._neighbors(_spec(n_max=6, benchmark="log"))
             # A different kernel at 8 must not inherit log's 6->? stride.
             neighbors = pf._neighbors(_spec(n_max=8, benchmark="se"))
-            assert [n.n_max for n in neighbors] == [9, 7]
+            assert [(k, n.n_max) for k, n in neighbors] == [
+                ("nmax", 9),
+                ("nmax", 7),
+            ]
+        finally:
+            pf.close()
+
+    def test_unroll_ladder_predicts_the_next_factor(self, store):
+        """Seeing base, then unrolled(base, 2), predicts unrolled(base, 3)."""
+        from repro.patterns.generators import unrolled
+
+        base = _spec_offsets([[0, 0], [0, 1], [1, 0]], n_max=6)
+        rung2 = parse_solve_spec(
+            {
+                "offsets": [list(o) for o in unrolled(base.pattern, 2).offsets],
+                "n_max": 6,
+            }
+        )
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(base)
+            neighbors = pf._neighbors(rung2)
+            by_class = {k: n for k, n in neighbors}
+            assert "unroll" in by_class
+            predicted = by_class["unroll"].pattern.normalized()
+            expected = unrolled(base.pattern, 3).normalized()
+            assert predicted.offsets == expected.offsets
+        finally:
+            pf.close()
+
+    def test_unroll_ladder_ignores_unrelated_patterns(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec_offsets([[0, 0], [0, 1], [1, 0]], n_max=6))
+            neighbors = pf._neighbors(
+                _spec_offsets([[0, 0], [2, 3], [5, 1], [4, 4]], n_max=6)
+            )
+            assert all(k != "unroll" for k, _ in neighbors)
+        finally:
+            pf.close()
+
+    def test_shape_ladder_extrapolates_a_uniform_ratio(self, store):
+        """32x32 then 64x64 for one kernel predicts 128x128."""
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec_shaped([32, 32], n_max=6))
+            neighbors = pf._neighbors(_spec_shaped([64, 64], n_max=6))
+            by_class = {k: n for k, n in neighbors}
+            assert by_class["shape"].shape == (128, 128)
+        finally:
+            pf.close()
+
+    def test_shape_ladder_extrapolates_a_uniform_increment(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec_shaped([48, 48], n_max=6))
+            neighbors = pf._neighbors(_spec_shaped([64, 64], n_max=6))
+            by_class = {k: n for k, n in neighbors}
+            assert by_class["shape"].shape == (80, 80)
+        finally:
+            pf.close()
+
+    def test_shape_ladder_respects_the_volume_cap(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec_shaped([512, 512], n_max=6))
+            neighbors = pf._neighbors(_spec_shaped([2048, 2048], n_max=6))
+            # 8192x8192 would exceed the cap: no shape-class neighbor.
+            assert all(k != "shape" for k, _ in neighbors)
+        finally:
+            pf.close()
+
+    def test_mixed_axis_progressions_are_not_extrapolated(self, store):
+        pf = Prefetcher(store, idle=lambda: False)
+        try:
+            pf._neighbors(_spec_shaped([32, 32], n_max=6))
+            neighbors = pf._neighbors(_spec_shaped([64, 48], n_max=6))
+            assert all(k != "shape" for k, _ in neighbors)
+        finally:
+            pf.close()
+
+    def test_per_class_counters_break_down_enqueues(self, store):
+        """Sweep history is per shape; shape history is per budget — a walk
+        that holds each constant in turn lights up both counters."""
+        pf = Prefetcher(store, idle=lambda: False, cap=64)
+        try:
+            pf.observe(_spec_shaped([32, 32], n_max=6))  # nmax 7, 5
+            pf.observe(_spec_shaped([32, 32], n_max=8))  # sweep 10; nmax 9 (7 queued)
+            pf.observe(_spec_shaped([64, 64], n_max=8))  # shape 128x128; nmax 9, 7
+            stats = pf.stats()
+            by_class = stats["enqueued_by_class"]
+            assert set(by_class) == {"nmax", "sweep", "unroll", "shape"}
+            assert by_class["nmax"] == 5
+            assert by_class["sweep"] == 1  # 6 -> 8 at 32x32 extrapolates 10
+            assert by_class["shape"] == 1  # 32x32 -> 64x64 at 8 extrapolates 128x128
+            assert by_class["unroll"] == 0
+            assert stats["enqueued"] == sum(by_class.values())
         finally:
             pf.close()
 
