@@ -1,9 +1,19 @@
 # Convenience targets for the repro repository.
 
-.PHONY: install test bench bench-perf bench-check validate table1 casestudy examples serve cluster verify fuzz all
+.PHONY: install build-ext clean-ext test bench bench-perf bench-check validate table1 casestudy examples serve cluster verify fuzz all
 
 install:
 	python setup.py develop
+
+# Optional compiled fast tier (engine="native"; docs/PERFORMANCE.md).
+# Needs a C compiler; everything keeps working without it — engine="auto"
+# falls back to the NumPy engines when the extension is absent.
+build-ext:
+	REPRO_BUILD_NATIVE=1 python setup.py build_ext --inplace
+
+clean-ext:
+	rm -f src/repro/native/_native*.so src/repro/native/_native*.pyd
+	rm -rf build
 
 test:
 	pytest tests/

@@ -38,6 +38,7 @@ from repro.baselines import (
     cyclic_mapping,
     ltb_partition,
 )
+from repro import native as repro_native
 from repro.core import OpCounter, partition, same_size_sweep, solve, solve_cache
 from repro.core.mapping import BankMapping
 from repro.core.pattern import Pattern
@@ -94,6 +95,28 @@ def _best_of(fn, repeat: int) -> float:
     return best
 
 
+def _native_sim_columns(
+    mapping: BankMapping, scalar_report, scalar_s: float, repeat: int
+) -> Dict[str, Any]:
+    """``native_*`` columns for a simulate row, or ``{}`` when not built.
+
+    The native columns are *additive*: a tree without the extension emits
+    the same document minus these keys, and ``repro-bench-check`` treats
+    them as optional (gated only when present).
+    """
+    if not repro_native.available():
+        return {}
+    native_s = _best_of(
+        lambda: simulate_sweep(mapping, verify=False, engine="native"), repeat
+    )
+    native_report = simulate_sweep(mapping, verify=False, engine="native")
+    return {
+        "native_s": native_s,
+        "native_speedup": scalar_s / native_s if native_s else float("inf"),
+        "native_identical": scalar_report == native_report,
+    }
+
+
 def _bench_simulate(
     name: str, pattern: Pattern, shape: Sequence[int], repeat: int
 ) -> Dict[str, Any]:
@@ -109,7 +132,7 @@ def _bench_simulate(
     )
     scalar_report = simulate_sweep(mapping, verify=False, engine="scalar")
     vector_report = simulate_sweep(mapping, verify=False, engine="vectorized")
-    return {
+    row = {
         "workload": name,
         "shape": list(shape),
         "pattern_elements": pattern.size,
@@ -119,6 +142,8 @@ def _bench_simulate(
         "speedup": scalar_s / vector_s if vector_s else float("inf"),
         "reports_identical": scalar_report == vector_report,
     }
+    row.update(_native_sim_columns(mapping, scalar_report, scalar_s, repeat))
+    return row
 
 
 def _bench_solve(name: str, pattern: Pattern, repeat: int) -> Dict[str, Any]:
@@ -158,32 +183,44 @@ def _bench_sweep(name: str, pattern: Pattern, n_max: int, repeat: int) -> Dict[s
     }
 
 
+def _ltb_observables(pattern: Pattern, engine: str):
+    ops = OpCounter()
+    result = ltb_partition(pattern, ops=ops, engine=engine)
+    return (
+        result.solution.n_banks,
+        result.solution.transform.alpha,
+        result.vectors_tried,
+        result.candidates_tried,
+        ops.counts,
+    )
+
+
 def _bench_ltb_search(name: str, pattern: Pattern, repeat: int) -> Dict[str, Any]:
     scalar_s = _best_of(lambda: ltb_partition(pattern, engine="scalar"), repeat)
     vector_s = _best_of(lambda: ltb_partition(pattern, engine="vectorized"), repeat)
-    scalar_ops, vector_ops = OpCounter(), OpCounter()
-    scalar = ltb_partition(pattern, ops=scalar_ops, engine="scalar")
-    vector = ltb_partition(pattern, ops=vector_ops, engine="vectorized")
-    identical = (
-        scalar.solution.n_banks == vector.solution.n_banks
-        and scalar.solution.transform.alpha == vector.solution.transform.alpha
-        and scalar.vectors_tried == vector.vectors_tried
-        and scalar.candidates_tried == vector.candidates_tried
-        and scalar_ops.counts == vector_ops.counts
-    )
-    return {
+    scalar_obs = _ltb_observables(pattern, "scalar")
+    vector_obs = _ltb_observables(pattern, "vectorized")
+    n_banks, alpha, vectors_tried, _, _ = vector_obs
+    row = {
         "workload": name,
         "pattern_elements": pattern.size,
-        "solution": {
-            "n_banks": vector.solution.n_banks,
-            "alpha": list(vector.solution.transform.alpha),
-        },
-        "vectors_tried": vector.vectors_tried,
+        "solution": {"n_banks": n_banks, "alpha": list(alpha)},
+        "vectors_tried": vectors_tried,
         "scalar_s": scalar_s,
         "vectorized_s": vector_s,
         "speedup": scalar_s / vector_s if vector_s else float("inf"),
-        "reports_identical": identical,
+        "reports_identical": scalar_obs == vector_obs,
     }
+    if repro_native.available():
+        native_s = _best_of(
+            lambda: ltb_partition(pattern, engine="native"), repeat
+        )
+        row.update(
+            native_s=native_s,
+            native_speedup=scalar_s / native_s if native_s else float("inf"),
+            native_identical=scalar_obs == _ltb_observables(pattern, "native"),
+        )
+    return row
 
 
 def _bench_baseline_sim(
@@ -205,18 +242,18 @@ def _bench_baseline_sim(
         )
         scalar_report = simulate_sweep(mapping, verify=False, engine="scalar")
         vector_report = simulate_sweep(mapping, verify=False, engine="vectorized")
-        rows.append(
-            {
-                "workload": f"{name}_{scheme_name}",
-                "scheme": scheme_name,
-                "shape": list(shape),
-                "n_banks": mapping.n_banks,
-                "scalar_s": scalar_s,
-                "vectorized_s": vector_s,
-                "speedup": scalar_s / vector_s if vector_s else float("inf"),
-                "reports_identical": scalar_report == vector_report,
-            }
-        )
+        row = {
+            "workload": f"{name}_{scheme_name}",
+            "scheme": scheme_name,
+            "shape": list(shape),
+            "n_banks": mapping.n_banks,
+            "scalar_s": scalar_s,
+            "vectorized_s": vector_s,
+            "speedup": scalar_s / vector_s if vector_s else float("inf"),
+            "reports_identical": scalar_report == vector_report,
+        }
+        row.update(_native_sim_columns(mapping, scalar_report, scalar_s, repeat))
+        rows.append(row)
     return rows
 
 
@@ -948,6 +985,7 @@ def run_suite(preset: str, repeat: int = 3) -> Dict[str, Any]:
         "preset": preset,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "native_available": repro_native.available(),
         "simulate": [],
         "solve": [],
         "sweep": [],
@@ -999,10 +1037,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
 
     for row in doc["simulate"]:
+        native = (
+            f", native {row['native_s']:.3f}s ({row['native_speedup']:.1f}x, "
+            f"identical={row['native_identical']})"
+            if "native_s" in row
+            else ""
+        )
         print(
             f"simulate {row['workload']}: scalar {row['scalar_s']:.3f}s, "
             f"vectorized {row['vectorized_s']:.3f}s "
             f"({row['speedup']:.1f}x, identical={row['reports_identical']})"
+            f"{native}"
         )
     for row in doc["solve"]:
         print(
@@ -1016,17 +1061,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"vectorized {row['vectorized_s'] * 1e3:.2f}ms ({row['speedup']:.1f}x)"
         )
     for row in doc["ltb_search"]:
+        native = (
+            f", native {row['native_s'] * 1e3:.2f}ms "
+            f"({row['native_speedup']:.1f}x, identical={row['native_identical']})"
+            if "native_s" in row
+            else ""
+        )
         print(
             f"ltb_search {row['workload']}: scalar {row['scalar_s'] * 1e3:.2f}ms, "
             f"vectorized {row['vectorized_s'] * 1e3:.2f}ms "
             f"({row['speedup']:.1f}x, N={row['solution']['n_banks']}, "
-            f"identical={row['reports_identical']})"
+            f"identical={row['reports_identical']}){native}"
         )
     for row in doc["baseline_sim"]:
+        native = (
+            f", native {row['native_s'] * 1e3:.2f}ms "
+            f"({row['native_speedup']:.1f}x, identical={row['native_identical']})"
+            if "native_s" in row
+            else ""
+        )
         print(
             f"baseline_sim {row['workload']}: scalar {row['scalar_s'] * 1e3:.2f}ms, "
             f"vectorized {row['vectorized_s'] * 1e3:.2f}ms "
             f"({row['speedup']:.1f}x, identical={row['reports_identical']})"
+            f"{native}"
         )
     for row in doc["serve"]:
         print(
@@ -1081,6 +1139,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         and all(r["results_identical"] for r in doc["sweep"])
         and all(r["reports_identical"] for r in doc["ltb_search"])
         and all(r["reports_identical"] for r in doc["baseline_sim"])
+        and all(
+            r.get("native_identical", True)
+            for section in ("simulate", "ltb_search", "baseline_sim")
+            for r in doc[section]
+        )
         and all(r["rows_identical"] for r in doc["dag"])
         and all(r["responses_identical"] for r in doc["zipf"])
         and all(

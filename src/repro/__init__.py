@@ -58,6 +58,7 @@ from .errors import (
     HLSError,
     InfeasibleConstraintError,
     MappingError,
+    NativeUnavailableError,
     PartitioningError,
     PatternError,
     ReproError,
@@ -83,6 +84,7 @@ __all__ = [
     "HLSError",
     "InfeasibleConstraintError",
     "MappingError",
+    "NativeUnavailableError",
     "PartitioningError",
     "PatternError",
     "ReproError",

@@ -54,8 +54,11 @@ from ..core.transform import LinearTransform
 from ..core.vectorized import chunk_budget
 from ..errors import PartitioningError
 
-#: Engine names accepted by :func:`ltb_partition`.
-LTB_ENGINES = ("auto", "scalar", "vectorized")
+#: Engine names accepted by :func:`ltb_partition`.  ``"native"`` is the
+#: optional compiled tier (:mod:`repro.native`): the whole per-``N`` scan —
+#: odometer enumeration, residue check, first-duplicate detection — runs in
+#: C, with charges identical to both Python engines.
+LTB_ENGINES = ("auto", "scalar", "vectorized", "native")
 
 #: Candidate spaces beyond int64 cannot be block-decoded (and could not be
 #: enumerated by the scalar loop within a lifetime either).
@@ -150,6 +153,75 @@ def _search_scalar(
     return None, tried
 
 
+def resolve_ltb_engine(engine: str = "auto") -> str:
+    """Concrete engine :func:`ltb_partition` will run.
+
+    ``"auto"`` prefers ``native`` when the compiled extension is usable
+    (built, importable, not disabled via ``REPRO_NATIVE=0``) and falls back
+    to ``vectorized`` silently otherwise; forcing ``engine="native"``
+    without a usable extension raises
+    :class:`~repro.errors.NativeUnavailableError`.
+    """
+    if engine not in LTB_ENGINES:
+        raise ValueError(
+            f"unknown LTB engine {engine!r}; choose one of {LTB_ENGINES}"
+        )
+    from .. import native
+
+    if engine == "auto":
+        return "native" if native.available() else "vectorized"
+    if engine == "native":
+        native.require()  # NativeUnavailableError when absent or disabled
+    return engine
+
+
+def _guard_candidate_space(n_banks: int, ndim: int) -> int:
+    """Total candidates ``N^n``, or the shared too-large error."""
+    total = n_banks**ndim
+    if total > _INT64_LIMIT:
+        raise PartitioningError(
+            f"LTB candidate space {n_banks}^{ndim} exceeds the int64 index "
+            "range; no engine can enumerate it"
+        )
+    return total
+
+
+def _search_native(
+    pattern: Pattern, n_banks: int, counter: OpCounter
+) -> Tuple[Tuple[int, ...] | None, int]:
+    """Compiled per-``N`` search, charge-identical to :func:`_search_scalar`.
+
+    The C kernel (:mod:`repro.native._native`) enumerates candidates with a
+    rightmost-fastest odometer (``itertools.product`` order), recomputes the
+    ``m`` residues per candidate with Python modulo semantics, and detects
+    the first duplicate with an epoch-stamped seen table — returning the
+    lexicographic first hit, the exact vectors-tried count, and the
+    comparison total ``Σ (1 + t(t+1)/2)`` the scalar scan would have
+    charged.  Arithmetic charges follow the same wholesale-per-vector model
+    as both Python engines.
+    """
+    from ..native import require
+
+    compiled = require()
+    m, ndim = pattern.size, pattern.ndim
+    _guard_candidate_space(n_banks, ndim)
+    deltas = np.ascontiguousarray(
+        np.asarray(pattern.offsets, dtype=np.int64).reshape(m, ndim)
+    )
+    alpha_out = np.zeros(ndim, dtype=np.int64)
+    found, tried, compares = compiled.ltb_scan(
+        deltas, m, ndim, n_banks, alpha_out
+    )
+    counter.mul(tried * m * ndim)
+    if ndim > 1:
+        counter.add(tried * m * (ndim - 1))
+    counter.mod(tried * m)
+    counter.compare(compares)
+    if found:
+        return tuple(int(a) for a in alpha_out), tried
+    return None, tried
+
+
 def _decode_block(
     lo: int, hi: int, n_banks: int, ndim: int, dtype: type
 ) -> "np.ndarray":
@@ -181,12 +253,7 @@ def _search_vectorized(
     the comparison charges reproducible, not just the verdict.
     """
     m, ndim = pattern.size, pattern.ndim
-    total = n_banks**ndim
-    if total > _INT64_LIMIT:
-        raise PartitioningError(
-            f"LTB candidate space {n_banks}^{ndim} exceeds the int64 index "
-            "range; no engine can enumerate it"
-        )
+    total = _guard_candidate_space(n_banks, ndim)
     deltas = np.asarray(pattern.offsets, dtype=np.int64).reshape(m, ndim).T
     # Narrow dtypes when every intermediate (candidate index, dot product,
     # packed key) provably fits — int32 sorts are ~2x faster and dominate
@@ -257,12 +324,17 @@ def ltb_partition(
         serve ``m`` parallel accesses at full bandwidth).
     engine:
         ``"scalar"`` runs the published enumeration verbatim;
-        ``"vectorized"`` (what ``"auto"`` resolves to) runs the chunked
-        NumPy search.  Results, counters, and op charges are identical —
-        property-tested in ``tests/test_ltb_vectorized.py``.
+        ``"vectorized"`` runs the chunked NumPy search; ``"native"`` runs
+        the compiled scan when the optional extension is built
+        (:class:`~repro.errors.NativeUnavailableError` otherwise).
+        ``"auto"`` resolves to ``native`` when available, else
+        ``vectorized``.  Results, counters, and op charges are identical
+        across all engines — property-tested in
+        ``tests/test_ltb_vectorized.py``.
     chunk:
         Optional residue-cell budget per vectorized block (overrides
-        ``REPRO_LTB_CHUNK``); ignored by the scalar engine.
+        ``REPRO_LTB_CHUNK``); ignored by the scalar and native engines
+        (the native scan streams candidates without materializing blocks).
 
     Raises
     ------
@@ -275,12 +347,7 @@ def ltb_partition(
     >>> ltb_partition(log_pattern()).solution.n_banks
     13
     """
-    if engine not in LTB_ENGINES:
-        raise ValueError(
-            f"unknown LTB engine {engine!r}; choose one of {LTB_ENGINES}"
-        )
-    if engine == "auto":
-        engine = "vectorized"
+    engine = resolve_ltb_engine(engine)
     counter = resolve(ops)
     m = pattern.size
     first = start_n if start_n is not None else m
@@ -292,7 +359,9 @@ def ltb_partition(
     n = first
     while n_max is None or n <= n_max:
         candidates_tried += 1
-        if engine == "vectorized":
+        if engine == "native":
+            alpha, tried = _search_native(pattern, n, counter)
+        elif engine == "vectorized":
             alpha, tried = _search_vectorized(pattern, n, counter, chunk)
         else:
             alpha, tried = _search_scalar(pattern, n, counter)

@@ -40,6 +40,7 @@ from ..core.pattern import Pattern
 from ..core.transform import LinearTransform
 from ..core.vectorized import register_bulk_kernel
 from ..errors import MappingError
+from ..native import register_native_spec
 from .block import BlockScheme
 from .cyclic import CyclicScheme
 
@@ -193,5 +194,31 @@ def _block_kernel(
     return banks, _ravel_rows(coords, mapping.bank_shape)
 
 
+def _cyclic_spec(mapping: CyclicBankMapping) -> dict:
+    return {
+        "kind": 1,
+        "n_banks": mapping.n_banks,
+        "dim": mapping.dim,
+        "divisor": mapping.n_banks,
+        "bank_shape": mapping.bank_shape,
+    }
+
+
+def _block_spec(mapping: BlockBankMapping) -> dict:
+    return {
+        "kind": 2,
+        "n_banks": mapping.n_banks,
+        "dim": mapping.dim,
+        "divisor": mapping.chunk,
+        "bank_shape": mapping.bank_shape,
+    }
+
+
 register_bulk_kernel(CyclicBankMapping, _cyclic_kernel)
 register_bulk_kernel(BlockBankMapping, _block_kernel)
+
+# The same types also opt into the compiled tier's fused trace kernel
+# (engine="native"); registration is pure metadata and costs nothing when
+# the extension is not built.
+register_native_spec(CyclicBankMapping, _cyclic_spec)
+register_native_spec(BlockBankMapping, _block_spec)

@@ -62,6 +62,13 @@ CHECKS: List[Dict[str, Any]] = [
     {"section": "ltb_search", "metric": "vectorized_s", "kind": "time", "floor": 0.005},
     {"section": "baseline_sim", "metric": "scalar_s", "kind": "time", "floor": 0.005},
     {"section": "baseline_sim", "metric": "vectorized_s", "kind": "time", "floor": 0.005},
+    # Native-engine columns are emitted only when the compiled extension is
+    # built, so they gate as ``optional``: absent from the candidate →
+    # skipped (with a visible reason), present → held to the same slack as
+    # every other timing.
+    {"section": "simulate", "metric": "native_s", "kind": "time", "floor": 0.005, "optional": True},
+    {"section": "ltb_search", "metric": "native_s", "kind": "time", "floor": 0.005, "optional": True},
+    {"section": "baseline_sim", "metric": "native_s", "kind": "time", "floor": 0.005, "optional": True},
     {"section": "serve", "metric": "p50_ms", "kind": "time", "floor": 25.0},
     {"section": "serve", "metric": "rps", "kind": "throughput", "floor": 50.0},
     {"section": "dag", "metric": "flat_wall_s", "kind": "time", "floor": 0.01},
@@ -140,7 +147,10 @@ def compare_documents(
     the absolute delta exceeds the check's floor; ``throughput`` is the
     mirror image (``candidate < baseline / slack`` and delta over floor).
     A workload present in the baseline but missing from the candidate is a
-    regression (the bench silently disappearing must not pass the gate).
+    regression (the bench silently disappearing must not pass the gate) —
+    except for checks marked ``optional``, which are *skipped* when absent
+    from the candidate (the native engine's columns only exist on trees
+    with the extension built) but still gate whenever present.
     """
     if slack <= 1.0:
         raise ValueError(f"slack must be > 1.0, got {slack}")
@@ -148,6 +158,7 @@ def compare_documents(
     for check in CHECKS:
         section, metric = check["section"], check["metric"]
         kind, floor = check["kind"], check["floor"]
+        optional = bool(check.get("optional"))
         base_rows = _rows_by_workload(baseline, section)
         cand_rows = _rows_by_workload(candidate, section)
         for workload, base_row in base_rows.items():
@@ -162,11 +173,22 @@ def compare_documents(
             }
             cand_row = cand_rows.get(workload)
             if cand_row is None or metric not in cand_row:
-                entry.update(
-                    candidate=None,
-                    regression=True,
-                    reason="workload missing from the candidate run",
-                )
+                if optional:
+                    entry.update(
+                        candidate=None,
+                        regression=False,
+                        skipped=True,
+                        reason=(
+                            "optional metric absent from the candidate run "
+                            "(native extension not built here)"
+                        ),
+                    )
+                else:
+                    entry.update(
+                        candidate=None,
+                        regression=True,
+                        reason="workload missing from the candidate run",
+                    )
                 checks.append(entry)
                 continue
             base = float(base_row[metric])
@@ -190,11 +212,13 @@ def compare_documents(
                 entry["reason"] = reason
             checks.append(entry)
     regressions = [c for c in checks if c["regression"]]
+    skipped = [c for c in checks if c.get("skipped")]
     return {
         "slack": slack,
         "checks": checks,
         "checked": len(checks),
         "regressions": len(regressions),
+        "skipped": len(skipped),
         "ok": not regressions,
     }
 
@@ -206,9 +230,16 @@ def _print_report(report: Dict[str, Any]) -> None:
                 f"REGRESSION {entry['section']}/{entry['workload']} "
                 f"{entry['metric']}: {entry.get('reason', 'missing')}"
             )
+    for entry in report["checks"]:
+        if entry.get("skipped"):
+            print(
+                f"skipped {entry['section']}/{entry['workload']} "
+                f"{entry['metric']}: {entry['reason']}"
+            )
     print(
         f"bench-check: {report['checked']} metric(s) checked, "
-        f"{report['regressions']} regression(s) "
+        f"{report['regressions']} regression(s), "
+        f"{report.get('skipped', 0)} optional skipped "
         f"(slack {report['slack']:g}x)"
     )
 

@@ -43,3 +43,12 @@ class SimulationError(ReproError):
 
 class HLSError(ReproError, ValueError):
     """The HLS front-end was given an unsupported loop nest or access."""
+
+
+class NativeUnavailableError(ReproError, RuntimeError):
+    """``engine="native"`` was requested but the compiled extension cannot run.
+
+    Raised when the optional C extension (:mod:`repro.native`) is not built
+    or is disabled via ``REPRO_NATIVE=0``.  ``engine="auto"`` never raises
+    this — it falls back to the NumPy engines silently.
+    """

@@ -41,10 +41,11 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
 def _add_ltb_engine(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--ltb-engine",
-        choices=["auto", "scalar", "vectorized"],
+        choices=["auto", "scalar", "vectorized", "native"],
         default="auto",
         help="LTB search engine for the instrumented run (identical results; "
-        "reported LTB times always measure the scalar reference)",
+        "reported LTB times always measure the scalar reference; native "
+        "requires the compiled extension, see `make build-ext`)",
     )
 
 
@@ -397,10 +398,11 @@ def main_profile(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=["auto", "scalar", "vectorized"],
+        choices=["auto", "scalar", "vectorized", "native"],
         default="auto",
         help="simulation engine (identical reports; scalar shows the "
-        "reference span tree, vectorized the fast path)",
+        "reference span tree, vectorized the fast path, native the "
+        "compiled extension — see `make build-ext`)",
     )
     _add_emit_metrics(parser)
     args = parser.parse_args(argv)

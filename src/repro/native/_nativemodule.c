@@ -1,0 +1,611 @@
+/* Compiled inner loops for the repro library (optional fast tier).
+ *
+ * Three entry points, all operating on caller-provided contiguous int64
+ * buffers (the Python wrappers in repro.sim.native / repro.baselines.ltb
+ * guarantee dtype and layout, so this file never touches the NumPy C API):
+ *
+ *   sweep_chunk    - fused per-chunk trace replay for mappings with a
+ *                    registered native spec (stock linear schemes plus the
+ *                    cyclic/block baselines): address translation,
+ *                    uninitialized-read / corruption checks, and bank
+ *                    conflict accounting in one pass per read.
+ *   conflict_stats - the conflict-accounting segment alone, for the hybrid
+ *                    path where addresses come from a registered NumPy bulk
+ *                    kernel (repro.core.vectorized.register_bulk_kernel).
+ *   ltb_scan       - the whole per-N LTB candidate search: lexicographic
+ *                    odometer enumeration, residue check with Python modulo
+ *                    semantics, first-duplicate detection, and the
+ *                    comparison-charge tally the OpCounter model requires.
+ *
+ * Bit-identity with the scalar and NumPy engines is the contract; the
+ * dual-engine test matrix and the repro.verify differential oracles enforce
+ * it.  Two semantic traps are handled explicitly: C's `%` truncates toward
+ * zero while Python floors (pattern deltas and transform values can be
+ * negative), and the scalar simulator reports a missing read anywhere in a
+ * chunk before a corruption earlier in it (the NumPy engine checks the two
+ * conditions in that order over the whole chunk).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ---------------------------------------------------------------- helpers */
+
+/* Python floor-mod for a positive modulus. */
+static inline int64_t
+pymod(int64_t a, int64_t n)
+{
+    int64_t r = a % n;
+    if (r < 0)
+        r += n;
+    return r;
+}
+
+/* Python floor-div via the matching floor-mod (positive divisor). */
+static inline int64_t
+pydiv(int64_t a, int64_t n)
+{
+    return (a - pymod(a, n)) / n;
+}
+
+typedef struct {
+    Py_buffer view;
+    int held;
+    int64_t *data;
+    Py_ssize_t len; /* in int64 elements */
+} I64Buf;
+
+typedef struct {
+    Py_buffer view;
+    int held;
+    const uint8_t *data;
+    Py_ssize_t len;
+} U8Buf;
+
+/* Acquire a contiguous int64 buffer (or accept None -> data NULL). */
+static int
+get_i64(PyObject *obj, I64Buf *buf, int writable, Py_ssize_t expect,
+        const char *name)
+{
+    buf->held = 0;
+    buf->data = NULL;
+    buf->len = 0;
+    if (obj == Py_None) {
+        if (expect >= 0) {
+            PyErr_Format(PyExc_ValueError, "%s buffer is required", name);
+            return -1;
+        }
+        return 0;
+    }
+    if (PyObject_GetBuffer(obj, &buf->view,
+                           writable ? PyBUF_CONTIG : PyBUF_CONTIG_RO) < 0)
+        return -1;
+    buf->held = 1;
+    if (buf->view.len % (Py_ssize_t)sizeof(int64_t) != 0) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s buffer length %zd is not a multiple of 8", name,
+                     buf->view.len);
+        return -1;
+    }
+    buf->data = (int64_t *)buf->view.buf;
+    buf->len = buf->view.len / (Py_ssize_t)sizeof(int64_t);
+    if (expect >= 0 && buf->len != expect) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s buffer holds %zd int64 values, expected %zd", name,
+                     buf->len, expect);
+        return -1;
+    }
+    return 0;
+}
+
+static int
+get_u8(PyObject *obj, U8Buf *buf, Py_ssize_t expect, const char *name)
+{
+    buf->held = 0;
+    buf->data = NULL;
+    buf->len = 0;
+    if (obj == Py_None) {
+        PyErr_Format(PyExc_ValueError, "%s buffer is required", name);
+        return -1;
+    }
+    if (PyObject_GetBuffer(obj, &buf->view, PyBUF_CONTIG_RO) < 0)
+        return -1;
+    buf->held = 1;
+    if (buf->view.itemsize != 1) {
+        PyErr_Format(PyExc_ValueError, "%s buffer must be byte-sized", name);
+        return -1;
+    }
+    buf->data = (const uint8_t *)buf->view.buf;
+    buf->len = buf->view.len;
+    if (expect >= 0 && buf->len != expect) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s buffer holds %zd bytes, expected %zd", name, buf->len,
+                     expect);
+        return -1;
+    }
+    return 0;
+}
+
+static void
+release_i64(I64Buf *buf)
+{
+    if (buf->held)
+        PyBuffer_Release(&buf->view);
+}
+
+static void
+release_u8(U8Buf *buf)
+{
+    if (buf->held)
+        PyBuffer_Release(&buf->view);
+}
+
+/* Mapping kinds understood by sweep_chunk (mirrors repro.native specs). */
+enum { KIND_LINEAR = 0, KIND_CYCLIC = 1, KIND_BLOCK = 2 };
+enum { SCHEME_DIRECT = 0, SCHEME_TWO_LEVEL = 1, SCHEME_WIDE = 2 };
+
+/* sweep_chunk status codes (the Python wrapper turns them into the same
+ * SimulationError messages the NumPy engine raises). */
+enum {
+    SWEEP_OK = 0,
+    SWEEP_MISSING = 1,   /* err_index = chunk-flat read index i*m + j */
+    SWEEP_CORRUPT = 2,   /* err_index = chunk iteration index i */
+    SWEEP_BAD_ADDRESS = 3 /* err_index = chunk-flat read index (defensive) */
+};
+
+/* ------------------------------------------------------------ sweep_chunk */
+
+static PyObject *
+sweep_chunk(PyObject *self, PyObject *args)
+{
+    PyObject *block_o, *deltas_o, *alpha_o, *bank_shape_o, *shape_o;
+    PyObject *bases_o, *storage_o, *written_o, *flat_o;
+    PyObject *hist_o, *conf_o, *acc_o, *cycles_o, *banks_out_o;
+    Py_ssize_t count, m, n, kind, scheme, n_banks, inner, window, bank_ports;
+    Py_ssize_t inner_bank_size, dim, divisor, ports, verify;
+
+    if (!PyArg_ParseTuple(
+            args, "OOnnnnnnnnnnnnOOOOOOOnnOOOOO:sweep_chunk", &block_o,
+            &deltas_o, &count, &m, &n, &kind, &scheme, &n_banks, &inner,
+            &window, &bank_ports, &inner_bank_size, &dim, &divisor, &alpha_o,
+            &bank_shape_o, &shape_o, &bases_o, &storage_o, &written_o,
+            &flat_o, &ports, &verify, &hist_o, &conf_o, &acc_o, &cycles_o,
+            &banks_out_o))
+        return NULL;
+
+    if (count < 0 || m < 1 || n < 1 || n_banks < 1 || ports < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sweep_chunk: count/m/n/n_banks/ports out of range");
+        return NULL;
+    }
+
+    I64Buf block = {0}, deltas = {0}, alpha = {0}, bank_shape = {0};
+    I64Buf shape = {0}, bases = {0}, storage = {0}, flat = {0};
+    I64Buf hist = {0}, conf = {0}, acc = {0}, cycles = {0}, banks_out = {0};
+    U8Buf written = {0};
+    int64_t *counts = NULL, *touched = NULL;
+    PyObject *result = NULL;
+
+    if (get_i64(block_o, &block, 0, count * n, "block") < 0 ||
+        get_i64(deltas_o, &deltas, 0, m * n, "deltas") < 0 ||
+        get_i64(alpha_o, &alpha, 0, kind == KIND_LINEAR ? n : -1, "alpha") < 0 ||
+        get_i64(bank_shape_o, &bank_shape, 0, n, "bank_shape") < 0 ||
+        get_i64(shape_o, &shape, 0, n, "shape") < 0 ||
+        get_i64(bases_o, &bases, 0, n_banks, "bases") < 0 ||
+        get_i64(storage_o, &storage, 0, -1, "storage") < 0 ||
+        get_u8(written_o, &written, storage.view.len / 8, "written") < 0 ||
+        get_i64(flat_o, &flat, 0, verify ? -1 : -1, "flat") < 0 ||
+        get_i64(hist_o, &hist, 1, -1, "hist") < 0 ||
+        get_i64(conf_o, &conf, 1, n_banks, "conf") < 0 ||
+        get_i64(acc_o, &acc, 1, n_banks, "acc") < 0 ||
+        get_i64(cycles_o, &cycles, 1, -1, "cycles_out") < 0 ||
+        get_i64(banks_out_o, &banks_out, 1, -1, "banks_out") < 0)
+        goto done;
+
+    if (verify && flat.data == NULL) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sweep_chunk: verify requires the flat array buffer");
+        goto done;
+    }
+    if (kind == KIND_LINEAR &&
+        (alpha.data == NULL || inner < 1 || window < 1 ||
+         (scheme == SCHEME_WIDE && bank_ports < 1))) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sweep_chunk: incomplete linear-mapping parameters");
+        goto done;
+    }
+    if ((kind == KIND_CYCLIC || kind == KIND_BLOCK) &&
+        (divisor < 1 || dim < 0 || dim >= n)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "sweep_chunk: incomplete cyclic/block parameters");
+        goto done;
+    }
+    if (cycles.data != NULL && cycles.len != count) {
+        PyErr_SetString(PyExc_ValueError, "sweep_chunk: cycles_out size");
+        goto done;
+    }
+    if (banks_out.data != NULL && banks_out.len != count * m) {
+        PyErr_SetString(PyExc_ValueError, "sweep_chunk: banks_out size");
+        goto done;
+    }
+    /* Cycles per iteration cannot exceed ceil(m / ports). */
+    if (hist.len < (m + ports - 1) / ports + 1) {
+        PyErr_SetString(PyExc_ValueError, "sweep_chunk: hist too small");
+        goto done;
+    }
+
+    counts = (int64_t *)calloc((size_t)n_banks, sizeof(int64_t));
+    touched = (int64_t *)malloc((size_t)m * sizeof(int64_t));
+    if (counts == NULL || touched == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    int status = SWEEP_OK;
+    int64_t err_index = -1;
+    int64_t first_corrupt = -1;
+    int64_t total_cycles = 0;
+    int64_t worst = 0;
+    Py_ssize_t total_slots = storage.len;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (Py_ssize_t i = 0; i < count && status != SWEEP_MISSING &&
+                           status != SWEEP_BAD_ADDRESS;
+         i++) {
+        const int64_t *base_coord = block.data + i * n;
+        int64_t maxk = 0;
+        Py_ssize_t n_touched = 0;
+
+        for (Py_ssize_t j = 0; j < m; j++) {
+            const int64_t *delta = deltas.data + j * n;
+            int64_t bank, offset;
+
+            if (kind == KIND_LINEAR) {
+                int64_t value = 0;
+                for (Py_ssize_t d = 0; d < n; d++)
+                    value += alpha.data[d] * (base_coord[d] + delta[d]);
+                int64_t vm = 0;
+                if (scheme == SCHEME_DIRECT) {
+                    bank = pymod(value, n_banks);
+                } else {
+                    vm = pymod(value, inner);
+                    bank = (scheme == SCHEME_TWO_LEVEL) ? vm % n_banks
+                                                        : vm / bank_ports;
+                }
+                int64_t x_new = pymod(value, window) / inner;
+                offset = 0;
+                for (Py_ssize_t d = 0; d < n - 1; d++)
+                    offset = offset * bank_shape.data[d] +
+                             (base_coord[d] + delta[d]);
+                offset = offset * bank_shape.data[n - 1] + x_new;
+                if (scheme == SCHEME_TWO_LEVEL)
+                    offset += (vm / n_banks) * inner_bank_size;
+                else if (scheme == SCHEME_WIDE)
+                    offset += (vm % bank_ports) * inner_bank_size;
+            } else {
+                int64_t c = base_coord[dim] + delta[dim];
+                int64_t r = pymod(c, divisor);
+                int64_t q = (c - r) / divisor;
+                int64_t in_bank;
+                if (kind == KIND_CYCLIC) {
+                    bank = r;
+                    in_bank = q;
+                } else {
+                    bank = q;
+                    in_bank = r;
+                }
+                offset = 0;
+                for (Py_ssize_t d = 0; d < n; d++) {
+                    int64_t coord = (d == dim) ? in_bank
+                                               : base_coord[d] + delta[d];
+                    offset = offset * bank_shape.data[d] + coord;
+                }
+            }
+
+            if (bank < 0 || bank >= n_banks) {
+                status = SWEEP_BAD_ADDRESS;
+                err_index = i * m + j;
+                break;
+            }
+            int64_t address = bases.data[bank] + offset;
+            if (address < 0 || address >= total_slots) {
+                status = SWEEP_BAD_ADDRESS;
+                err_index = i * m + j;
+                break;
+            }
+            if (!written.data[address]) {
+                /* First missing read in chunk-flat order; it outranks any
+                 * corruption already found (the NumPy engine checks all
+                 * missing reads before any value comparison). */
+                status = SWEEP_MISSING;
+                err_index = i * m + j;
+                break;
+            }
+            if (verify && first_corrupt < 0) {
+                int64_t linear = 0;
+                for (Py_ssize_t d = 0; d < n; d++)
+                    linear = linear * shape.data[d] + (base_coord[d] + delta[d]);
+                if (storage.data[address] != flat.data[linear])
+                    first_corrupt = i;
+            }
+            if (banks_out.data != NULL)
+                banks_out.data[i * m + j] = bank;
+            if (counts[bank] == 0)
+                touched[n_touched++] = bank;
+            counts[bank]++;
+        }
+
+        for (Py_ssize_t t = 0; t < n_touched; t++) {
+            int64_t bank = touched[t];
+            int64_t k = counts[bank];
+            if (k > maxk)
+                maxk = k;
+            acc.data[bank] += k;
+            int64_t q = (k - 1) / ports;
+            conf.data[bank] += q * k - ports * (q * (q + 1) / 2);
+            counts[bank] = 0;
+        }
+        if (status == SWEEP_MISSING || status == SWEEP_BAD_ADDRESS)
+            break;
+
+        int64_t iter_cycles = (maxk + ports - 1) / ports;
+        hist.data[iter_cycles]++;
+        total_cycles += iter_cycles;
+        if (iter_cycles > worst)
+            worst = iter_cycles;
+        if (cycles.data != NULL)
+            cycles.data[i] = iter_cycles;
+    }
+    Py_END_ALLOW_THREADS
+
+    if (status == SWEEP_OK && first_corrupt >= 0) {
+        status = SWEEP_CORRUPT;
+        err_index = first_corrupt;
+    }
+    result = Py_BuildValue("iLLL", status, (long long)err_index,
+                           (long long)total_cycles, (long long)worst);
+
+done:
+    free(counts);
+    free(touched);
+    release_i64(&block);
+    release_i64(&deltas);
+    release_i64(&alpha);
+    release_i64(&bank_shape);
+    release_i64(&shape);
+    release_i64(&bases);
+    release_i64(&storage);
+    release_u8(&written);
+    release_i64(&flat);
+    release_i64(&hist);
+    release_i64(&conf);
+    release_i64(&acc);
+    release_i64(&cycles);
+    release_i64(&banks_out);
+    return result;
+}
+
+/* --------------------------------------------------------- conflict_stats */
+
+static PyObject *
+conflict_stats(PyObject *self, PyObject *args)
+{
+    PyObject *banks_o, *hist_o, *conf_o, *acc_o, *cycles_o;
+    Py_ssize_t count, m, n_banks, ports;
+
+    if (!PyArg_ParseTuple(args, "OnnnnOOOO:conflict_stats", &banks_o, &count,
+                          &m, &n_banks, &ports, &hist_o, &conf_o, &acc_o,
+                          &cycles_o))
+        return NULL;
+    if (count < 0 || m < 1 || n_banks < 1 || ports < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "conflict_stats: count/m/n_banks/ports out of range");
+        return NULL;
+    }
+
+    I64Buf banks = {0}, hist = {0}, conf = {0}, acc = {0}, cycles = {0};
+    int64_t *counts = NULL, *touched = NULL;
+    PyObject *result = NULL;
+
+    if (get_i64(banks_o, &banks, 0, count * m, "banks") < 0 ||
+        get_i64(hist_o, &hist, 1, -1, "hist") < 0 ||
+        get_i64(conf_o, &conf, 1, n_banks, "conf") < 0 ||
+        get_i64(acc_o, &acc, 1, n_banks, "acc") < 0 ||
+        get_i64(cycles_o, &cycles, 1, -1, "cycles_out") < 0)
+        goto done;
+    if (cycles.data != NULL && cycles.len != count) {
+        PyErr_SetString(PyExc_ValueError, "conflict_stats: cycles_out size");
+        goto done;
+    }
+    if (hist.len < (m + ports - 1) / ports + 1) {
+        PyErr_SetString(PyExc_ValueError, "conflict_stats: hist too small");
+        goto done;
+    }
+
+    counts = (int64_t *)calloc((size_t)n_banks, sizeof(int64_t));
+    touched = (int64_t *)malloc((size_t)m * sizeof(int64_t));
+    if (counts == NULL || touched == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    int status = SWEEP_OK;
+    int64_t err_index = -1;
+    int64_t total_cycles = 0;
+    int64_t worst = 0;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (Py_ssize_t i = 0; i < count && status == SWEEP_OK; i++) {
+        int64_t maxk = 0;
+        Py_ssize_t n_touched = 0;
+        for (Py_ssize_t j = 0; j < m; j++) {
+            int64_t bank = banks.data[i * m + j];
+            if (bank < 0 || bank >= n_banks) {
+                status = SWEEP_BAD_ADDRESS;
+                err_index = i * m + j;
+                break;
+            }
+            if (counts[bank] == 0)
+                touched[n_touched++] = bank;
+            counts[bank]++;
+        }
+        for (Py_ssize_t t = 0; t < n_touched; t++) {
+            int64_t bank = touched[t];
+            int64_t k = counts[bank];
+            if (k > maxk)
+                maxk = k;
+            acc.data[bank] += k;
+            int64_t q = (k - 1) / ports;
+            conf.data[bank] += q * k - ports * (q * (q + 1) / 2);
+            counts[bank] = 0;
+        }
+        if (status != SWEEP_OK)
+            break;
+        int64_t iter_cycles = (maxk + ports - 1) / ports;
+        hist.data[iter_cycles]++;
+        total_cycles += iter_cycles;
+        if (iter_cycles > worst)
+            worst = iter_cycles;
+        if (cycles.data != NULL)
+            cycles.data[i] = iter_cycles;
+    }
+    Py_END_ALLOW_THREADS
+
+    result = Py_BuildValue("iLLL", status, (long long)err_index,
+                           (long long)total_cycles, (long long)worst);
+
+done:
+    free(counts);
+    free(touched);
+    release_i64(&banks);
+    release_i64(&hist);
+    release_i64(&conf);
+    release_i64(&acc);
+    release_i64(&cycles);
+    return result;
+}
+
+/* --------------------------------------------------------------- ltb_scan */
+
+static PyObject *
+ltb_scan(PyObject *self, PyObject *args)
+{
+    PyObject *deltas_o, *alpha_o;
+    Py_ssize_t m, n, n_banks;
+
+    if (!PyArg_ParseTuple(args, "OnnnO:ltb_scan", &deltas_o, &m, &n, &n_banks,
+                          &alpha_o))
+        return NULL;
+    if (m < 1 || n < 1 || n_banks < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "ltb_scan: m/n/n_banks must be positive");
+        return NULL;
+    }
+
+    I64Buf deltas = {0}, alpha = {0};
+    int64_t *stamp = NULL, *digits = NULL;
+    PyObject *result = NULL;
+
+    if (get_i64(deltas_o, &deltas, 0, m * n, "deltas") < 0 ||
+        get_i64(alpha_o, &alpha, 1, n, "alpha_out") < 0)
+        goto done;
+
+    stamp = (int64_t *)calloc((size_t)n_banks, sizeof(int64_t));
+    digits = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    if (stamp == NULL || digits == NULL) {
+        PyErr_NoMemory();
+        goto done;
+    }
+
+    int found = 0;
+    int64_t tried = 0;
+    int64_t compares = 0;
+
+    Py_BEGIN_ALLOW_THREADS
+    for (;;) {
+        tried++;
+        /* Residue scan with early exit at the first duplicate; the charge
+         * model below only needs the stop index, not the skipped work
+         * (arithmetic is charged wholesale per tried vector in Python). */
+        int64_t t = m;
+        for (Py_ssize_t j = 0; j < m; j++) {
+            const int64_t *delta = deltas.data + j * n;
+            int64_t value = 0;
+            for (Py_ssize_t d = 0; d < n; d++)
+                value += digits[d] * delta[d];
+            int64_t residue = pymod(value, n_banks);
+            if (stamp[residue] == tried) {
+                t = j;
+                break;
+            }
+            stamp[residue] = tried;
+        }
+        int64_t scan = (t < m) ? t : m - 1;
+        compares += 1 + scan * (scan + 1) / 2;
+        if (t == m) {
+            found = 1;
+            for (Py_ssize_t d = 0; d < n; d++)
+                alpha.data[d] = digits[d];
+            break;
+        }
+        /* Odometer increment, rightmost digit fastest (itertools.product
+         * lexicographic order). */
+        Py_ssize_t d2;
+        for (d2 = n - 1; d2 >= 0; d2--) {
+            digits[d2]++;
+            if (digits[d2] < n_banks)
+                break;
+            digits[d2] = 0;
+        }
+        if (d2 < 0)
+            break; /* candidate space exhausted */
+    }
+    Py_END_ALLOW_THREADS
+
+    result = Py_BuildValue("iLL", found, (long long)tried,
+                           (long long)compares);
+
+done:
+    free(stamp);
+    free(digits);
+    release_i64(&deltas);
+    release_i64(&alpha);
+    return result;
+}
+
+/* ----------------------------------------------------------------- module */
+
+static PyMethodDef native_methods[] = {
+    {"sweep_chunk", sweep_chunk, METH_VARARGS,
+     "Fused trace replay + conflict accounting for one iteration chunk."},
+    {"conflict_stats", conflict_stats, METH_VARARGS,
+     "Bank-conflict accounting over a precomputed (count, m) bank matrix."},
+    {"ltb_scan", ltb_scan, METH_VARARGS,
+     "Exhaustive per-N LTB transform-vector search (lexicographic first hit)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef native_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.native._native",
+    "Compiled inner loops for the repro simulator and the LTB baseline.",
+    -1,
+    native_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__native(void)
+{
+    PyObject *module = PyModule_Create(&native_module);
+    if (module == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(module, "ABI_VERSION", 1) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -73,7 +73,7 @@ HTTP_STATUS: Dict[str, int] = {
 TRACE_HEADER = "X-Repro-Trace"
 
 #: Simulation engines a request may name (mirrors ``sim.memsim.ENGINES``).
-SIM_ENGINES = ("auto", "scalar", "vectorized")
+SIM_ENGINES = ("auto", "scalar", "vectorized", "native")
 
 
 class BadRequestError(ReproError, ValueError):
@@ -263,6 +263,15 @@ def parse_simulate_spec(doc: Any) -> SimulateSpec:
     engine = doc.get("engine", "auto")
     if engine not in SIM_ENGINES:
         raise BadRequestError(f"unknown engine {engine!r}; one of {SIM_ENGINES}")
+    if engine == "native":
+        from ..native import available
+
+        if not available():
+            raise BadRequestError(
+                "engine 'native' requires the compiled extension, which is "
+                "not available in this server (build it with `make "
+                "build-ext`, or use engine 'auto' for silent fallback)"
+            )
     verify = doc.get("verify", True)
     if not isinstance(verify, bool):
         raise BadRequestError(f"verify must be a boolean, got {verify!r}")

@@ -10,6 +10,7 @@ from .functional import (
 from .memsim import (
     ENGINES,
     SimulationReport,
+    resolve_engine,
     simulate_sweep,
     simulate_unpartitioned,
     speedup_vs_unpartitioned,
@@ -36,6 +37,7 @@ __all__ = [
     "golden_stencil",
     "verify_banked_stencil",
     "SimulationReport",
+    "resolve_engine",
     "simulate_sweep",
     "simulate_unpartitioned",
     "speedup_vs_unpartitioned",

@@ -34,8 +34,11 @@ from ..obs.tracer import span
 from .trace import pattern_trace
 from .vectorized import SweepStats, simulate_sweep_vectorized
 
-#: Engine names accepted by :func:`simulate_sweep`.
-ENGINES = ("auto", "scalar", "vectorized")
+#: Engine names accepted by :func:`simulate_sweep`.  ``"native"`` is the
+#: optional compiled tier (:mod:`repro.native`): present only when the
+#: extension is built, preferred by ``"auto"`` when it is, and a clear
+#: :class:`~repro.errors.NativeUnavailableError` when forced without it.
+ENGINES = ("auto", "scalar", "vectorized", "native")
 
 
 @dataclass(frozen=True)
@@ -128,6 +131,44 @@ def _vectorized_capable(mapping: BankMapping) -> bool:
     return type(mapping) in (BankMapping, PackedBankMapping) or has_bulk_kernel(
         type(mapping)
     )
+
+
+def resolve_engine(mapping: BankMapping, engine: str = "auto") -> str:
+    """Concrete engine ``simulate_sweep`` will run for this mapping.
+
+    Selection order for ``"auto"``: ``native`` (when the compiled extension
+    is built, importable, and not disabled via ``REPRO_NATIVE=0``) →
+    ``vectorized`` → ``scalar``.  The native engine shares the vectorized
+    engine's eligibility rule — its fused kernels and hybrid bulk path
+    recompute addresses from the mapping's *formulas*, so a subclass that
+    overrides the scalar address methods must fall back to scalar.
+
+    Forcing an ineligible engine raises: :class:`SimulationError` for a
+    formula-overriding subclass, :class:`~repro.errors.NativeUnavailableError`
+    for ``engine="native"`` without a usable extension.  ``"auto"`` never
+    raises — missing native degrades silently to the NumPy engines.
+    """
+    from .. import native
+
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r}; choose one of {ENGINES}"
+        )
+    bulk_capable = _vectorized_capable(mapping)
+    if engine == "auto":
+        if not bulk_capable:
+            return "scalar"
+        return "native" if native.available() else "vectorized"
+    if engine in ("vectorized", "native") and not bulk_capable:
+        raise SimulationError(
+            f"engine={engine!r} supports stock BankMapping types and types "
+            f"with a registered bulk kernel only; {type(mapping).__name__} "
+            "overrides scalar address methods the bulk path cannot honor — "
+            "use engine='scalar' (or register_bulk_kernel for the type)"
+        )
+    if engine == "native":
+        native.require()  # NativeUnavailableError when absent or disabled
+    return engine
 
 
 def _simulate_sweep_scalar(
@@ -256,25 +297,18 @@ def simulate_sweep(
         collected (and mirrored into the metrics registry) whenever
         observability is enabled.
     engine:
-        ``"auto"`` (default) uses the vectorized fast path for stock
-        mapping types and the scalar reference for anything else;
-        ``"scalar"``/``"vectorized"`` force an engine.  Both produce
-        bit-identical reports; forcing ``"vectorized"`` on a mapping
-        subclass with overridden address methods is an error.
+        ``"auto"`` (default) uses the fastest eligible engine for the
+        mapping — the compiled ``native`` tier when the optional extension
+        is built (:mod:`repro.native`), else the ``vectorized`` NumPy path
+        for stock mapping types, else the scalar reference;
+        ``"scalar"``/``"vectorized"``/``"native"`` force an engine.  All
+        produce bit-identical reports.  Forcing a bulk engine on a mapping
+        subclass with overridden address methods is an error, and forcing
+        ``"native"`` without the extension raises
+        :class:`~repro.errors.NativeUnavailableError` (see
+        :func:`resolve_engine`).
     """
-    if engine not in ENGINES:
-        raise SimulationError(
-            f"unknown simulation engine {engine!r}; choose one of {ENGINES}"
-        )
-    if engine == "auto":
-        engine = "vectorized" if _vectorized_capable(mapping) else "scalar"
-    elif engine == "vectorized" and not _vectorized_capable(mapping):
-        raise SimulationError(
-            "engine='vectorized' supports stock BankMapping types and types "
-            f"with a registered bulk kernel only; {type(mapping).__name__} "
-            "overrides scalar address methods the bulk path cannot honor — "
-            "use engine='scalar' (or register_bulk_kernel for the type)"
-        )
+    engine = resolve_engine(mapping, engine)
 
     if ports_per_bank < 1:
         raise SimulationError(
@@ -293,7 +327,19 @@ def simulate_sweep(
 
     started = time.perf_counter()
     with span("sim.simulate_sweep", shape=mapping.shape, engine=engine):
-        if engine == "vectorized":
+        if engine == "native":
+            from .native import simulate_sweep_native
+
+            stats = simulate_sweep_native(
+                mapping,
+                array=array,
+                step=step,
+                limit=limit,
+                ports_per_bank=ports_per_bank,
+                verify=verify,
+                attribution=attribution,
+            )
+        elif engine == "vectorized":
             stats = simulate_sweep_vectorized(
                 mapping,
                 array=array,

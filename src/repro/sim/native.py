@@ -1,0 +1,281 @@
+"""Native (compiled) sweep simulation: the chunk loop with C inner kernels.
+
+Structure mirrors :mod:`repro.sim.vectorized` — same load pass, same
+row-major iteration chunking, same error semantics — but the per-chunk hot
+work runs inside :mod:`repro.native._native`:
+
+* Mappings with a registered **native spec**
+  (:func:`repro.native.register_native_spec`: the stock Section 4.4 mapping
+  and the cyclic/block baselines) take the *fused* path — ``sweep_chunk``
+  does address translation, the uninitialized-read guard, the verify
+  comparison, and bank-conflict accounting in a single C pass per read,
+  never materializing the ``(count·m)`` element/bank/offset intermediates.
+* Bulk-capable mappings *without* a spec (``PackedBankMapping``, any type
+  registered only via :func:`repro.core.vectorized.register_bulk_kernel`)
+  take the **hybrid** path — addresses come from the NumPy bulk kernel
+  exactly as in the vectorized engine, and only the conflict-accounting
+  segment (``conflict_stats``) moves to C.
+
+Both paths produce the identical :class:`~repro.sim.vectorized.SweepStats`
+— bit for bit, including error messages — which the dual-engine test matrix
+and the ``repro.verify`` differential oracles enforce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.mapping import BankMapping
+from ..core.vectorized import bulk_addresses, chunk_budget
+from ..errors import SimulationError
+from ..native import native_spec_for, require
+from ..obs.conflicts import ConflictTable
+from ..obs.tracer import span
+from .trace import domain_ranges
+from .vectorized import (
+    SweepStats,
+    _iteration_block,
+    _loaded_storage,
+    _raise_corruption,
+)
+
+_STATUS_OK = 0
+_STATUS_MISSING = 1
+_STATUS_CORRUPT = 2
+_STATUS_BAD_ADDRESS = 3
+
+
+def _raise_missing(elements_row: "np.ndarray") -> None:
+    raise SimulationError(
+        "read of uninitialized element "
+        f"{tuple(int(c) for c in elements_row)}"
+    )
+
+
+def simulate_sweep_native(
+    mapping: BankMapping,
+    array: "np.ndarray" | None = None,
+    step: int = 1,
+    limit: int | None = None,
+    ports_per_bank: int = 1,
+    verify: bool = True,
+    attribution: Optional[ConflictTable] = None,
+    chunk: int | None = None,
+) -> SweepStats:
+    """Run the full sweep measurement through the compiled kernels.
+
+    The caller (``simulate_sweep``) owns engine resolution — including the
+    :class:`~repro.errors.NativeUnavailableError` raised when the extension
+    is absent — and shared parameter validation, exactly as for the other
+    engines.
+    """
+    compiled = require()
+    solution = mapping.solution
+    pattern = solution.pattern
+    ports = max(ports_per_bank, solution.bank_ports)
+    n_banks = mapping.n_banks
+
+    sizes = np.array(
+        [mapping.bank_size(b) for b in range(n_banks)], dtype=np.int64
+    )
+    bases = np.concatenate(([0], np.cumsum(sizes)[:-1])).astype(np.int64)
+
+    with span("sim.load_array"):
+        if array is None:
+            array = np.arange(
+                int(np.prod(mapping.shape)), dtype=np.int64
+            ).reshape(mapping.shape)
+        storage, written = _loaded_storage(mapping, array, bases, sizes, chunk)
+        occupancy = np.add.reduceat(written, bases) if n_banks else np.array([])
+        flat_array = np.asarray(array).reshape(-1)
+
+    with span("sim.trace_build"):
+        ranges = domain_ranges(pattern, mapping.shape, step)
+        lens = tuple(len(r) for r in ranges)
+        total_iterations = 1
+        for n in lens:
+            total_iterations *= n
+        if limit is not None:
+            total_iterations = min(total_iterations, limit)
+        if total_iterations < 1:
+            raise SimulationError("empty trace: domain produced no iterations")
+        deltas = np.ascontiguousarray(pattern.offsets, dtype=np.int64)
+        m = pattern.size
+        ndim = len(lens)
+        shape_arr = np.ascontiguousarray(mapping.shape, dtype=np.int64)
+
+    spec = native_spec_for(mapping)
+    written_u8 = np.ascontiguousarray(written.view(np.uint8))
+    flat_i64 = (
+        np.ascontiguousarray(flat_array, dtype=np.int64) if verify else None
+    )
+
+    budget = chunk_budget(chunk)
+    iter_chunk = max(1, budget // max(m, n_banks))
+
+    max_cycles = -(-m // ports)
+    hist_acc = np.zeros(max_cycles + 1, dtype=np.int64)
+    conflict_totals = np.zeros(n_banks, dtype=np.int64)
+    access_totals = np.zeros(n_banks, dtype=np.int64)
+    total = 0
+    worst = 0
+    pattern_offsets = pattern.offsets
+
+    need_attr = attribution is not None
+
+    with span("sim.sweep_loop", iterations=total_iterations, verify=verify):
+        for lo in range(0, total_iterations, iter_chunk):
+            hi = min(lo + iter_chunk, total_iterations)
+            block = _iteration_block(ranges, lens, lo, hi)
+            count = hi - lo
+            cycles_out = np.empty(count, dtype=np.int64) if need_attr else None
+
+            if spec is not None:
+                banks_out = (
+                    np.empty(count * m, dtype=np.int64) if need_attr else None
+                )
+                alpha = spec.get("alpha")
+                status, err_index, chunk_total, chunk_worst = (
+                    compiled.sweep_chunk(
+                        block,
+                        deltas,
+                        count,
+                        m,
+                        ndim,
+                        spec["kind"],
+                        spec.get("scheme", 0),
+                        spec["n_banks"],
+                        spec.get("inner", 1),
+                        spec.get("window", 1),
+                        spec.get("bank_ports", 1),
+                        spec.get("inner_bank_size", 1),
+                        spec.get("dim", 0),
+                        spec.get("divisor", 1),
+                        None
+                        if alpha is None
+                        else np.ascontiguousarray(alpha, dtype=np.int64),
+                        np.ascontiguousarray(spec["bank_shape"], dtype=np.int64),
+                        shape_arr,
+                        bases,
+                        storage,
+                        written_u8,
+                        flat_i64,
+                        ports,
+                        1 if verify else 0,
+                        hist_acc,
+                        conflict_totals,
+                        access_totals,
+                        cycles_out,
+                        banks_out,
+                    )
+                )
+                if status != _STATUS_OK:
+                    # Reconstruct the exact NumPy-engine error for the
+                    # offending read/iteration (cheap: one iteration).
+                    if status == _STATUS_MISSING:
+                        i, j = divmod(err_index, m)
+                        _raise_missing(block[i] + deltas[j])
+                    if status == _STATUS_CORRUPT:
+                        i = err_index
+                        elements = block[i][None, :] + deltas
+                        banks_i, offsets_i = bulk_addresses(mapping, elements)
+                        values = storage[bases[banks_i] + offsets_i].reshape(
+                            1, m
+                        )
+                        linear = np.ravel_multi_index(
+                            tuple(elements.T),
+                            tuple(int(w) for w in shape_arr),
+                        )
+                        expected = (
+                            flat_array[linear].astype(np.int64).reshape(1, m)
+                        )
+                        _raise_corruption(block[i : i + 1], values, expected, 0)
+                    raise SimulationError(
+                        "native sweep kernel computed an out-of-range "
+                        f"address (chunk read index {err_index}); the "
+                        "mapping's native spec disagrees with its allocation"
+                    )
+                if need_attr:
+                    banks_matrix = banks_out.reshape(count, m)
+            else:
+                # Hybrid: NumPy bulk addresses (identical to the vectorized
+                # engine), C conflict accounting.
+                elements = (block[:, None, :] + deltas[None, :, :]).reshape(
+                    -1, ndim
+                )
+                banks, offsets = bulk_addresses(mapping, elements)
+                addresses = bases[banks] + offsets
+
+                missing = ~written[addresses]
+                if missing.any():
+                    _raise_missing(elements[int(np.nonzero(missing)[0][0])])
+                if verify:
+                    values = storage[addresses].reshape(count, m)
+                    linear = np.ravel_multi_index(
+                        tuple(elements.T), tuple(int(w) for w in shape_arr)
+                    )
+                    expected = (
+                        flat_array[linear].astype(np.int64).reshape(count, m)
+                    )
+                    mismatch = values != expected
+                    if mismatch.any():
+                        _raise_corruption(
+                            block,
+                            values,
+                            expected,
+                            int(np.nonzero(mismatch.any(axis=1))[0][0]),
+                        )
+
+                banks_c = np.ascontiguousarray(banks, dtype=np.int64)
+                status, err_index, chunk_total, chunk_worst = (
+                    compiled.conflict_stats(
+                        banks_c,
+                        count,
+                        m,
+                        n_banks,
+                        ports,
+                        hist_acc,
+                        conflict_totals,
+                        access_totals,
+                        cycles_out,
+                    )
+                )
+                if status != _STATUS_OK:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"bulk kernel produced bank index out of range at "
+                        f"chunk read index {err_index}"
+                    )
+                if need_attr:
+                    banks_matrix = banks_c.reshape(count, m)
+
+            total += int(chunk_total)
+            worst = max(worst, int(chunk_worst))
+
+            if need_attr:
+                for i in range(count):
+                    attribution.record_iteration(
+                        pattern_offsets,
+                        [int(b) for b in banks_matrix[i]],
+                        int(cycles_out[i]),
+                    )
+
+    histogram: Dict[int, int] = {
+        int(c): int(hist_acc[c])
+        for c in np.nonzero(hist_acc)[0]
+    }
+    utilization = {
+        b: (int(occupancy[b]) / int(sizes[b]) if int(sizes[b]) else 0.0)
+        for b in range(n_banks)
+    }
+    return SweepStats(
+        iterations=total_iterations,
+        total_cycles=total,
+        worst_cycles=worst,
+        cycle_histogram=histogram,
+        bank_utilization=utilization,
+        ports_per_bank=ports,
+        bank_conflicts={b: int(conflict_totals[b]) for b in range(n_banks)},
+        bank_accesses={b: int(access_totals[b]) for b in range(n_banks)},
+    )

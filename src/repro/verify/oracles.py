@@ -26,15 +26,16 @@ quantity:
     only the **last** dimension is padded, and the storage overhead equals
     the Section 4.4 closed form.
 ``sim_differential``
-    The scalar (``hw.banked_memory`` replay) and vectorized simulation
-    engines produce bit-identical reports, and the measured ``δ(II)``
-    agrees with the solver's claim (equality for direct solutions, bounded
-    above for two-level).
+    The scalar (``hw.banked_memory`` replay), vectorized, and — when the
+    compiled extension is built — native simulation engines produce
+    bit-identical reports, and the measured ``δ(II)`` agrees with the
+    solver's claim (equality for direct solutions, bounded above for
+    two-level).
 ``ltb_differential``
-    On small instances, the scalar and vectorized LTB searches return the
-    same first-hit vector, the same ``vectors_tried``/``candidates_tried``
-    and identical op charges (or fail identically), and LTB's minimum
-    never exceeds our ``N_f``.
+    On small instances, every LTB search engine (scalar, vectorized, and
+    native when built) returns the same first-hit vector, the same
+    ``vectors_tried``/``candidates_tried`` and identical op charges (or
+    fails identically), and LTB's minimum never exceeds our ``N_f``.
 ``symmetry_reflection`` / ``symmetry_permutation`` / ``symmetry_composed``
     The solve cache's symmetry quotient (translation × per-axis reflection
     × leading-axis permutation, :func:`repro.core.cache.canonicalize`) is
@@ -297,19 +298,38 @@ def oracle_mapping(ctx: _Context) -> List[str]:
     return failures
 
 
+def _differential_engines() -> Tuple[str, ...]:
+    """Engines the differential oracles cross-check.
+
+    Always the scalar reference and the vectorized NumPy engine; the
+    compiled native engine joins automatically whenever the extension is
+    importable (and not disabled via ``REPRO_NATIVE=0``), so a built tree
+    fuzzes three-way and an unbuilt tree degrades to the two-engine form
+    without error.
+    """
+    from .. import native
+
+    engines = ("scalar", "vectorized")
+    if native.available():
+        engines += ("native",)
+    return engines
+
+
 def oracle_sim_differential(ctx: _Context) -> List[str]:
     failures = []
+    engines = _differential_engines()
     scalar = simulate_sweep(
         ctx.mapping, limit=SIM_LIMIT, verify=True, engine="scalar"
     )
-    vectorized = simulate_sweep(
-        ctx.mapping, limit=SIM_LIMIT, verify=True, engine="vectorized"
-    )
-    if scalar.to_dict() != vectorized.to_dict():
-        failures.append(
-            "scalar and vectorized simulation reports diverge: "
-            f"{scalar.to_dict()} vs {vectorized.to_dict()}"
+    for engine in engines[1:]:
+        fast = simulate_sweep(
+            ctx.mapping, limit=SIM_LIMIT, verify=True, engine=engine
         )
+        if scalar.to_dict() != fast.to_dict():
+            failures.append(
+                f"scalar and {engine} simulation reports diverge: "
+                f"{scalar.to_dict()} vs {fast.to_dict()}"
+            )
     claimed = ctx.solution.delta_ii
     measured = scalar.measured_delta_ii
     if ctx.solution.scheme == "two-level":
@@ -335,8 +355,9 @@ def oracle_ltb_differential(ctx: _Context) -> Optional[List[str]]:
     if not _ltb_eligible(ctx.case):
         return None  # cost-gated out: not checked, not a pass
     cap = ctx.pattern.size + LTB_EXTRA_BANKS
+    engines = _differential_engines()
     runs = {}
-    for engine in ("scalar", "vectorized"):
+    for engine in engines:
         ops = OpCounter()
         try:
             result = ltb_partition(ctx.pattern, n_max=cap, ops=ops, engine=engine)
@@ -345,47 +366,49 @@ def oracle_ltb_differential(ctx: _Context) -> Optional[List[str]]:
         else:
             runs[engine] = (result, ops)
     scalar, scalar_ops = runs["scalar"]
-    vector, vector_ops = runs["vectorized"]
     failures = []
-    if (scalar is None) != (vector is None):
+    for engine in engines[1:]:
+        fast, fast_ops = runs[engine]
+        if (scalar is None) != (fast is None):
+            failures.append(
+                f"LTB engines disagree on feasibility under N <= {cap}: "
+                f"scalar={'fail' if scalar is None else 'ok'}, "
+                f"{engine}={'fail' if fast is None else 'ok'}"
+            )
+            continue
+        if scalar is not None and fast is not None:
+            if (
+                scalar.solution.n_banks != fast.solution.n_banks
+                or scalar.solution.transform.alpha
+                != fast.solution.transform.alpha
+            ):
+                failures.append(
+                    "LTB engines returned different solutions: scalar "
+                    f"(N={scalar.solution.n_banks}, alpha="
+                    f"{scalar.solution.transform.alpha}) vs {engine} "
+                    f"(N={fast.solution.n_banks}, alpha="
+                    f"{fast.solution.transform.alpha})"
+                )
+            if (scalar.vectors_tried, scalar.candidates_tried) != (
+                fast.vectors_tried,
+                fast.candidates_tried,
+            ):
+                failures.append(
+                    "LTB engines searched different amounts: scalar "
+                    f"({scalar.vectors_tried} vectors, {scalar.candidates_tried} "
+                    f"candidates) vs {engine} ({fast.vectors_tried}, "
+                    f"{fast.candidates_tried})"
+                )
+        if scalar_ops.counts != fast_ops.counts:
+            failures.append(
+                f"LTB engines charged different ops (scalar vs {engine}): "
+                f"{scalar_ops.counts} vs {fast_ops.counts}"
+            )
+    if scalar is not None and scalar.solution.n_banks > ctx.solution.n_unconstrained:
         failures.append(
-            f"LTB engines disagree on feasibility under N <= {cap}: "
-            f"scalar={'fail' if scalar is None else 'ok'}, "
-            f"vectorized={'fail' if vector is None else 'ok'}"
-        )
-        return failures
-    if scalar is not None and vector is not None:
-        if (
-            scalar.solution.n_banks != vector.solution.n_banks
-            or scalar.solution.transform.alpha != vector.solution.transform.alpha
-        ):
-            failures.append(
-                "LTB engines returned different solutions: scalar "
-                f"(N={scalar.solution.n_banks}, alpha="
-                f"{scalar.solution.transform.alpha}) vs vectorized "
-                f"(N={vector.solution.n_banks}, alpha="
-                f"{vector.solution.transform.alpha})"
-            )
-        if (scalar.vectors_tried, scalar.candidates_tried) != (
-            vector.vectors_tried,
-            vector.candidates_tried,
-        ):
-            failures.append(
-                "LTB engines searched different amounts: scalar "
-                f"({scalar.vectors_tried} vectors, {scalar.candidates_tried} "
-                f"candidates) vs vectorized ({vector.vectors_tried}, "
-                f"{vector.candidates_tried})"
-            )
-        if scalar.solution.n_banks > ctx.solution.n_unconstrained:
-            failures.append(
-                f"LTB's exhaustive minimum {scalar.solution.n_banks} exceeds "
-                f"our N_f = {ctx.solution.n_unconstrained}: impossible, ours "
-                "is one of the vectors LTB enumerates"
-            )
-    if scalar_ops.counts != vector_ops.counts:
-        failures.append(
-            f"LTB engines charged different ops: {scalar_ops.counts} vs "
-            f"{vector_ops.counts}"
+            f"LTB's exhaustive minimum {scalar.solution.n_banks} exceeds "
+            f"our N_f = {ctx.solution.n_unconstrained}: impossible, ours "
+            "is one of the vectors LTB enumerates"
         )
     return failures
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro import native
 from repro.core import Pattern, partition, solve_cache
 from repro.patterns import (
     canny_pattern,
@@ -26,6 +27,65 @@ def _clean_solve_cache():
     solve_cache.clear()
     yield
     solve_cache.clear()
+
+
+#: Shown by ``pytest -rs`` whenever the native engine rows are skipped, so
+#: a run without the extension is visibly a two-engine run, never a silent
+#: loss of coverage.
+import os as _os
+
+NATIVE_SKIP_REASON = (
+    "native extension disabled via REPRO_NATIVE=0"
+    if _os.environ.get("REPRO_NATIVE", "").strip() == "0"
+    else "native extension not built (make build-ext)"
+)
+
+
+def engine_param(name: str):
+    """An engine name as a pytest param; ``native`` skips when not built.
+
+    The single source of truth for the dual/tri-engine test matrix: every
+    engine-equivalence test parametrizes over these instead of hard-coding
+    engine pairs, so the compiled tier joins (or cleanly leaves) the matrix
+    in one place.
+    """
+    if name == "native":
+        return pytest.param(
+            name,
+            marks=pytest.mark.skipif(
+                not native.available(), reason=NATIVE_SKIP_REASON
+            ),
+        )
+    return pytest.param(name)
+
+
+@pytest.fixture(params=[engine_param("vectorized"), engine_param("native")])
+def fast_engine(request) -> str:
+    """Each batched sweep/search engine, to compare against ``scalar``."""
+    return request.param
+
+
+@pytest.fixture(
+    params=[
+        engine_param("scalar"),
+        engine_param("vectorized"),
+        engine_param("native"),
+    ]
+)
+def sim_engine(request) -> str:
+    """Every concrete engine name (for shared validation behaviour)."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def fast_engines() -> list:
+    """Names of the available batched engines (for in-test loops where a
+    parametrized fixture would clash with Hypothesis's function-scoped
+    fixture health check)."""
+    names = ["vectorized"]
+    if native.available():
+        names.append("native")
+    return names
 
 
 @pytest.fixture

@@ -4,7 +4,9 @@ Covers the cyclic/block :class:`~repro.core.mapping.BankMapping` subclasses
 (:mod:`repro.baselines.mapping`): address correctness against the scalar
 reference, bijectivity, overhead accounting against each scheme's closed
 form, and — the point of the registration — that ``simulate_sweep`` runs
-them through the vectorized engine with bit-identical reports.
+them through the batched engines (vectorized, and native when the
+extension is built — the shared ``fast_engine`` fixture) with bit-identical
+reports.
 """
 
 from __future__ import annotations
@@ -87,25 +89,25 @@ class TestAddressing:
 
 
 class TestSimulation:
-    def test_engines_agree(self, baseline_mapping):
+    def test_engines_agree(self, baseline_mapping, fast_engine):
         scalar = simulate_sweep(baseline_mapping, engine="scalar")
-        vector = simulate_sweep(baseline_mapping, engine="vectorized")
+        fast = simulate_sweep(baseline_mapping, engine=fast_engine)
         auto = simulate_sweep(baseline_mapping, engine="auto")
-        assert scalar == vector == auto
+        assert scalar == fast == auto
 
-    def test_cyclic_measured_delta_matches_solution(self):
+    def test_cyclic_measured_delta_matches_solution(self, fast_engine):
         mapping = _cyclic()
-        report = simulate_sweep(mapping, engine="vectorized")
+        report = simulate_sweep(mapping, engine=fast_engine)
         assert report.measured_delta_ii == mapping.solution.delta_ii
 
-    def test_block_worst_case_at_chunk_boundary(self):
+    def test_block_worst_case_at_chunk_boundary(self, fast_engine):
         mapping = _block()
-        report = simulate_sweep(mapping, engine="vectorized")
+        report = simulate_sweep(mapping, engine=fast_engine)
         assert report.measured_delta_ii == mapping.solution.delta_ii
 
-    def test_vectorized_path_never_calls_scalar_methods(self, monkeypatch):
-        # The registered kernel, not the per-element methods, must produce
-        # every address on the vectorized path (even with verify=True).
+    def test_fast_path_never_calls_scalar_methods(self, monkeypatch, fast_engine):
+        # The registered kernel (or fused native spec), not the per-element
+        # methods, must produce every address (even with verify=True).
         mapping = _cyclic()
 
         def boom(self, element, ops=None):  # pragma: no cover - must not run
@@ -113,7 +115,7 @@ class TestSimulation:
 
         monkeypatch.setattr(CyclicBankMapping, "bank_of", boom)
         monkeypatch.setattr(CyclicBankMapping, "offset_of", boom)
-        report = simulate_sweep(mapping, engine="vectorized")
+        report = simulate_sweep(mapping, engine=fast_engine)
         assert report.iterations > 0
 
 
@@ -122,9 +124,10 @@ class TestDispatch:
         assert has_bulk_kernel(CyclicBankMapping)
         assert has_bulk_kernel(BlockBankMapping)
 
-    def test_subclass_falls_back_to_scalar(self):
+    def test_subclass_falls_back_to_scalar(self, fast_engine):
         # Kernel lookup is by exact type: a subclass that might override
-        # the scalar address methods must not inherit the bulk kernel.
+        # the scalar address methods must not inherit the bulk kernel (nor
+        # the native spec).
         class TweakedCyclic(CyclicBankMapping):
             pass
 
@@ -136,4 +139,4 @@ class TestDispatch:
         report = simulate_sweep(tweaked, engine="auto")
         assert report == simulate_sweep(base, engine="scalar")
         with pytest.raises(SimulationError, match="registered bulk kernel"):
-            simulate_sweep(tweaked, engine="vectorized")
+            simulate_sweep(tweaked, engine=fast_engine)

@@ -1,0 +1,196 @@
+"""The compiled tier's contract: selection, fallback, and degradation.
+
+Engine *equivalence* lives in the shared dual/tri-engine matrices
+(``test_vectorized_sim.py``, ``test_ltb_vectorized.py``,
+``test_baseline_sim.py``); this file covers everything around it:
+
+* ``engine="auto"`` selection order (native → vectorized → scalar) and the
+  guarantee that auto never raises over a missing extension;
+* explicit ``engine="native"`` failing loudly with
+  :class:`~repro.errors.NativeUnavailableError` and the build hint;
+* the ``REPRO_NATIVE=0`` kill switch forcing the NumPy engines even when
+  the extension is importable;
+* the fused-kernel spec registry's validation rules;
+* the verify tier degrading to its two-engine differential form — not
+  erroring — when the native engine is unavailable.
+
+Everything here runs (and must pass) with *and* without the extension;
+the few assertions that need a built extension guard on
+``native.available()`` inline rather than skipping whole tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import NativeUnavailableError, native
+from repro.baselines.ltb import LTB_ENGINES, ltb_partition, resolve_ltb_engine
+from repro.core import BankMapping, partition
+from repro.errors import MappingError, ReproError, SimulationError
+from repro.patterns import log_pattern, se_pattern
+from repro.sim.memsim import ENGINES, resolve_engine, simulate_sweep
+from repro.verify.oracles import _differential_engines
+
+# Whether the extension is importable at all — deliberately ignores the
+# REPRO_NATIVE kill switch (tests below toggle that per-case).
+_BUILT = native.build_info()["import_error"] is None
+
+
+def _mapping(shape=(12, 14)):
+    return BankMapping(solution=partition(log_pattern()), shape=shape)
+
+
+class TestSelection:
+    def test_auto_prefers_native_then_vectorized(self, monkeypatch):
+        mapping = _mapping()
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        expected = "native" if native.available() else "vectorized"
+        assert resolve_engine(mapping) == expected
+        assert resolve_ltb_engine("auto") == expected
+
+    def test_kill_switch_forces_numpy_engines(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert not native.available()
+        assert resolve_engine(_mapping()) == "vectorized"
+        assert resolve_ltb_engine("auto") == "vectorized"
+
+    def test_auto_never_raises_when_native_missing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        report = simulate_sweep(_mapping(), engine="auto")
+        assert report.iterations > 0
+        result = ltb_partition(se_pattern(), engine="auto")
+        assert result.solution.n_banks >= 1
+
+    def test_subclass_resolves_to_scalar(self):
+        class Tweaked(BankMapping):
+            def offset_of(self, element, ops=None):
+                return super().offset_of(element, ops)
+
+        mapping = Tweaked(solution=partition(log_pattern()), shape=(12, 14))
+        assert resolve_engine(mapping) == "scalar"
+
+    def test_engine_catalogs_list_native(self):
+        assert "native" in ENGINES
+        assert "native" in LTB_ENGINES
+
+
+class TestExplicitNativeFailsLoudly:
+    def test_sim_raises_native_unavailable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with pytest.raises(NativeUnavailableError, match="REPRO_NATIVE=0"):
+            simulate_sweep(_mapping(), engine="native")
+
+    def test_ltb_raises_native_unavailable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with pytest.raises(NativeUnavailableError, match="engine='auto'"):
+            ltb_partition(log_pattern(), engine="native")
+
+    def test_error_type_is_catchable_both_ways(self):
+        # Callers that treat the tier as optional can catch RuntimeError;
+        # callers in this package can catch the repro root.
+        assert issubclass(NativeUnavailableError, ReproError)
+        assert issubclass(NativeUnavailableError, RuntimeError)
+
+    def test_ineligible_mapping_beats_availability(self, monkeypatch):
+        # A formula-overriding subclass is rejected for engine="native"
+        # with the dispatch error (not an availability error), matching
+        # the vectorized engine's contract.
+        class Tweaked(BankMapping):
+            def offset_of(self, element, ops=None):
+                return super().offset_of(element, ops)
+
+        mapping = Tweaked(solution=partition(log_pattern()), shape=(12, 14))
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        with pytest.raises(SimulationError, match="stock BankMapping"):
+            simulate_sweep(mapping, engine="native")
+
+
+class TestKillSwitch:
+    def test_build_info_reports_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        info = native.build_info()
+        assert info["available"] is False
+        assert info["kill_switched"] is True
+
+    def test_build_info_without_kill_switch(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        info = native.build_info()
+        assert info["kill_switched"] is False
+        assert info["available"] is _BUILT
+        if _BUILT:
+            assert info["abi_version"] == 1
+            assert info["import_error"] is None
+        else:
+            assert info["import_error"]
+
+    def test_require_mentions_build_hint_when_not_built(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        if _BUILT:
+            assert native.require() is not None
+        else:
+            with pytest.raises(NativeUnavailableError, match="make build-ext"):
+                native.require()
+
+
+class TestSpecRegistry:
+    def test_stock_mapping_has_spec(self):
+        assert native.has_native_spec(BankMapping)
+        spec = native.native_spec_for(_mapping())
+        assert spec["kind"] == 0
+        assert spec["n_banks"] == _mapping().n_banks
+
+    def test_exact_type_lookup_excludes_subclasses(self):
+        class Sub(BankMapping):
+            pass
+
+        assert not native.has_native_spec(Sub)
+        sub = Sub(solution=partition(log_pattern()), shape=(12, 14))
+        assert native.native_spec_for(sub) is None
+
+    def test_non_mapping_type_rejected(self):
+        with pytest.raises(MappingError, match="BankMapping subclass"):
+            native.register_native_spec(dict, lambda m: {})
+
+    def test_non_callable_builder_rejected(self):
+        class Sub2(BankMapping):
+            pass
+
+        with pytest.raises(MappingError, match="not callable"):
+            native.register_native_spec(Sub2, None)
+
+
+class TestVerifyDegradation:
+    def test_oracles_degrade_to_two_engine_form(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert _differential_engines() == ("scalar", "vectorized")
+
+    def test_oracles_include_native_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        expected = (
+            ("scalar", "vectorized", "native")
+            if _BUILT
+            else ("scalar", "vectorized")
+        )
+        assert _differential_engines() == expected
+
+    def test_two_engine_oracles_still_run_clean(self, monkeypatch):
+        # The full differential oracles execute without error (and without
+        # failures) when the native engine is switched off mid-session.
+        from repro.verify import CaseSpec, run_oracles
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        case = CaseSpec.from_dict(
+            {
+                "seed": 0,
+                "index": 0,
+                "label": "native-degradation",
+                "offsets": [[0, 0], [0, 1], [1, 0], [2, 2]],
+                "shape": [9, 13],
+                "n_max": None,
+                "scheme": "same-size",
+            }
+        )
+        outcome = run_oracles(case)
+        assert outcome.ok, outcome.failures
+        assert "sim_differential" in outcome.checked
+        assert "ltb_differential" in outcome.checked
